@@ -1,0 +1,61 @@
+//! Detection benchmarks: detector ingest + finalize, ECDF construction.
+
+use ah_core::detector::{Detector, DetectorConfig};
+use ah_core::ecdf::Ecdf;
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::ScanClass;
+use ah_net::time::{Dur, Ts};
+use ah_telescope::event::{DarknetEvent, EventKey, ToolCounts};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn synthetic_events(n: u32) -> Vec<DarknetEvent> {
+    (0..n)
+        .map(|i| DarknetEvent {
+            key: EventKey {
+                src: Ipv4Addr4(0x6500_0000 + i % 5000),
+                dst_port: (i % 1024) as u16,
+                class: ScanClass::TcpSyn,
+            },
+            start: Ts::from_secs(u64::from(i)),
+            end: Ts::from_secs(u64::from(i) + 60),
+            packets: u64::from(1 + i % 997),
+            bytes: 40 * u64::from(1 + i % 997),
+            unique_dsts: 1 + (i * 31) % 2000,
+            dark_size: 16_384,
+            tools: ToolCounts::default(),
+        })
+        .collect()
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let events = synthetic_events(50_000);
+    let mut g = c.benchmark_group("detector");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("ingest_finalize_50k_events", |b| {
+        b.iter(|| {
+            let mut d = Detector::new(DetectorConfig::new(16_384));
+            d.ingest_all(&events);
+            black_box(d.finalize().hitters(ah_core::defs::Definition::AddressDispersion).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let samples: Vec<u64> = (0..1_000_000u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+    let mut g = c.benchmark_group("ecdf");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("build_1m_and_threshold", |b| {
+        b.iter(|| {
+            let e = Ecdf::from_samples(samples.clone());
+            black_box(e.top_alpha_threshold(1e-4))
+        })
+    });
+    let _ = Dur::from_secs(1); // keep the time import exercised
+    g.finish();
+}
+
+criterion_group!(benches, bench_detector, bench_ecdf);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Flow-substrate benchmarks: cache throughput, sampling, NetFlow v5 codec.
+
+use ah_flow::cache::FlowCache;
+use ah_flow::record::{decode_v5, encode_v5};
+use ah_flow::router::Direction;
+use ah_flow::sampler::Sampler;
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::PacketMeta;
+use ah_net::time::Ts;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn mixed_packets(n: u32) -> Vec<PacketMeta> {
+    (0..n)
+        .map(|i| {
+            PacketMeta::tcp_syn(
+                Ts::from_micros(u64::from(i) * 50),
+                Ipv4Addr4(0x6400_0000 + (i % 2000)),
+                Ipv4Addr4(0x0a00_0000 + (i % 500)),
+                (1024 + i % 50_000) as u16,
+                [80u16, 443, 22, 23, 6379][(i % 5) as usize],
+            )
+        })
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let pkts = mixed_packets(20_000);
+    let mut g = c.benchmark_group("flow");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.bench_function("cache_observe_20k", |b| {
+        b.iter(|| {
+            let mut cache = FlowCache::new(1);
+            for p in &pkts {
+                cache.observe(p, Direction::Ingress);
+            }
+            black_box(cache.flush().len())
+        })
+    });
+    g.bench_function("sampler_20k", |b| {
+        b.iter(|| {
+            let mut s = Sampler::new(1000, 0);
+            let mut picked = 0u64;
+            for _ in 0..20_000 {
+                if s.sample() {
+                    picked += 1;
+                }
+            }
+            black_box(picked)
+        })
+    });
+    g.finish();
+}
+
+fn bench_v5_codec(c: &mut Criterion) {
+    let pkts = mixed_packets(3000);
+    let mut cache = FlowCache::new(1);
+    for p in &pkts {
+        cache.observe(p, Direction::Ingress);
+    }
+    let records = cache.flush();
+    let batches: Vec<_> = records.chunks(30).collect();
+    let mut g = c.benchmark_group("netflow_v5");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            for (i, batch) in batches.iter().enumerate() {
+                black_box(encode_v5(batch, Ts::from_secs(1), i as u32, 1000));
+            }
+        })
+    });
+    let encoded: Vec<Vec<u8>> = batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| encode_v5(b, Ts::from_secs(1), i as u32, 1000))
+        .collect();
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            for e in &encoded {
+                black_box(decode_v5(e).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_v5_codec);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Packet-substrate microbenchmarks: header parse/emit, pcap I/O,
+//! prefix-set membership, fingerprint classification.
+
+use ah_net::fingerprint::classify;
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::PacketMeta;
+use ah_net::pcap::{PcapReader, PcapWriter, DEFAULT_SNAPLEN, LINKTYPE_RAW};
+use ah_net::prefix::{Prefix, PrefixSet};
+use ah_net::time::Ts;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn sample_packets(n: u32) -> Vec<PacketMeta> {
+    (0..n)
+        .map(|i| {
+            let mut p = PacketMeta::tcp_syn(
+                Ts::from_micros(u64::from(i)),
+                Ipv4Addr4(0x0a00_0000 + i),
+                Ipv4Addr4(0x1400_0000 + (i * 7919) % 65536),
+                40_000,
+                6379,
+            );
+            p.ip_id = (i % 65_536) as u16;
+            p
+        })
+        .collect()
+}
+
+fn bench_parse_emit(c: &mut Criterion) {
+    let pkts = sample_packets(1024);
+    let wires: Vec<Vec<u8>> = pkts.iter().map(PacketMeta::to_bytes).collect();
+    let mut g = c.benchmark_group("packet");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("emit_1k_tcp_syn", |b| {
+        b.iter(|| {
+            for p in &pkts {
+                black_box(p.to_bytes());
+            }
+        })
+    });
+    g.bench_function("parse_1k_tcp_syn", |b| {
+        b.iter(|| {
+            for w in &wires {
+                black_box(PacketMeta::parse_ip(w, Ts::ZERO).unwrap());
+            }
+        })
+    });
+    g.bench_function("classify_1k", |b| {
+        b.iter(|| {
+            for p in &pkts {
+                black_box(classify(p));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let pkts = sample_packets(1024);
+    let mut file = Vec::new();
+    {
+        let mut w = PcapWriter::new(&mut file, LINKTYPE_RAW, DEFAULT_SNAPLEN).unwrap();
+        for p in &pkts {
+            w.write_packet(p.ts, &p.to_bytes()).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    let mut g = c.benchmark_group("pcap");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("write_1k", |b| {
+        let wires: Vec<Vec<u8>> = pkts.iter().map(PacketMeta::to_bytes).collect();
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(file.len());
+            let mut w = PcapWriter::new(&mut buf, LINKTYPE_RAW, DEFAULT_SNAPLEN).unwrap();
+            for (p, wire) in pkts.iter().zip(&wires) {
+                w.write_packet(p.ts, wire).unwrap();
+            }
+            black_box(w.finish().unwrap());
+        })
+    });
+    g.bench_function("read_1k", |b| {
+        b.iter(|| {
+            let r = PcapReader::new(&file[..]).unwrap();
+            black_box(r.records().count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_prefixes(c: &mut Criterion) {
+    let prefixes: Vec<Prefix> = (0..256u32)
+        .map(|i| Prefix::new(Ipv4Addr4(i << 24 | (i * 37) << 12), 20).unwrap())
+        .collect();
+    let set = PrefixSet::from_prefixes(prefixes);
+    let probes: Vec<Ipv4Addr4> = (0..4096u32).map(|i| Ipv4Addr4(i.wrapping_mul(2_654_435_761))).collect();
+    let mut g = c.benchmark_group("prefix");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("set_contains_4k", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for p in &probes {
+                if set.contains(*p) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse_emit, bench_pcap, bench_prefixes);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Telescope benchmarks: capture classification and darknet-event
+//! aggregation throughput, DstSet representation upgrades.
+
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::PacketMeta;
+use ah_net::time::{Dur, Ts};
+use ah_telescope::capture::Telescope;
+use ah_telescope::dstset::DstSet;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn scan_burst(n: u32) -> Vec<PacketMeta> {
+    (0..n)
+        .map(|i| {
+            PacketMeta::tcp_syn(
+                Ts::from_micros(u64::from(i) * 100),
+                Ipv4Addr4(0x0a00_0000 + (i % 64)),
+                Ipv4Addr4(0x1400_0000 + (i * 7919) % 16384),
+                40_000,
+                23,
+            )
+        })
+        .collect()
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let pkts = scan_burst(10_000);
+    let mut g = c.benchmark_group("telescope");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.bench_function("observe_10k_scan", |b| {
+        b.iter(|| {
+            let mut t = Telescope::new("20.0.0.0/18".parse().unwrap(), Dur::from_mins(10));
+            for p in &pkts {
+                t.observe(p);
+            }
+            black_box(t.flush().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dstset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dstset");
+    g.throughput(Throughput::Elements(16_384));
+    g.bench_function("insert_full_universe", |b| {
+        b.iter(|| {
+            let mut s = DstSet::new(16_384);
+            for i in 0..16_384u32 {
+                s.insert((i * 2_654_435_761) % 16_384);
+            }
+            black_box(s.count())
+        })
+    });
+    g.bench_function("insert_sparse_64", |b| {
+        b.iter(|| {
+            let mut s = DstSet::new(16_384);
+            for i in 0..64u32 {
+                s.insert(i * 17 % 16_384);
+            }
+            black_box(s.count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_capture, bench_dstset);
+criterion_main!(benches);

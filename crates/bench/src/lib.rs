@@ -1,0 +1,126 @@
+//! Shared helpers for the experiment runner and the Criterion benches.
+//!
+//! The heavy lifting lives in the workspace crates; this library only
+//! provides the run cache the `experiment` binary uses so that multiple
+//! tables regenerated in one invocation share simulation output.
+
+use aggressive_scanners::pipeline::{self, RunOptions, RunOutput, TapRun};
+use aggressive_scanners::simnet::scenario::{BenignLevel, ScenarioConfig, Year};
+use ah_core::defs::Definition;
+
+/// Span (in simulated days) of each dataset, scaled from the paper's
+/// 365 / 288 / 8 / 3 / 30 by roughly 1:9 so a full `experiment all`
+/// regenerates every artifact in minutes. Scale with `--days-scale`.
+#[derive(Debug, Clone, Copy)]
+pub struct Spans {
+    pub darknet1_days: u64,
+    pub darknet2_days: u64,
+    pub flow_days: u64,
+    /// Tap runs: 1 detection day + 3 tap days.
+    pub tap_days: u64,
+    pub gn_days: u64,
+}
+
+impl Default for Spans {
+    fn default() -> Spans {
+        Spans { darknet1_days: 40, darknet2_days: 32, flow_days: 8, tap_days: 4, gn_days: 21 }
+    }
+}
+
+impl Spans {
+    /// Scale all spans by `f` (minimum sensible floors applied).
+    pub fn scaled(self, f: f64) -> Spans {
+        let s = |d: u64, min: u64| ((d as f64 * f) as u64).max(min);
+        Spans {
+            darknet1_days: s(self.darknet1_days, 4),
+            darknet2_days: s(self.darknet2_days, 4),
+            flow_days: s(self.flow_days, 2),
+            tap_days: s(self.tap_days, 2),
+            gn_days: s(self.gn_days, 3),
+        }
+    }
+}
+
+/// Lazily-computed, shared simulation runs.
+pub struct Runs {
+    pub spans: Spans,
+    pub seed: u64,
+    darknet1: Option<RunOutput>,
+    darknet2: Option<RunOutput>,
+    flows: Option<RunOutput>,
+    gn: Option<RunOutput>,
+    taps: Option<TapRun>,
+}
+
+impl Runs {
+    pub fn new(spans: Spans, seed: u64) -> Runs {
+        Runs { spans, seed, darknet1: None, darknet2: None, flows: None, gn: None, taps: None }
+    }
+
+    /// Darknet-1 (2021) characterization run.
+    pub fn darknet1(&mut self) -> &RunOutput {
+        let (spans, seed) = (self.spans, self.seed);
+        self.darknet1.get_or_insert_with(|| {
+            eprintln!("[run] darknet-1 ({} days)...", spans.darknet1_days);
+            pipeline::run(
+                ScenarioConfig::darknet(Year::Y2021, spans.darknet1_days, seed ^ 0x2021),
+                RunOptions::darknet_only(),
+            )
+        })
+    }
+
+    /// Darknet-2 (2022) characterization run.
+    pub fn darknet2(&mut self) -> &RunOutput {
+        let (spans, seed) = (self.spans, self.seed);
+        self.darknet2.get_or_insert_with(|| {
+            eprintln!("[run] darknet-2 ({} days)...", spans.darknet2_days);
+            pipeline::run(
+                ScenarioConfig::darknet(Year::Y2022, spans.darknet2_days, seed ^ 0x2022),
+                RunOptions::darknet_only(),
+            )
+        })
+    }
+
+    /// The flow-measurement week (Merit benign + 3 border routers).
+    pub fn flows(&mut self) -> &RunOutput {
+        let (spans, seed) = (self.spans, self.seed);
+        self.flows.get_or_insert_with(|| {
+            eprintln!(
+                "[run] flow week (1 warm-up + {} days, Merit benign)...",
+                spans.flow_days
+            );
+            pipeline::run(
+                ScenarioConfig::flows(spans.flow_days + 1, seed ^ 0xf10f),
+                RunOptions::with_flows(),
+            )
+        })
+    }
+
+    /// The honeypot-validation month (telescope + GreyNoise).
+    pub fn gn(&mut self) -> &RunOutput {
+        let (spans, seed) = (self.spans, self.seed);
+        self.gn.get_or_insert_with(|| {
+            eprintln!("[run] greynoise month ({} days)...", spans.gn_days);
+            let mut cfg = ScenarioConfig::darknet(Year::Y2022, spans.gn_days, seed ^ 0x60e5);
+            cfg.label = "gn-month".into();
+            cfg.benign = BenignLevel::Off;
+            pipeline::run(
+                cfg,
+                RunOptions { merit_isp: false, cu_isp: false, greynoise: true, sampling_rate: 100 },
+            )
+        })
+    }
+
+    /// The 72-hour packet-tap experiment (two-phase).
+    pub fn taps(&mut self) -> &TapRun {
+        let (spans, seed) = (self.spans, self.seed);
+        self.taps.get_or_insert_with(|| {
+            eprintln!("[run] packet taps (1+{} days, Merit+CU benign)...", spans.tap_days - 1);
+            pipeline::run_taps(
+                ScenarioConfig::taps(spans.tap_days, seed ^ 0x7a9),
+                1,
+                Definition::AddressDispersion,
+            )
+        })
+    }
+}

@@ -1,0 +1,97 @@
+//! The three aggressive-hitter definitions (Section 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A hitter definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Definition {
+    /// Definition 1: an event touches ≥ 10% of the dark address space.
+    AddressDispersion,
+    /// Definition 2: an event's packet count exceeds the top-α ECDF
+    /// threshold over all events in the dataset.
+    PacketVolume,
+    /// Definition 3: a source contacts more distinct destination ports in
+    /// one day than the top-α ECDF threshold over all (source, day) pairs.
+    DistinctPorts,
+}
+
+impl Definition {
+    /// All three, in paper order.
+    pub const ALL: [Definition; 3] = [
+        Definition::AddressDispersion,
+        Definition::PacketVolume,
+        Definition::DistinctPorts,
+    ];
+
+    /// Index 0..3 for array-keyed storage.
+    pub fn index(self) -> usize {
+        match self {
+            Definition::AddressDispersion => 0,
+            Definition::PacketVolume => 1,
+            Definition::DistinctPorts => 2,
+        }
+    }
+
+    /// Short label ("D1" .. "D3").
+    pub fn short(self) -> &'static str {
+        match self {
+            Definition::AddressDispersion => "D1",
+            Definition::PacketVolume => "D2",
+            Definition::DistinctPorts => "D3",
+        }
+    }
+
+    /// Long label as used in table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Definition::AddressDispersion => "Address Dispersion",
+            Definition::PacketVolume => "Packet Volume",
+            Definition::DistinctPorts => "Total Ports",
+        }
+    }
+}
+
+/// Tunable parameters of the three definitions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Definition 1 dispersion fraction (paper: 0.10, following the
+    /// "large scans" cut of Durumeric et al.).
+    pub dispersion_fraction: f64,
+    /// Definition 2 tail mass (paper: α = 10⁻⁴, the top-0.01% of events).
+    pub volume_alpha: f64,
+    /// Definition 3 tail mass (paper: α = 10⁻⁴).
+    pub ports_alpha: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds { dispersion_fraction: 0.10, volume_alpha: 1e-4, ports_alpha: 1e-4 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable() {
+        for (i, d) in Definition::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Definition::AddressDispersion.short(), "D1");
+        assert_eq!(Definition::PacketVolume.label(), "Packet Volume");
+        assert_eq!(Definition::DistinctPorts.short(), "D3");
+    }
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let t = Thresholds::default();
+        assert!((t.dispersion_fraction - 0.10).abs() < 1e-12);
+        assert!((t.volume_alpha - 1e-4).abs() < 1e-18);
+        assert!((t.ports_alpha - 1e-4).abs() < 1e-18);
+    }
+}

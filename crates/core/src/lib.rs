@@ -1,0 +1,38 @@
+//! The paper's contribution: aggressive-hitter detection over darknet
+//! events, network-impact measurement, and longitudinal characterization.
+//!
+//! Pipeline overview:
+//!
+//! ```text
+//! telescope events ──► Detector ──► AhReport (yearly/daily/active lists,
+//!        │                          thresholds, per-event records)
+//!        │                               │
+//!        │             ┌─────────────────┼──────────────────┐
+//!        ▼             ▼                 ▼                  ▼
+//!   characterize   impact (flows)   impact (taps)       validate
+//!   (origins,      Table 2/4/8      Figures 1/2     (ACKed: Table 6,
+//!    ports, trends, protocols                        GreyNoise: Table 9,
+//!    Zipf)         Table 3                           Figure 6)
+//! ```
+//!
+//! * [`ecdf`] — empirical CDFs and top-α thresholds;
+//! * [`defs`] — the three aggressive-hitter definitions;
+//! * [`detector`] — streaming event compaction and list finalization;
+//! * [`lists`] — set algebra over hitter lists (Jaccard, intersections);
+//! * [`impact`] — joins against flow datasets and live packet taps;
+//! * [`characterize`] — origins, port profiles, temporal trends, Zipf;
+//! * [`validate`] — acknowledged-scanner and honeypot cross-validation;
+//! * [`report`] — text-table and CSV rendering for the experiment runner.
+
+pub mod characterize;
+pub mod defs;
+pub mod detector;
+pub mod ecdf;
+pub mod impact;
+pub mod lists;
+pub mod report;
+pub mod validate;
+
+pub use defs::{Definition, Thresholds};
+pub use detector::{AhReport, Detector, DetectorConfig, EventRecord};
+pub use ecdf::Ecdf;

@@ -1,0 +1,250 @@
+//! The flow cache: sampled packets in, flow records out.
+//!
+//! Mirrors router behaviour: a keyed cache where entries are exported
+//! when idle past the *inactive timeout*, when they live past the
+//! *active timeout* (long flows are chopped so collectors see them
+//! periodically), or when the trace ends.
+
+use crate::record::{FlowKey, FlowRecord};
+use crate::router::Direction;
+use ah_net::packet::{PacketMeta, Transport};
+use ah_net::time::{Dur, Ts};
+use std::collections::HashMap;
+
+/// Cisco-style defaults.
+pub const DEFAULT_ACTIVE_TIMEOUT: Dur = Dur::from_mins(30);
+pub const DEFAULT_INACTIVE_TIMEOUT: Dur = Dur::from_secs(15);
+
+struct Entry {
+    first: Ts,
+    last: Ts,
+    packets: u64,
+    bytes: u64,
+    tcp_flags: u8,
+    direction: Direction,
+}
+
+/// A per-router flow cache.
+pub struct FlowCache {
+    router: u8,
+    active_timeout: Dur,
+    inactive_timeout: Dur,
+    entries: HashMap<FlowKey, Entry>,
+    exported: Vec<FlowRecord>,
+    last_sweep: Ts,
+}
+
+impl FlowCache {
+    /// A cache for `router` with the default timeouts.
+    pub fn new(router: u8) -> FlowCache {
+        FlowCache::with_timeouts(router, DEFAULT_ACTIVE_TIMEOUT, DEFAULT_INACTIVE_TIMEOUT)
+    }
+
+    /// A cache with explicit timeouts.
+    pub fn with_timeouts(router: u8, active: Dur, inactive: Dur) -> FlowCache {
+        FlowCache {
+            router,
+            active_timeout: active,
+            inactive_timeout: inactive,
+            entries: HashMap::new(),
+            exported: Vec::new(),
+            last_sweep: Ts::ZERO,
+        }
+    }
+
+    /// Account one *sampled* packet.
+    pub fn observe(&mut self, pkt: &PacketMeta, direction: Direction) {
+        if pkt.ts.since(self.last_sweep) >= self.inactive_timeout {
+            self.sweep(pkt.ts);
+        }
+        let key = FlowKey::of(pkt);
+        let flags = match pkt.transport {
+            Transport::Tcp { flags, .. } => flags.0,
+            _ => 0,
+        };
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let needs_cut = {
+                    let en = e.get();
+                    pkt.ts.since(en.last) > self.inactive_timeout
+                        || pkt.ts.since(en.first) > self.active_timeout
+                        || en.direction != direction
+                };
+                if needs_cut {
+                    let (k, en) = (key, e.remove());
+                    self.exported.push(Self::export(self.router, k, en));
+                    self.entries.insert(key, Self::fresh(pkt, flags, direction));
+                } else {
+                    let en = e.get_mut();
+                    en.last = en.last.max(pkt.ts);
+                    en.packets += 1;
+                    en.bytes += u64::from(pkt.wire_len);
+                    en.tcp_flags |= flags;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Self::fresh(pkt, flags, direction));
+            }
+        }
+    }
+
+    fn fresh(pkt: &PacketMeta, flags: u8, direction: Direction) -> Entry {
+        Entry {
+            first: pkt.ts,
+            last: pkt.ts,
+            packets: 1,
+            bytes: u64::from(pkt.wire_len),
+            tcp_flags: flags,
+            direction,
+        }
+    }
+
+    fn export(router: u8, key: FlowKey, e: Entry) -> FlowRecord {
+        FlowRecord {
+            key,
+            router,
+            direction: e.direction,
+            first: e.first,
+            last: e.last,
+            packets: e.packets,
+            bytes: e.bytes,
+            tcp_flags: e.tcp_flags,
+        }
+    }
+
+    /// Export all entries idle past the inactive timeout or older than the
+    /// active timeout as of `now`.
+    pub fn sweep(&mut self, now: Ts) {
+        self.last_sweep = now;
+        let inactive = self.inactive_timeout;
+        let active = self.active_timeout;
+        let expired: Vec<FlowKey> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now.since(e.last) > inactive || now.since(e.first) > active)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in expired {
+            if let Some(e) = self.entries.remove(&k) {
+                self.exported.push(Self::export(self.router, k, e));
+            }
+        }
+    }
+
+    /// Drain exported records.
+    pub fn drain(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.exported)
+    }
+
+    /// Export everything remaining (end of trace) and drain.
+    pub fn flush(&mut self) -> Vec<FlowRecord> {
+        let router = self.router;
+        let mut out = std::mem::take(&mut self.exported);
+        for (k, e) in self.entries.drain() {
+            out.push(Self::export(router, k, e));
+        }
+        out
+    }
+
+    /// Number of in-cache flows.
+    pub fn active_flows(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_net::ipv4::Ipv4Addr4;
+
+    const S: Ipv4Addr4 = Ipv4Addr4::new(203, 0, 113, 1);
+    const D: Ipv4Addr4 = Ipv4Addr4::new(10, 0, 0, 1);
+
+    fn pkt(ts_s: u64, dport: u16) -> PacketMeta {
+        PacketMeta::tcp_syn(Ts::from_secs(ts_s), S, D, 40000, dport)
+    }
+
+    #[test]
+    fn packets_aggregate_into_one_flow() {
+        let mut c = FlowCache::new(1);
+        for t in 0..5 {
+            c.observe(&pkt(t, 80), Direction::Ingress);
+        }
+        let recs = c.flush();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.packets, 5);
+        assert_eq!(r.bytes, 200);
+        assert_eq!(r.first, Ts::from_secs(0));
+        assert_eq!(r.last, Ts::from_secs(4));
+        assert_eq!(r.router, 1);
+        assert_eq!(r.tcp_flags, 0x02);
+    }
+
+    #[test]
+    fn inactive_timeout_splits() {
+        let mut c = FlowCache::new(1);
+        c.observe(&pkt(0, 80), Direction::Ingress);
+        c.observe(&pkt(16, 80), Direction::Ingress); // > 15s idle
+        let recs = c.flush();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn active_timeout_chops_long_flows() {
+        let mut c = FlowCache::new(1);
+        // A packet every 10s for 35 minutes: inactive never fires, active does.
+        for t in (0..2100).step_by(10) {
+            c.observe(&pkt(t, 80), Direction::Ingress);
+        }
+        let recs = c.flush();
+        assert!(recs.len() >= 2, "long flow was not chopped: {}", recs.len());
+        let total: u64 = recs.iter().map(|r| r.packets).sum();
+        assert_eq!(total, 210, "packets must be conserved across chops");
+    }
+
+    #[test]
+    fn distinct_tuples_are_distinct_flows() {
+        let mut c = FlowCache::new(2);
+        c.observe(&pkt(0, 80), Direction::Ingress);
+        c.observe(&pkt(0, 443), Direction::Ingress);
+        assert_eq!(c.active_flows(), 2);
+        assert_eq!(c.flush().len(), 2);
+    }
+
+    #[test]
+    fn direction_change_splits_flow() {
+        // Same 5-tuple seen in both directions (rare, but must not merge).
+        let mut c = FlowCache::new(1);
+        c.observe(&pkt(0, 80), Direction::Ingress);
+        c.observe(&pkt(1, 80), Direction::Egress);
+        let recs = c.flush();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn sweep_exports_idle_flows() {
+        let mut c = FlowCache::new(1);
+        c.observe(&pkt(0, 80), Direction::Ingress);
+        c.sweep(Ts::from_secs(100));
+        assert_eq!(c.active_flows(), 0);
+        assert_eq!(c.drain().len(), 1);
+    }
+
+    #[test]
+    fn tcp_flags_accumulate() {
+        let mut c = FlowCache::new(1);
+        let mut p1 = pkt(0, 80);
+        let mut p2 = pkt(1, 80);
+        if let Transport::Tcp { ref mut flags, .. } = p1.transport {
+            *flags = ah_net::tcp::TcpFlags::SYN;
+        }
+        if let Transport::Tcp { ref mut flags, .. } = p2.transport {
+            *flags = ah_net::tcp::TcpFlags::ACK;
+        }
+        c.observe(&p1, Direction::Ingress);
+        c.observe(&p2, Direction::Ingress);
+        let recs = c.flush();
+        assert_eq!(recs[0].tcp_flags, 0x12);
+    }
+}

@@ -1,0 +1,29 @@
+//! ISP flow substrate.
+//!
+//! Models the Merit-style measurement plane the paper joins its
+//! aggressive-hitter lists against:
+//!
+//! * [`record`] — flow records plus the NetFlow v5 export wire format
+//!   (encoder and decoder, implemented from the published layout);
+//! * [`v9`] — the template-based NetFlow v9 format (RFC 3954) newer
+//!   exporters speak, with a template-learning decoder;
+//! * [`sampler`] — deterministic 1:N systematic packet sampling, as
+//!   configured on the paper's routers (1:1000), with the inverse
+//!   estimator used when reporting totals;
+//! * [`cache`] — a flow cache with active and inactive timeouts that
+//!   turns sampled packets into flow records;
+//! * [`router`] — border routers and the ISP model: peering-policy
+//!   ingress assignment (why router-1 sees more scanner traffic than
+//!   router-3), ingress/egress classification, and the content-cache
+//!   bypass that explains the Merit-vs-CU impact gap.
+
+pub mod cache;
+pub mod record;
+pub mod router;
+pub mod sampler;
+pub mod v9;
+
+pub use cache::FlowCache;
+pub use record::{FlowKey, FlowRecord};
+pub use router::{Direction, IspModel, RouterId};
+pub use sampler::Sampler;

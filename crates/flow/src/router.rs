@@ -1,0 +1,422 @@
+//! Border routers and the ISP model.
+//!
+//! The paper's network-impact numbers come from three core routers whose
+//! *peering arrangements* determine which external traffic enters where
+//! (Table 2's router-1 sees most scanner traffic because its tier-1
+//! upstreams carry the Europe/Asia sources that dominate definition-1
+//! hitters). We model that with a longest-prefix routing policy from
+//! external source/destination prefixes to border routers.
+//!
+//! Only *border-crossing* packets are processed: NetFlow on the paper's
+//! routers samples ingress/egress interfaces, and traffic that stays
+//! inside the ISP — notably user traffic served by in-network content
+//! caches — never reaches them. That bypass is what "amplifies" scanner
+//! impact percentages at Merit relative to the cache-less CU network.
+
+use crate::cache::FlowCache;
+use crate::record::FlowRecord;
+use crate::sampler::Sampler;
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::PacketMeta;
+use ah_net::prefix::{Prefix, PrefixMap, PrefixSet};
+use ah_net::time::Ts;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a border router (1-based, as in the paper's tables).
+pub type RouterId = u8;
+
+/// Which way a packet crosses the ISP border.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// From the Internet into the ISP.
+    Ingress,
+    /// From the ISP out to the Internet.
+    Egress,
+}
+
+/// Per-day ground-truth counters for one router (the "all routed packets"
+/// denominator of Tables 2 and 4 — what an unsampled line-card counter
+/// would report).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RouterDayCounter {
+    pub packets: u64,
+    pub bytes: u64,
+}
+
+/// One border router: sampler + flow cache + truth counters.
+pub struct BorderRouter {
+    pub id: RouterId,
+    sampler: Sampler,
+    cache: FlowCache,
+    /// Ground truth packets per day index.
+    day_counters: HashMap<u64, RouterDayCounter>,
+}
+
+impl BorderRouter {
+    fn new(id: RouterId, sampling_rate: u64) -> BorderRouter {
+        BorderRouter {
+            id,
+            // Stagger phases so routers don't sample in lockstep.
+            sampler: Sampler::new(sampling_rate, u64::from(id) * 37),
+            cache: FlowCache::new(id),
+            day_counters: HashMap::new(),
+        }
+    }
+
+    fn observe(&mut self, pkt: &PacketMeta, direction: Direction) {
+        let c = self.day_counters.entry(pkt.ts.day()).or_default();
+        c.packets += 1;
+        c.bytes += u64::from(pkt.wire_len);
+        if self.sampler.sample() {
+            self.cache.observe(pkt, direction);
+        }
+    }
+
+    /// Ground-truth counter for a day.
+    pub fn day_counter(&self, day: u64) -> RouterDayCounter {
+        self.day_counters.get(&day).cloned().unwrap_or_default()
+    }
+
+    /// All per-day counters.
+    pub fn day_counters(&self) -> &HashMap<u64, RouterDayCounter> {
+        &self.day_counters
+    }
+}
+
+/// Where a packet went, from the ISP's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Crossed the border at a router.
+    Border(RouterId, Direction),
+    /// Stayed inside the ISP (e.g. user ↔ in-net content cache).
+    Internal,
+    /// Neither endpoint is ours; not our traffic.
+    Transit,
+}
+
+/// A peering/routing policy: which border router carries a packet between
+/// an `external` and an `internal` address.
+///
+/// Real ISPs pick the border by BGP best path, which depends on both the
+/// remote origin (which upstream announces it) and the local prefix (how
+/// the ISP announces itself per point of presence). Policies that only
+/// look at the external side can use [`PrefixRoutePolicy`].
+pub trait RoutePolicy {
+    fn route(&self, external: Ipv4Addr4, internal: Ipv4Addr4) -> RouterId;
+}
+
+/// Longest-prefix policy over the external address only.
+#[derive(Debug, Clone)]
+pub struct PrefixRoutePolicy {
+    routes: PrefixMap<RouterId>,
+    default_router: RouterId,
+}
+
+impl PrefixRoutePolicy {
+    pub fn new(routes: Vec<(Prefix, RouterId)>, default_router: RouterId) -> PrefixRoutePolicy {
+        let mut map = PrefixMap::new();
+        for (p, r) in routes {
+            map.insert(p, r);
+        }
+        PrefixRoutePolicy { routes: map, default_router }
+    }
+}
+
+impl RoutePolicy for PrefixRoutePolicy {
+    fn route(&self, external: Ipv4Addr4, _internal: Ipv4Addr4) -> RouterId {
+        self.routes.lookup(external).copied().unwrap_or(self.default_router)
+    }
+}
+
+/// Configuration of an ISP model.
+pub struct IspConfig {
+    /// The ISP's own (internal) address space.
+    pub internal: PrefixSet,
+    /// Peering policy choosing the border router.
+    pub policy: Box<dyn RoutePolicy>,
+    /// Router ids to instantiate.
+    pub routers: Vec<RouterId>,
+    /// NetFlow sampling rate (1:N).
+    pub sampling_rate: u64,
+}
+
+impl IspConfig {
+    /// Convenience: external-prefix routing (see [`PrefixRoutePolicy`]).
+    pub fn with_prefix_routes(
+        internal: PrefixSet,
+        routes: Vec<(Prefix, RouterId)>,
+        default_router: RouterId,
+        routers: Vec<RouterId>,
+        sampling_rate: u64,
+    ) -> IspConfig {
+        IspConfig {
+            internal,
+            policy: Box::new(PrefixRoutePolicy::new(routes, default_router)),
+            routers,
+            sampling_rate,
+        }
+    }
+}
+
+/// The ISP: border routers plus routing policy.
+pub struct IspModel {
+    internal: PrefixSet,
+    policy: Box<dyn RoutePolicy>,
+    routers: Vec<BorderRouter>,
+    sampling_rate: u64,
+    /// Packets that stayed internal (cache-served etc.), per day.
+    internal_by_day: HashMap<u64, u64>,
+}
+
+impl IspModel {
+    pub fn new(cfg: IspConfig) -> IspModel {
+        IspModel {
+            internal: cfg.internal,
+            policy: cfg.policy,
+            routers: cfg
+                .routers
+                .into_iter()
+                .map(|id| BorderRouter::new(id, cfg.sampling_rate))
+                .collect(),
+            sampling_rate: cfg.sampling_rate,
+            internal_by_day: HashMap::new(),
+        }
+    }
+
+    fn route(&self, external: Ipv4Addr4, internal: Ipv4Addr4) -> RouterId {
+        self.policy.route(external, internal)
+    }
+
+    fn router_mut(&mut self, id: RouterId) -> Option<&mut BorderRouter> {
+        self.routers.iter_mut().find(|r| r.id == id)
+    }
+
+    /// Border router by id.
+    pub fn router(&self, id: RouterId) -> Option<&BorderRouter> {
+        self.routers.iter().find(|r| r.id == id)
+    }
+
+    /// Ids of all routers.
+    pub fn router_ids(&self) -> Vec<RouterId> {
+        self.routers.iter().map(|r| r.id).collect()
+    }
+
+    /// Process one packet through the ISP.
+    pub fn observe(&mut self, pkt: &PacketMeta) -> Disposition {
+        let src_in = self.internal.contains(pkt.src);
+        let dst_in = self.internal.contains(pkt.dst);
+        let disposition = match (src_in, dst_in) {
+            (false, true) => Disposition::Border(self.route(pkt.src, pkt.dst), Direction::Ingress),
+            (true, false) => Disposition::Border(self.route(pkt.dst, pkt.src), Direction::Egress),
+            (true, true) => Disposition::Internal,
+            (false, false) => Disposition::Transit,
+        };
+        match disposition {
+            Disposition::Border(id, dir) => {
+                if let Some(r) = self.router_mut(id) {
+                    r.observe(pkt, dir);
+                }
+            }
+            Disposition::Internal => {
+                *self.internal_by_day.entry(pkt.ts.day()).or_default() += 1;
+            }
+            Disposition::Transit => {}
+        }
+        disposition
+    }
+
+    /// Sweep all flow caches as of `now`.
+    pub fn sweep(&mut self, now: Ts) {
+        for r in &mut self.routers {
+            r.cache.sweep(now);
+        }
+    }
+
+    /// Internal (border-bypassing) packets for a day.
+    pub fn internal_packets(&self, day: u64) -> u64 {
+        self.internal_by_day.get(&day).copied().unwrap_or(0)
+    }
+
+    /// End the measurement: flush all caches into a dataset.
+    pub fn finish(mut self) -> FlowDataset {
+        let mut records = Vec::new();
+        let mut router_days = HashMap::new();
+        for r in &mut self.routers {
+            records.extend(r.cache.flush());
+            for (day, c) in &r.day_counters {
+                router_days.insert((r.id, *day), c.clone());
+            }
+        }
+        records.sort_by_key(|r| (r.first, r.key.src, r.key.dst_port));
+        FlowDataset { records, sampling_rate: self.sampling_rate, router_days }
+    }
+}
+
+/// A completed flow-measurement campaign: every exported record plus the
+/// ground-truth per-router-day totals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowDataset {
+    pub records: Vec<FlowRecord>,
+    pub sampling_rate: u64,
+    /// Ground truth (router, day) → processed packet counters.
+    pub router_days: HashMap<(RouterId, u64), RouterDayCounter>,
+}
+
+impl FlowDataset {
+    /// Ground-truth packets a router processed in a day.
+    pub fn router_day_packets(&self, router: RouterId, day: u64) -> u64 {
+        self.router_days.get(&(router, day)).map_or(0, |c| c.packets)
+    }
+
+    /// Estimated wire packets for a sampled count.
+    pub fn estimate(&self, sampled: u64) -> u64 {
+        sampled * self.sampling_rate
+    }
+
+    /// Distinct (router, day) pairs present, sorted.
+    pub fn router_day_keys(&self) -> Vec<(RouterId, u64)> {
+        let mut keys: Vec<_> = self.router_days.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_net::time::Dur;
+
+    fn isp() -> IspModel {
+        IspModel::new(IspConfig::with_prefix_routes(
+            PrefixSet::from_prefixes(vec!["10.0.0.0/8".parse().unwrap()]),
+            vec![
+                ("100.0.0.0/8".parse().unwrap(), 1),
+                ("200.0.0.0/8".parse().unwrap(), 2),
+            ],
+            3,
+            vec![1, 2, 3],
+            10,
+        ))
+    }
+
+    fn pkt(src: Ipv4Addr4, dst: Ipv4Addr4, t: u64) -> PacketMeta {
+        PacketMeta::tcp_syn(Ts::from_secs(t), src, dst, 40000, 80)
+    }
+
+    const USER: Ipv4Addr4 = Ipv4Addr4::new(10, 1, 2, 3);
+    const CACHE: Ipv4Addr4 = Ipv4Addr4::new(10, 250, 0, 1);
+    const EU_SCANNER: Ipv4Addr4 = Ipv4Addr4::new(100, 50, 0, 9);
+    const US_HOST: Ipv4Addr4 = Ipv4Addr4::new(200, 1, 1, 1);
+    const ELSEWHERE: Ipv4Addr4 = Ipv4Addr4::new(55, 4, 3, 2);
+
+    #[test]
+    fn ingress_routes_by_source_prefix() {
+        let mut m = isp();
+        assert_eq!(
+            m.observe(&pkt(EU_SCANNER, USER, 0)),
+            Disposition::Border(1, Direction::Ingress)
+        );
+        assert_eq!(
+            m.observe(&pkt(US_HOST, USER, 0)),
+            Disposition::Border(2, Direction::Ingress)
+        );
+        assert_eq!(
+            m.observe(&pkt(ELSEWHERE, USER, 0)),
+            Disposition::Border(3, Direction::Ingress)
+        );
+    }
+
+    #[test]
+    fn egress_routes_by_destination_prefix() {
+        let mut m = isp();
+        assert_eq!(
+            m.observe(&pkt(USER, EU_SCANNER, 0)),
+            Disposition::Border(1, Direction::Egress)
+        );
+    }
+
+    #[test]
+    fn internal_traffic_bypasses_border() {
+        let mut m = isp();
+        assert_eq!(m.observe(&pkt(USER, CACHE, 0)), Disposition::Internal);
+        assert_eq!(m.internal_packets(0), 1);
+        let ds = m.finish();
+        assert_eq!(ds.router_day_packets(1, 0), 0);
+        assert!(ds.records.is_empty());
+    }
+
+    #[test]
+    fn transit_traffic_is_ignored() {
+        let mut m = isp();
+        assert_eq!(m.observe(&pkt(EU_SCANNER, US_HOST, 0)), Disposition::Transit);
+    }
+
+    #[test]
+    fn truth_counters_count_everything_sampled_or_not() {
+        let mut m = isp();
+        for i in 0..95 {
+            m.observe(&pkt(EU_SCANNER, USER, i / 10));
+        }
+        let ds = m.finish();
+        let total: u64 = (0..10).map(|d| ds.router_day_packets(1, d)).sum();
+        assert_eq!(total, 95);
+        // Sampled flows carry ~1/10 of the packets.
+        let sampled: u64 = ds.records.iter().map(|r| r.packets).sum();
+        assert!((8..=10).contains(&sampled), "sampled {sampled}");
+        assert_eq!(ds.estimate(sampled), sampled * 10);
+    }
+
+    #[test]
+    fn flows_carry_router_and_direction() {
+        let mut m = IspModel::new(IspConfig::with_prefix_routes(
+            PrefixSet::from_prefixes(vec!["10.0.0.0/8".parse().unwrap()]),
+            vec![],
+            1,
+            vec![1],
+            1,
+        ));
+        m.observe(&pkt(EU_SCANNER, USER, 0));
+        m.observe(&pkt(USER, EU_SCANNER, 1));
+        let ds = m.finish();
+        assert_eq!(ds.records.len(), 2);
+        assert!(ds.records.iter().any(|r| r.direction == Direction::Ingress));
+        assert!(ds.records.iter().any(|r| r.direction == Direction::Egress));
+        assert!(ds.records.iter().all(|r| r.router == 1));
+    }
+
+    #[test]
+    fn day_counters_split_by_day() {
+        let mut m = isp();
+        m.observe(&pkt(EU_SCANNER, USER, 10));
+        m.observe(&pkt(EU_SCANNER, USER, 86_400 + 10));
+        let r = m.router(1).unwrap();
+        assert_eq!(r.day_counter(0).packets, 1);
+        assert_eq!(r.day_counter(1).packets, 1);
+        assert_eq!(r.day_counter(2).packets, 0);
+    }
+
+    #[test]
+    fn router_day_keys_sorted() {
+        let mut m = isp();
+        m.observe(&pkt(US_HOST, USER, 86_400));
+        m.observe(&pkt(EU_SCANNER, USER, 0));
+        let ds = m.finish();
+        assert_eq!(ds.router_day_keys(), vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn sweep_flushes_idle_flows_to_records() {
+        let mut m = IspModel::new(IspConfig::with_prefix_routes(
+            PrefixSet::from_prefixes(vec!["10.0.0.0/8".parse().unwrap()]),
+            vec![],
+            1,
+            vec![1],
+            1,
+        ));
+        m.observe(&pkt(EU_SCANNER, USER, 0));
+        m.sweep(Ts::from_secs(0) + Dur::from_mins(5));
+        let ds = m.finish();
+        assert_eq!(ds.records.len(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the flow substrate.
+
+use ah_flow::cache::FlowCache;
+use ah_flow::record::{decode_v5, encode_v5, FlowKey, FlowRecord};
+use ah_flow::router::Direction;
+use ah_flow::sampler::Sampler;
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::PacketMeta;
+use ah_net::time::{Dur, Ts};
+use proptest::prelude::*;
+
+proptest! {
+    /// The systematic sampler's estimate is never off by more than one
+    /// sampling interval, for any rate, phase and stream length.
+    #[test]
+    fn sampler_estimate_error_is_bounded(
+        rate in 1u64..5000,
+        phase in any::<u64>(),
+        n in 0u64..100_000,
+    ) {
+        let mut s = Sampler::new(rate, phase);
+        let mut picked = 0u64;
+        for _ in 0..n {
+            if s.sample() {
+                picked += 1;
+            }
+        }
+        let est = s.estimate(picked);
+        prop_assert!(est.abs_diff(n) < rate, "rate {} n {} est {}", rate, n, est);
+        prop_assert_eq!(s.seen(), n);
+        prop_assert_eq!(s.selected(), picked);
+    }
+
+    /// The flow cache conserves packets and bytes across arbitrary
+    /// interleavings and timeout-driven chops.
+    #[test]
+    fn cache_conserves_traffic(
+        steps in proptest::collection::vec((0u64..60_000, 0u8..6, 0u8..4), 1..400),
+    ) {
+        let mut cache = FlowCache::new(1);
+        let mut t = Ts::ZERO;
+        let mut packets_in = 0u64;
+        let mut bytes_in = 0u64;
+        for (gap_ms, src, port_sel) in steps {
+            t += Dur::from_millis(gap_ms);
+            let pkt = PacketMeta::tcp_syn(
+                t,
+                Ipv4Addr4::new(100, 0, 0, src),
+                Ipv4Addr4::new(10, 0, 0, 1),
+                40_000,
+                [22u16, 80, 443, 6379][port_sel as usize],
+            );
+            packets_in += 1;
+            bytes_in += u64::from(pkt.wire_len);
+            cache.observe(&pkt, Direction::Ingress);
+        }
+        let records = cache.flush();
+        prop_assert_eq!(records.iter().map(|r| r.packets).sum::<u64>(), packets_in);
+        prop_assert_eq!(records.iter().map(|r| r.bytes).sum::<u64>(), bytes_in);
+        for r in &records {
+            prop_assert!(r.first <= r.last);
+            prop_assert!(r.packets >= 1);
+        }
+    }
+
+    /// NetFlow v5 encode/decode is the identity on arbitrary records
+    /// (within the format's field widths).
+    #[test]
+    fn v5_roundtrip_arbitrary(
+        recs in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>(),
+             0u32..0x7fff_ffff, 0u32..0x7fff_ffff, any::<u8>(), any::<bool>()),
+            0..30,
+        ),
+    ) {
+        let records: Vec<FlowRecord> = recs
+            .into_iter()
+            .map(|(src, dst, sp, dp, proto, first_ms, dur_ms, flags, ingress)| FlowRecord {
+                key: FlowKey {
+                    src: Ipv4Addr4(src),
+                    dst: Ipv4Addr4(dst),
+                    src_port: sp,
+                    dst_port: dp,
+                    protocol: proto,
+                },
+                router: 2,
+                direction: if ingress { Direction::Ingress } else { Direction::Egress },
+                first: Ts::from_millis(u64::from(first_ms)),
+                last: Ts::from_millis(u64::from(first_ms) + u64::from(dur_ms % 1000)),
+                packets: u64::from(first_ms % 10_000) + 1,
+                bytes: u64::from(dur_ms % 1_000_000) + 40,
+                tcp_flags: flags,
+            })
+            .collect();
+        let wire = encode_v5(&records, Ts::from_secs(5), 9, 1000);
+        let decoded = decode_v5(&wire).unwrap();
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// Corrupting any single byte of a v5 packet never panics the decoder.
+    #[test]
+    fn v5_decoder_total_under_corruption(
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let records = vec![FlowRecord {
+            key: FlowKey {
+                src: Ipv4Addr4::new(1, 2, 3, 4),
+                dst: Ipv4Addr4::new(5, 6, 7, 8),
+                src_port: 1,
+                dst_port: 2,
+                protocol: 6,
+            },
+            router: 1,
+            direction: Direction::Ingress,
+            first: Ts::from_millis(10),
+            last: Ts::from_millis(20),
+            packets: 3,
+            bytes: 120,
+            tcp_flags: 2,
+        }];
+        let mut wire = encode_v5(&records, Ts::from_secs(1), 0, 100);
+        let at = idx.index(wire.len());
+        wire[at] ^= 1 << bit;
+        let _ = decode_v5(&wire); // must not panic
+    }
+}

@@ -1,0 +1,135 @@
+//! IP → AS/organization/country attribution.
+
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::prefix::{Prefix, PrefixMap};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse AS categories, following the paper's Table 5 labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AsType {
+    Cloud,
+    Isp,
+    Hosting,
+    Education,
+    Enterprise,
+}
+
+impl AsType {
+    /// Label as printed in Table 5 ("Cloud", "ISP", "Host.", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            AsType::Cloud => "Cloud",
+            AsType::Isp => "ISP",
+            AsType::Hosting => "Host.",
+            AsType::Education => "Edu.",
+            AsType::Enterprise => "Ent.",
+        }
+    }
+}
+
+/// ISO-3166-alpha-2-style country code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    pub const fn new(code: &[u8; 2]) -> CountryCode {
+        CountryCode(*code)
+    }
+
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).unwrap_or("??")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Metadata for one autonomous system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsInfo {
+    pub asn: u32,
+    pub org: String,
+    pub as_type: AsType,
+    pub country: CountryCode,
+}
+
+/// A registry mapping announced prefixes to AS metadata.
+#[derive(Debug, Clone, Default)]
+pub struct AsnDb {
+    map: PrefixMap<AsInfo>,
+}
+
+impl AsnDb {
+    pub fn new() -> AsnDb {
+        AsnDb::default()
+    }
+
+    /// Register one announced prefix. Later registrations of the exact
+    /// same prefix replace earlier ones.
+    pub fn announce(&mut self, prefix: Prefix, info: AsInfo) {
+        self.map.insert(prefix, info);
+    }
+
+    /// Longest-prefix attribution for an address.
+    pub fn lookup(&self, addr: Ipv4Addr4) -> Option<&AsInfo> {
+        self.map.lookup(addr)
+    }
+
+    /// Number of announced prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate all announcements.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &AsInfo)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(asn: u32, org: &str, t: AsType, cc: &[u8; 2]) -> AsInfo {
+        AsInfo { asn, org: org.to_string(), as_type: t, country: CountryCode::new(cc) }
+    }
+
+    #[test]
+    fn lookup_longest_prefix() {
+        let mut db = AsnDb::new();
+        db.announce("100.0.0.0/8".parse().unwrap(), info(1, "BigCloud", AsType::Cloud, b"US"));
+        db.announce("100.1.0.0/16".parse().unwrap(), info(2, "SubISP", AsType::Isp, b"CN"));
+        let a = db.lookup(Ipv4Addr4::new(100, 1, 2, 3)).unwrap();
+        assert_eq!(a.asn, 2);
+        assert_eq!(a.country.as_str(), "CN");
+        let b = db.lookup(Ipv4Addr4::new(100, 200, 0, 1)).unwrap();
+        assert_eq!(b.asn, 1);
+        assert!(db.lookup(Ipv4Addr4::new(99, 0, 0, 1)).is_none());
+        assert_eq!(db.prefix_count(), 2);
+    }
+
+    #[test]
+    fn as_type_labels() {
+        assert_eq!(AsType::Cloud.label(), "Cloud");
+        assert_eq!(AsType::Hosting.label(), "Host.");
+        assert_eq!(AsType::Isp.label(), "ISP");
+    }
+
+    #[test]
+    fn country_display() {
+        assert_eq!(CountryCode::new(b"TW").to_string(), "TW");
+        assert_eq!(CountryCode([0xff, 0xff]).as_str(), "??");
+    }
+
+    #[test]
+    fn iter_returns_all() {
+        let mut db = AsnDb::new();
+        db.announce("10.0.0.0/8".parse().unwrap(), info(1, "A", AsType::Isp, b"US"));
+        db.announce("20.0.0.0/8".parse().unwrap(), info(2, "B", AsType::Cloud, b"DE"));
+        assert_eq!(db.iter().count(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all parsers and the pcap reader/writer.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+/// Errors produced by packet parsing, building, and pcap I/O.
+///
+/// Parsers are total: every malformed input maps onto one of these
+/// variants rather than panicking, which is what lets the pipeline apply
+/// fault injection (truncation, corruption) and keep running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The buffer is shorter than the fixed part of the header.
+    Truncated {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A length field points outside the buffer or below the header size.
+    BadLength {
+        layer: &'static str,
+        /// The offending length value.
+        value: usize,
+    },
+    /// A version/type field has an unsupported value.
+    Unsupported {
+        layer: &'static str,
+        field: &'static str,
+        value: u64,
+    },
+    /// The checksum did not verify.
+    BadChecksum { layer: &'static str },
+    /// A pcap file had an unknown magic number.
+    BadMagic(u32),
+    /// CIDR prefix length out of range (IPv4: 0..=32).
+    BadPrefixLen(u8),
+    /// Text could not be parsed as an address or prefix.
+    BadAddressSyntax(String),
+    /// Underlying I/O error (pcap reader/writer); stores the error text
+    /// because `std::io::Error` is not `Clone`/`PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated { layer, needed, got } => {
+                write!(f, "{layer}: truncated, need {needed} bytes, got {got}")
+            }
+            NetError::BadLength { layer, value } => {
+                write!(f, "{layer}: inconsistent length field {value}")
+            }
+            NetError::Unsupported { layer, field, value } => {
+                write!(f, "{layer}: unsupported {field} = {value}")
+            }
+            NetError::BadChecksum { layer } => write!(f, "{layer}: checksum mismatch"),
+            NetError::BadMagic(m) => write!(f, "pcap: unknown magic 0x{m:08x}"),
+            NetError::BadPrefixLen(l) => write!(f, "prefix length {l} out of range for IPv4"),
+            NetError::BadAddressSyntax(s) => write!(f, "cannot parse address/prefix: {s:?}"),
+            NetError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Truncated { layer: "ipv4", needed: 20, got: 7 };
+        let s = e.to_string();
+        assert!(s.contains("ipv4"));
+        assert!(s.contains("20"));
+        assert!(s.contains('7'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof!");
+        let e: NetError = io.into();
+        assert!(matches!(e, NetError::Io(ref s) if s.contains("eof!")));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(NetError::BadMagic(1), NetError::BadMagic(1));
+        assert_ne!(NetError::BadMagic(1), NetError::BadMagic(2));
+    }
+}

@@ -1,0 +1,322 @@
+//! Property-based tests for the packet substrate.
+
+use ah_net::checksum;
+use ah_net::fingerprint::{self, Tool};
+use ah_net::icmp::IcmpMessage;
+use ah_net::ipv4::{Ipv4Addr4, Ipv4Header};
+use ah_net::packet::{PacketMeta, Transport};
+use ah_net::pcap::{PcapReader, PcapWriter, DEFAULT_SNAPLEN, LINKTYPE_RAW};
+use ah_net::prefix::{Prefix, PrefixMap, PrefixSet};
+use ah_net::tcp::{TcpFlags, TcpHeader};
+use ah_net::time::Ts;
+use ah_net::udp::UdpHeader;
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr4> {
+    any::<u32>().prop_map(Ipv4Addr4::from_u32)
+}
+
+proptest! {
+    #[test]
+    fn checksum_verifies_any_buffer(mut data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Appending a correct checksum always verifies — provided the
+        // checksum field is 16-bit aligned, as in every real protocol
+        // (odd-length payloads are zero-padded before the field).
+        if data.len() % 2 == 1 {
+            data.push(0);
+        }
+        let c = checksum::checksum(&data);
+        let mut with = data.clone();
+        with.extend_from_slice(&c.to_be_bytes());
+        prop_assert!(checksum::verify(&with));
+    }
+
+    #[test]
+    fn checksum_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let at = split.index(data.len());
+        let mut s = checksum::Sum16::new();
+        s.add(&data[..at]);
+        s.add(&data[at..]);
+        prop_assert_eq!(s.finish(), checksum::checksum(&data));
+    }
+
+    #[test]
+    fn ipv4_header_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        ident in any::<u16>(),
+        ttl in any::<u8>(),
+        dscp in any::<u8>(),
+        proto in any::<u8>(),
+        payload_len in 0usize..64,
+        df in any::<bool>(),
+    ) {
+        let mut h = Ipv4Header::probe(src, dst, proto, payload_len);
+        h.ident = ident;
+        h.ttl = ttl;
+        h.dscp_ecn = dscp;
+        h.dont_frag = df;
+        let mut buf = Vec::new();
+        h.emit(&mut buf);
+        buf.resize(h.total_len as usize, 0x5a);
+        let (parsed, payload) = Ipv4Header::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert_eq!(payload.len(), payload_len);
+    }
+
+    #[test]
+    fn tcp_header_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in any::<u8>(),
+        window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let h = TcpHeader {
+            src_port: sp, dst_port: dp, seq, ack,
+            flags: TcpFlags(flags), window, urgent: 0, options: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        h.emit(src, dst, &payload, &mut buf);
+        let (parsed, got) = TcpHeader::parse(&buf, Some((src, dst))).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert_eq!(got, &payload[..]);
+    }
+
+    #[test]
+    fn udp_header_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let h = UdpHeader::new(sp, dp, payload.len());
+        let mut buf = Vec::new();
+        h.emit(src, dst, &payload, &mut buf);
+        let (parsed, got) = UdpHeader::parse(&buf, Some((src, dst))).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert_eq!(got, &payload[..]);
+    }
+
+    #[test]
+    fn icmp_roundtrip(
+        t in any::<u8>(),
+        code in any::<u8>(),
+        ident in any::<u16>(),
+        seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let m = IcmpMessage { icmp_type: t, code, ident, seq, payload };
+        let mut buf = Vec::new();
+        m.emit(&mut buf);
+        prop_assert_eq!(IcmpMessage::parse(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn packet_meta_wire_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        ip_id in any::<u16>(),
+        sp in any::<u16>(),
+        dp in any::<u16>(),
+        seq in any::<u32>(),
+        kind in 0u8..3,
+        ts in any::<u32>(),
+    ) {
+        let ts = Ts::from_micros(u64::from(ts));
+        let mut m = match kind {
+            0 => {
+                let mut m = PacketMeta::tcp_syn(ts, src, dst, sp, dp);
+                if let Transport::Tcp { seq: ref mut s, .. } = m.transport { *s = seq; }
+                m
+            }
+            1 => PacketMeta::udp_probe(ts, src, dst, sp, dp),
+            _ => PacketMeta::icmp_echo(ts, src, dst),
+        };
+        m.ip_id = ip_id;
+        let parsed = PacketMeta::parse_ip(&m.to_bytes(), ts).unwrap();
+        prop_assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn truncated_packets_never_panic(
+        src in arb_addr(),
+        dst in arb_addr(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let m = PacketMeta::tcp_syn(Ts::ZERO, src, dst, 40000, 443);
+        let bytes = m.to_bytes();
+        let at = cut.index(bytes.len());
+        // Must return an error or a valid packet, never panic.
+        let _ = PacketMeta::parse_ip(&bytes[..at], Ts::ZERO);
+    }
+
+    #[test]
+    fn corrupted_packets_never_panic(
+        src in arb_addr(),
+        dst in arb_addr(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let m = PacketMeta::udp_probe(Ts::ZERO, src, dst, 53, 53);
+        let mut bytes = m.to_bytes();
+        let at = idx.index(bytes.len());
+        bytes[at] ^= 1 << bit;
+        let _ = PacketMeta::parse_ip(&bytes, Ts::ZERO);
+    }
+
+    #[test]
+    fn prefix_set_matches_naive_model(
+        prefixes in proptest::collection::vec((any::<u32>(), 8u8..=32), 1..20),
+        probes in proptest::collection::vec(any::<u32>(), 50),
+    ) {
+        let prefixes: Vec<Prefix> = prefixes
+            .into_iter()
+            .map(|(a, l)| Prefix::new(Ipv4Addr4(a), l).unwrap())
+            .collect();
+        let set = PrefixSet::from_prefixes(prefixes.clone());
+        for probe in probes {
+            let addr = Ipv4Addr4(probe);
+            let naive = prefixes.iter().any(|p| p.contains(addr));
+            prop_assert_eq!(set.contains(addr), naive, "addr {}", addr);
+        }
+        // Members of every prefix are always contained.
+        for p in &prefixes {
+            prop_assert!(set.contains(p.first()));
+            prop_assert!(set.contains(p.last()));
+        }
+    }
+
+    #[test]
+    fn prefix_map_matches_naive_lpm(
+        entries in proptest::collection::vec((any::<u32>(), 8u8..=28), 1..16),
+        probes in proptest::collection::vec(any::<u32>(), 30),
+    ) {
+        let mut map = PrefixMap::new();
+        let mut naive: Vec<(Prefix, usize)> = Vec::new();
+        for (i, (a, l)) in entries.iter().enumerate() {
+            let p = Prefix::new(Ipv4Addr4(*a), *l).unwrap();
+            map.insert(p, i);
+            naive.retain(|(q, _)| *q != p);
+            naive.push((p, i));
+        }
+        for probe in probes {
+            let addr = Ipv4Addr4(probe);
+            let expect = naive
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len)
+                .map(|(_, v)| *v);
+            prop_assert_eq!(map.lookup(addr).copied(), expect);
+        }
+    }
+
+    #[test]
+    fn pcap_roundtrip_any_payload(
+        packets in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..128)),
+            0..20,
+        ),
+    ) {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf, LINKTYPE_RAW, DEFAULT_SNAPLEN).unwrap();
+        for (ts, data) in &packets {
+            w.write_packet(Ts::from_micros(u64::from(*ts)), data).unwrap();
+        }
+        w.finish().unwrap();
+        let got: Vec<_> = PcapReader::new(&buf[..]).unwrap().records().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(got.len(), packets.len());
+        for (rec, (ts, data)) in got.iter().zip(&packets) {
+            prop_assert_eq!(rec.ts, Ts::from_micros(u64::from(*ts)));
+            prop_assert_eq!(&rec.data, data);
+        }
+    }
+
+    #[test]
+    fn masscan_fingerprint_self_consistent(
+        src in arb_addr(),
+        dst in arb_addr(),
+        dp in any::<u16>(),
+        seq in any::<u32>(),
+    ) {
+        // A generator that stamps the masscan cookie is always classified
+        // Masscan (unless it collides with ZMap's constant or Mirai's rule,
+        // which are checked first).
+        let mut m = PacketMeta::tcp_syn(Ts::ZERO, src, dst, 61000, dp);
+        if let Transport::Tcp { seq: ref mut s, .. } = m.transport { *s = seq; }
+        m.ip_id = fingerprint::masscan_ip_id(dst, dp, seq);
+        let tool = fingerprint::classify(&m);
+        if m.ip_id == fingerprint::ZMAP_IP_ID {
+            prop_assert_eq!(tool, Tool::ZMap);
+        } else if seq == dst.to_u32() {
+            prop_assert_eq!(tool, Tool::Mirai);
+        } else {
+            prop_assert_eq!(tool, Tool::Masscan);
+        }
+    }
+}
+
+proptest! {
+    /// pcapng roundtrips arbitrary payloads and timestamps, mirroring the
+    /// classic-pcap property above.
+    #[test]
+    fn pcapng_roundtrip_any_payload(
+        packets in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..128)),
+            0..20,
+        ),
+    ) {
+        use ah_net::pcapng::{PcapNgReader, PcapNgWriter};
+        let mut buf = Vec::new();
+        let mut w = PcapNgWriter::new(&mut buf, 101, 65_535).unwrap();
+        for (ts, data) in &packets {
+            w.write_packet(Ts::from_micros(*ts), data).unwrap();
+        }
+        w.finish().unwrap();
+        let got: Vec<_> = PcapNgReader::new(&buf[..])
+            .unwrap()
+            .packets()
+            .map(|p| p.unwrap())
+            .collect();
+        prop_assert_eq!(got.len(), packets.len());
+        for (rec, (ts, data)) in got.iter().zip(&packets) {
+            prop_assert_eq!(rec.ts, Ts::from_micros(*ts));
+            prop_assert_eq!(&rec.data, data);
+        }
+    }
+
+    /// Single-byte corruption of a pcapng file never panics the reader.
+    #[test]
+    fn pcapng_reader_total_under_corruption(
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        use ah_net::pcapng::{PcapNgReader, PcapNgWriter};
+        let mut buf = Vec::new();
+        let mut w = PcapNgWriter::new(&mut buf, 101, 65_535).unwrap();
+        for i in 0..4u64 {
+            w.write_packet(Ts::from_secs(i), &[1, 2, 3, 4, 5, 6]).unwrap();
+        }
+        w.finish().unwrap();
+        let at = idx.index(buf.len());
+        buf[at] ^= 1 << bit;
+        if let Ok(r) = PcapNgReader::new(&buf[..]) {
+            // Drain until error or EOF; must not panic or loop forever.
+            let mut n = 0;
+            for p in r.packets() {
+                if p.is_err() || n > 100 {
+                    break;
+                }
+                n += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The observable-space scaling trick.
+//!
+//! A real Internet-wide scanner sweeps all 2³² addresses; our vantage
+//! points (dark space, two ISPs, honeypot sensors) only ever see the tiny
+//! sub-stream landing inside their prefixes. Materializing the other
+//! 99.97% of probes would waste nearly all simulation time, so actors
+//! draw targets directly from the *observable space* — the union of all
+//! monitored prefixes, indexed densely — and their conceptual Internet
+//! rate `R` is thinned to an observable rate
+//! `R_obs = R · |observable| / 2³²`.
+//!
+//! This preserves exactly the quantities the paper measures: address
+//! dispersion is a *fraction* of the dark space, packet-volume and
+//! port-count thresholds are percentiles, and a scanner covering a
+//! fraction `f` of IPv4 covers in expectation the same fraction `f` of
+//! every observable prefix.
+
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::prefix::Prefix;
+
+/// Size of the IPv4 space, for rate thinning.
+pub const IPV4_SPACE: f64 = 4_294_967_296.0;
+
+/// The union of monitored prefixes with a dense index space.
+#[derive(Debug, Clone)]
+pub struct ObservableSpace {
+    prefixes: Vec<Prefix>,
+    /// Cumulative sizes: `cum[i]` = first index of `prefixes[i]`.
+    cum: Vec<u64>,
+    total: u64,
+}
+
+impl ObservableSpace {
+    /// Build from a list of (assumed disjoint) prefixes. Order is
+    /// preserved: indices 0..size(p0) map into the first prefix, etc.
+    pub fn new(prefixes: Vec<Prefix>) -> ObservableSpace {
+        let mut cum = Vec::with_capacity(prefixes.len());
+        let mut total = 0u64;
+        for p in &prefixes {
+            cum.push(total);
+            total += p.size();
+        }
+        ObservableSpace { prefixes, cum, total }
+    }
+
+    /// Number of observable addresses.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The prefixes, in index order.
+    pub fn prefixes(&self) -> &[Prefix] {
+        &self.prefixes
+    }
+
+    /// Address at a dense index.
+    pub fn addr_at(&self, index: u64) -> Option<Ipv4Addr4> {
+        if index >= self.total {
+            return None;
+        }
+        // Find the prefix containing the index: last cum[i] <= index.
+        let i = match self.cum.binary_search(&index) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.prefixes[i].addr_at((index - self.cum[i]) as u32)
+    }
+
+    /// Dense index of an observable address.
+    pub fn index_of(&self, addr: Ipv4Addr4) -> Option<u64> {
+        self.prefixes
+            .iter()
+            .zip(&self.cum)
+            .find_map(|(p, base)| p.index_of(addr).map(|i| base + u64::from(i)))
+    }
+
+    /// Thin a conceptual Internet-wide rate (pps over 2³²) to the rate at
+    /// which probes land in the observable space.
+    pub fn thin_rate(&self, internet_rate_pps: f64) -> f64 {
+        internet_rate_pps * self.total as f64 / IPV4_SPACE
+    }
+
+    /// The sub-range of dense indices covered by a particular prefix of
+    /// this space (for actors that target only one network).
+    pub fn range_of(&self, prefix: Prefix) -> Option<std::ops::Range<u64>> {
+        self.prefixes
+            .iter()
+            .zip(&self.cum)
+            .find(|(p, _)| **p == prefix)
+            .map(|(p, base)| *base..*base + p.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ObservableSpace {
+        ObservableSpace::new(vec![
+            "20.0.0.0/24".parse().unwrap(),  // 256
+            "10.0.0.0/30".parse().unwrap(),  // 4
+            "50.1.0.0/31".parse().unwrap(),  // 2
+        ])
+    }
+
+    #[test]
+    fn total_size() {
+        assert_eq!(space().len(), 262);
+        assert!(!space().is_empty());
+    }
+
+    #[test]
+    fn addr_at_spans_prefixes() {
+        let s = space();
+        assert_eq!(s.addr_at(0), Some(Ipv4Addr4::new(20, 0, 0, 0)));
+        assert_eq!(s.addr_at(255), Some(Ipv4Addr4::new(20, 0, 0, 255)));
+        assert_eq!(s.addr_at(256), Some(Ipv4Addr4::new(10, 0, 0, 0)));
+        assert_eq!(s.addr_at(259), Some(Ipv4Addr4::new(10, 0, 0, 3)));
+        assert_eq!(s.addr_at(260), Some(Ipv4Addr4::new(50, 1, 0, 0)));
+        assert_eq!(s.addr_at(261), Some(Ipv4Addr4::new(50, 1, 0, 1)));
+        assert_eq!(s.addr_at(262), None);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = space();
+        for i in 0..s.len() {
+            let a = s.addr_at(i).unwrap();
+            assert_eq!(s.index_of(a), Some(i), "index {i} addr {a}");
+        }
+        assert_eq!(s.index_of(Ipv4Addr4::new(9, 9, 9, 9)), None);
+    }
+
+    #[test]
+    fn rate_thinning() {
+        let s = ObservableSpace::new(vec!["0.0.0.0/1".parse().unwrap()]); // half the net
+        let thinned = s.thin_rate(1000.0);
+        assert!((thinned - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_of_prefix() {
+        let s = space();
+        let r = s.range_of("10.0.0.0/30".parse().unwrap()).unwrap();
+        assert_eq!(r, 256..260);
+        assert!(s.range_of("99.0.0.0/24".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,452 @@
+//! Darknet events ("logical scans").
+//!
+//! Following Durumeric et al. and the paper's Section 2.A, a *darknet
+//! event* summarizes the activity of one source IP toward one destination
+//! port and traffic type. An event ends when no packet has been seen for
+//! more than the idle timeout; the completed event records its start/end
+//! timestamps, packet and byte totals, the number of *unique dark
+//! destinations* contacted, and per-tool fingerprint attribution.
+
+use crate::dstset::DstSet;
+use ah_net::fingerprint::{classify, Tool};
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::{PacketMeta, ScanClass};
+use ah_net::time::{Dur, Ts};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Key identifying a logical scan.
+///
+/// ICMP has no ports; its events use port 0, mirroring how the darknet
+/// events dataset encodes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventKey {
+    pub src: Ipv4Addr4,
+    pub dst_port: u16,
+    pub class: ScanClass,
+}
+
+impl EventKey {
+    /// The key for a scanning packet.
+    pub fn of(pkt: &PacketMeta, class: ScanClass) -> EventKey {
+        EventKey { src: pkt.src, dst_port: pkt.dst_port().unwrap_or(0), class }
+    }
+}
+
+/// Per-tool packet counters, indexed by [`Tool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToolCounts {
+    pub zmap: u64,
+    pub masscan: u64,
+    pub mirai: u64,
+    pub other: u64,
+}
+
+impl ToolCounts {
+    /// Increment the counter for a tool.
+    pub fn add(&mut self, tool: Tool, n: u64) {
+        match tool {
+            Tool::ZMap => self.zmap += n,
+            Tool::Masscan => self.masscan += n,
+            Tool::Mirai => self.mirai += n,
+            Tool::Other => self.other += n,
+        }
+    }
+
+    /// Total across tools.
+    pub fn total(&self) -> u64 {
+        self.zmap + self.masscan + self.mirai + self.other
+    }
+
+    /// The dominant tool (ties broken in ZMap→Masscan→Mirai→Other order);
+    /// `Tool::Other` for an empty counter.
+    pub fn dominant(&self) -> Tool {
+        let pairs = [
+            (self.zmap, Tool::ZMap),
+            (self.masscan, Tool::Masscan),
+            (self.mirai, Tool::Mirai),
+            (self.other, Tool::Other),
+        ];
+        // `max_by_key` keeps the *last* maximum; iterate reversed so that
+        // ties resolve to the earliest entry (ZMap first).
+        pairs
+            .iter()
+            .rev()
+            .max_by_key(|(n, _)| *n)
+            .filter(|(n, _)| *n > 0)
+            .map_or(Tool::Other, |(_, t)| *t)
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &ToolCounts) {
+        self.zmap += other.zmap;
+        self.masscan += other.masscan;
+        self.mirai += other.mirai;
+        self.other += other.other;
+    }
+}
+
+/// A completed darknet event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DarknetEvent {
+    pub key: EventKey,
+    pub start: Ts,
+    pub end: Ts,
+    /// Total scanning packets in the event.
+    pub packets: u64,
+    /// Total wire bytes.
+    pub bytes: u64,
+    /// Exact number of unique dark destinations contacted.
+    pub unique_dsts: u32,
+    /// Size of the dark space the event was measured against.
+    pub dark_size: u32,
+    /// Packets per tool fingerprint.
+    pub tools: ToolCounts,
+}
+
+impl DarknetEvent {
+    /// Fraction of the dark space touched, in [0, 1] — the address
+    /// dispersion that Definition 1 thresholds at 10%.
+    pub fn dispersion(&self) -> f64 {
+        if self.dark_size == 0 {
+            0.0
+        } else {
+            f64::from(self.unique_dsts) / f64::from(self.dark_size)
+        }
+    }
+
+    /// Day index the event started in.
+    pub fn start_day(&self) -> u64 {
+        self.start.day()
+    }
+
+    /// Inclusive range of day indices the event overlaps.
+    pub fn days(&self) -> std::ops::RangeInclusive<u64> {
+        self.start.day()..=self.end.day()
+    }
+}
+
+struct ActiveEvent {
+    start: Ts,
+    last: Ts,
+    packets: u64,
+    bytes: u64,
+    dsts: DstSet,
+    tools: ToolCounts,
+}
+
+/// Streaming aggregator turning scanning packets into darknet events.
+///
+/// Feed time-ordered packets with [`EventAggregator::observe`]; call
+/// [`EventAggregator::advance`] periodically (any granularity) to expire
+/// idle events, and [`EventAggregator::flush`] at end of trace.
+pub struct EventAggregator {
+    timeout: Dur,
+    dark_size: u32,
+    active: HashMap<EventKey, ActiveEvent>,
+    /// Completed events are drained by the caller.
+    completed: Vec<DarknetEvent>,
+    /// Watermark of the last periodic sweep.
+    last_sweep: Ts,
+    /// How often `observe` triggers an implicit expiration sweep.
+    sweep_every: Dur,
+}
+
+impl EventAggregator {
+    /// `dark_size` is the number of addressable dark IPs (destination ids
+    /// passed to `observe` must be below it); `timeout` is the idle gap
+    /// that terminates an event.
+    pub fn new(dark_size: u32, timeout: Dur) -> EventAggregator {
+        EventAggregator {
+            timeout,
+            dark_size,
+            active: HashMap::new(),
+            completed: Vec::new(),
+            last_sweep: Ts::ZERO,
+            sweep_every: Dur(timeout.0 / 2),
+        }
+    }
+
+    /// Number of currently active (unexpired) events.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Observe one scanning packet. `dst_index` is the packet's dense
+    /// index within the dark space (see [`crate::capture::DarkSpace`]).
+    ///
+    /// Packets must arrive in non-decreasing time order; small reordering
+    /// is tolerated (an out-of-order packet extends the event it matches
+    /// but never moves its start earlier than the first packet seen).
+    pub fn observe(&mut self, pkt: &PacketMeta, class: ScanClass, dst_index: u32) {
+        // Implicit periodic sweep keeps the active map bounded even if the
+        // caller never calls `advance`.
+        if pkt.ts.since(self.last_sweep) >= self.sweep_every {
+            self.advance(pkt.ts);
+        }
+        let key = EventKey::of(pkt, class);
+        let tool = classify(pkt);
+        match self.active.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let ev = e.get_mut();
+                if pkt.ts.since(ev.last) > self.timeout {
+                    // Gap exceeded: close the old event and start fresh.
+                    let done = Self::finish(key, e.remove(), self.dark_size);
+                    self.completed.push(done);
+                    self.active.insert(key, Self::fresh(pkt, tool, dst_index, self.dark_size));
+                } else {
+                    ev.last = ev.last.max(pkt.ts);
+                    ev.packets += 1;
+                    ev.bytes += u64::from(pkt.wire_len);
+                    ev.dsts.insert(dst_index);
+                    ev.tools.add(tool, 1);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Self::fresh(pkt, tool, dst_index, self.dark_size));
+            }
+        }
+    }
+
+    fn fresh(pkt: &PacketMeta, tool: Tool, dst_index: u32, dark_size: u32) -> ActiveEvent {
+        let mut dsts = DstSet::new(dark_size);
+        dsts.insert(dst_index);
+        let mut tools = ToolCounts::default();
+        tools.add(tool, 1);
+        ActiveEvent {
+            start: pkt.ts,
+            last: pkt.ts,
+            packets: 1,
+            bytes: u64::from(pkt.wire_len),
+            dsts,
+            tools,
+        }
+    }
+
+    fn finish(key: EventKey, ev: ActiveEvent, dark_size: u32) -> DarknetEvent {
+        DarknetEvent {
+            key,
+            start: ev.start,
+            end: ev.last,
+            packets: ev.packets,
+            bytes: ev.bytes,
+            unique_dsts: ev.dsts.count(),
+            dark_size,
+            tools: ev.tools,
+        }
+    }
+
+    /// Expire all events idle past the timeout as of `now`.
+    pub fn advance(&mut self, now: Ts) {
+        self.last_sweep = now;
+        let timeout = self.timeout;
+        let dark_size = self.dark_size;
+        let expired: Vec<EventKey> = self
+            .active
+            .iter()
+            .filter(|(_, ev)| now.since(ev.last) > timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            if let Some(ev) = self.active.remove(&key) {
+                self.completed.push(Self::finish(key, ev, dark_size));
+            }
+        }
+    }
+
+    /// Drain events completed so far (ordering follows completion, not
+    /// event start).
+    pub fn drain_completed(&mut self) -> Vec<DarknetEvent> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Close every remaining active event (end of trace) and drain all.
+    pub fn flush(&mut self) -> Vec<DarknetEvent> {
+        let dark_size = self.dark_size;
+        let mut done = std::mem::take(&mut self.completed);
+        for (key, ev) in self.active.drain() {
+            done.push(Self::finish(key, ev, dark_size));
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DARK: u32 = 1 << 16;
+
+    fn syn(ts_secs: u64, src: u32, dst_idx: u32, port: u16) -> (PacketMeta, u32) {
+        let p = PacketMeta::tcp_syn(
+            Ts::from_secs(ts_secs),
+            Ipv4Addr4(0x0a00_0000 + src),
+            Ipv4Addr4(0xc000_0000 + dst_idx),
+            40000,
+            port,
+        );
+        (p, dst_idx)
+    }
+
+    fn agg() -> EventAggregator {
+        EventAggregator::new(DARK, Dur::from_mins(10))
+    }
+
+    #[test]
+    fn one_source_one_event() {
+        let mut a = agg();
+        for i in 0..100u32 {
+            let (p, idx) = syn(u64::from(i), 1, i, 23);
+            a.observe(&p, ScanClass::TcpSyn, idx);
+        }
+        let evs = a.flush();
+        assert_eq!(evs.len(), 1);
+        let e = &evs[0];
+        assert_eq!(e.packets, 100);
+        assert_eq!(e.unique_dsts, 100);
+        assert_eq!(e.start, Ts::from_secs(0));
+        assert_eq!(e.end, Ts::from_secs(99));
+        assert_eq!(e.bytes, 100 * 40);
+    }
+
+    #[test]
+    fn distinct_ports_are_distinct_events() {
+        let mut a = agg();
+        for port in [22u16, 23, 6379] {
+            let (p, idx) = syn(1, 1, 5, port);
+            a.observe(&p, ScanClass::TcpSyn, idx);
+        }
+        let evs = a.flush();
+        assert_eq!(evs.len(), 3);
+    }
+
+    #[test]
+    fn distinct_classes_are_distinct_events() {
+        let mut a = agg();
+        let src = Ipv4Addr4::new(10, 0, 0, 1);
+        let dst = Ipv4Addr4::new(192, 0, 2, 1);
+        let t = PacketMeta::tcp_syn(Ts::from_secs(1), src, dst, 1, 53);
+        let u = PacketMeta::udp_probe(Ts::from_secs(1), src, dst, 1, 53);
+        a.observe(&t, ScanClass::TcpSyn, 0);
+        a.observe(&u, ScanClass::Udp, 0);
+        assert_eq!(a.flush().len(), 2);
+    }
+
+    #[test]
+    fn timeout_splits_events() {
+        let mut a = agg();
+        let (p1, i1) = syn(0, 1, 0, 23);
+        a.observe(&p1, ScanClass::TcpSyn, i1);
+        // 601 seconds later: beyond the 600s timeout.
+        let (p2, i2) = syn(601, 1, 1, 23);
+        a.observe(&p2, ScanClass::TcpSyn, i2);
+        let evs = a.flush();
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().all(|e| e.packets == 1));
+    }
+
+    #[test]
+    fn gap_at_exactly_timeout_does_not_split() {
+        let mut a = agg();
+        let (p1, i1) = syn(0, 1, 0, 23);
+        let (p2, i2) = syn(600, 1, 1, 23);
+        a.observe(&p1, ScanClass::TcpSyn, i1);
+        a.observe(&p2, ScanClass::TcpSyn, i2);
+        let evs = a.flush();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].packets, 2);
+    }
+
+    #[test]
+    fn advance_expires_idle_events() {
+        let mut a = agg();
+        let (p, i) = syn(0, 1, 0, 23);
+        a.observe(&p, ScanClass::TcpSyn, i);
+        assert_eq!(a.active_count(), 1);
+        a.advance(Ts::from_secs(601));
+        assert_eq!(a.active_count(), 0);
+        assert_eq!(a.drain_completed().len(), 1);
+    }
+
+    #[test]
+    fn repeated_dst_counts_once() {
+        let mut a = agg();
+        for t in 0..5 {
+            let (p, i) = syn(t, 1, 7, 23);
+            a.observe(&p, ScanClass::TcpSyn, i);
+        }
+        let evs = a.flush();
+        assert_eq!(evs[0].packets, 5);
+        assert_eq!(evs[0].unique_dsts, 1);
+    }
+
+    #[test]
+    fn dispersion_fraction() {
+        let mut a = EventAggregator::new(1000, Dur::from_mins(10));
+        for i in 0..100u32 {
+            let (p, _) = syn(0, 1, i, 23);
+            a.observe(&p, ScanClass::TcpSyn, i);
+        }
+        let evs = a.flush();
+        assert!((evs[0].dispersion() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tool_attribution_counted() {
+        let mut a = agg();
+        let (mut p, i) = syn(0, 1, 0, 23);
+        p.ip_id = ah_net::fingerprint::ZMAP_IP_ID;
+        a.observe(&p, ScanClass::TcpSyn, i);
+        let (p2, i2) = syn(1, 1, 1, 23);
+        a.observe(&p2, ScanClass::TcpSyn, i2);
+        let evs = a.flush();
+        assert_eq!(evs[0].tools.zmap, 1);
+        assert_eq!(evs[0].tools.total(), 2);
+        assert_eq!(evs[0].tools.dominant(), Tool::ZMap);
+    }
+
+    #[test]
+    fn implicit_sweep_bounds_active_map() {
+        // Sources that appear once and go silent must be evicted by the
+        // implicit sweep as time advances, even without explicit advance().
+        let mut a = agg();
+        for s in 0..1000u32 {
+            let (p, i) = syn(u64::from(s) * 10, s, 0, 23);
+            a.observe(&p, ScanClass::TcpSyn, i);
+        }
+        // By t=10000s, sources that spoke before t≈9300 are expired.
+        assert!(a.active_count() < 100, "active map not swept: {}", a.active_count());
+    }
+
+    #[test]
+    fn tool_counts_merge_and_dominant_empty() {
+        let mut a = ToolCounts::default();
+        assert_eq!(a.dominant(), Tool::Other);
+        let mut b = ToolCounts::default();
+        b.add(Tool::Masscan, 3);
+        b.add(Tool::Other, 1);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.dominant(), Tool::Masscan);
+    }
+
+    #[test]
+    fn event_day_helpers() {
+        let e = DarknetEvent {
+            key: EventKey {
+                src: Ipv4Addr4::new(1, 1, 1, 1),
+                dst_port: 23,
+                class: ScanClass::TcpSyn,
+            },
+            start: Ts::from_days(2) + Dur::from_secs(100),
+            end: Ts::from_days(4) + Dur::from_secs(5),
+            packets: 1,
+            bytes: 40,
+            unique_dsts: 1,
+            dark_size: 100,
+            tools: ToolCounts::default(),
+        };
+        assert_eq!(e.start_day(), 2);
+        assert_eq!(e.days().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the telescope substrate.
+
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::{PacketMeta, ScanClass};
+use ah_net::time::{Dur, Ts};
+use ah_telescope::dstset::DstSet;
+use ah_telescope::event::EventAggregator;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// DstSet behaves exactly like a HashSet across its representation
+    /// upgrades.
+    #[test]
+    fn dstset_matches_hashset_model(
+        universe in 64u32..20_000,
+        ids in proptest::collection::vec(any::<u32>(), 1..6000),
+    ) {
+        let mut s = DstSet::new(universe);
+        let mut model: HashSet<u32> = HashSet::new();
+        for raw in ids {
+            let id = raw % universe;
+            let added = s.insert(id);
+            prop_assert_eq!(added, model.insert(id));
+        }
+        prop_assert_eq!(s.count() as usize, model.len());
+        for &x in model.iter().take(100) {
+            prop_assert!(s.contains(x));
+        }
+        let cov = s.coverage();
+        prop_assert!((0.0..=1.0).contains(&cov));
+    }
+
+    /// Event aggregation conserves packets and bytes: whatever goes in
+    /// comes out across completed events, regardless of timing patterns.
+    #[test]
+    fn aggregation_conserves_packets_and_bytes(
+        steps in proptest::collection::vec((0u64..100_000, 0u8..8, 1u32..500, 0u8..3), 1..300),
+    ) {
+        let dark = 1u32 << 12;
+        let mut agg = EventAggregator::new(dark, Dur::from_mins(10));
+        let mut t = Ts::ZERO;
+        let mut packets_in = 0u64;
+        let mut bytes_in = 0u64;
+        for (gap_ms, src, dst, class) in steps {
+            t += Dur::from_millis(gap_ms);
+            let src_ip = Ipv4Addr4::new(10, 0, 0, src);
+            let dst_ip = Ipv4Addr4(0x1400_0000 + dst % dark);
+            let (pkt, cls) = match class {
+                0 => (PacketMeta::tcp_syn(t, src_ip, dst_ip, 1, 23), ScanClass::TcpSyn),
+                1 => (PacketMeta::udp_probe(t, src_ip, dst_ip, 1, 53), ScanClass::Udp),
+                _ => (PacketMeta::icmp_echo(t, src_ip, dst_ip), ScanClass::IcmpEcho),
+            };
+            packets_in += 1;
+            bytes_in += u64::from(pkt.wire_len);
+            agg.observe(&pkt, cls, dst % dark);
+        }
+        let events = agg.flush();
+        let packets_out: u64 = events.iter().map(|e| e.packets).sum();
+        let bytes_out: u64 = events.iter().map(|e| e.bytes).sum();
+        prop_assert_eq!(packets_in, packets_out);
+        prop_assert_eq!(bytes_in, bytes_out);
+        // Structural sanity on every event.
+        for e in &events {
+            prop_assert!(e.start <= e.end);
+            prop_assert!(e.unique_dsts >= 1);
+            prop_assert!(u64::from(e.unique_dsts) <= e.packets);
+            prop_assert!(e.dispersion() <= 1.0);
+            prop_assert_eq!(e.tools.total(), e.packets);
+        }
+    }
+
+    /// No completed event contains an internal silence longer than the
+    /// timeout: splitting a uniform packet train at the timeout boundary
+    /// produces ceil-like event counts.
+    #[test]
+    fn uniform_train_splits_predictably(
+        gap_s in 1u64..1200,
+        n in 2u64..50,
+    ) {
+        let timeout = Dur::from_mins(10);
+        let dark = 1024;
+        let mut agg = EventAggregator::new(dark, timeout);
+        for i in 0..n {
+            let pkt = PacketMeta::tcp_syn(
+                Ts::from_secs(i * gap_s),
+                Ipv4Addr4::new(10, 0, 0, 1),
+                Ipv4Addr4(0x1400_0000 + (i as u32 % dark)),
+                1,
+                23,
+            );
+            agg.observe(&pkt, ScanClass::TcpSyn, i as u32 % dark);
+        }
+        let events = agg.flush();
+        let expected = if gap_s * 1_000_000 > timeout.micros() { n } else { 1 };
+        prop_assert_eq!(events.len() as u64, expected, "gap {}s n {}", gap_s, n);
+    }
+}

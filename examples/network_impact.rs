@@ -1,0 +1,63 @@
+//! Network impact measurement: how many of an ISP's routed packets come
+//! from aggressive scanners?
+//!
+//! Simulates a weekend+weekday window with benign user traffic at a
+//! Merit-like ISP, joins the darknet-derived hitter list against the
+//! sampled flow data of its three border routers, and prints the per-day
+//! impact — the experiment behind the paper's headline "one in every
+//! hundred packets is from an aggressive scanner".
+//!
+//! ```sh
+//! cargo run --release --example network_impact
+//! ```
+
+use aggressive_scanners::core::defs::Definition;
+use aggressive_scanners::core::impact::{flow_impact, presence};
+use aggressive_scanners::pipeline::{self, RunOptions};
+use aggressive_scanners::simnet::scenario::ScenarioConfig;
+
+fn main() {
+    let days = 3;
+    println!("simulating {days} days of ISP traffic (this builds benign flows too)...");
+    let run = pipeline::run(ScenarioConfig::flows(days, 99), RunOptions::with_flows());
+    let ds = run.merit_flows.as_ref().expect("flow dataset");
+
+    println!();
+    println!(
+        "flow dataset: {} records at 1:{} sampling, {} router-days of truth counters",
+        ds.records.len(),
+        ds.sampling_rate,
+        ds.router_days.len()
+    );
+
+    let rows = flow_impact(ds, |day| {
+        run.report.active_hitters(Definition::AddressDispersion, day).cloned()
+    });
+    println!();
+    println!("{:<8} {:>8} {:>14} {:>14} {:>8}", "day", "router", "AH packets", "all packets", "share");
+    for r in &rows {
+        println!(
+            "{:<8} {:>8} {:>14} {:>14} {:>7.2}%",
+            r.day, r.router, r.ah_packets, r.total_packets, r.pct()
+        );
+    }
+
+    let mean: f64 = rows.iter().map(|r| r.pct()).sum::<f64>() / rows.len().max(1) as f64;
+    println!();
+    println!("mean impact across routers and days: {mean:.2}%");
+    println!("(the paper measures 1.1–5.85% daily at Merit's core routers)");
+
+    // Where are the hitters visible?
+    println!();
+    println!("hitter presence per router (share of the day's active hitters seen):");
+    for row in presence(ds, |day| {
+        run.report.active_hitters(Definition::AddressDispersion, day).cloned()
+    }) {
+        let fr: Vec<String> = row
+            .seen_fraction
+            .iter()
+            .map(|(r, f)| format!("r{}: {:.0}%", r, 100.0 * f))
+            .collect();
+        println!("  day {} ({} hitters): {}", row.day, row.population, fr.join("  "));
+    }
+}

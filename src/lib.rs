@@ -1,0 +1,42 @@
+//! # aggressive-scanners
+//!
+//! A full reproduction of *"Aggressive Internet-Wide Scanners: Network
+//! Impact and Longitudinal Characterization"* (CoNEXT 2023) as a Rust
+//! workspace:
+//!
+//! * [`net`] — packet substrate (IPv4/TCP/UDP/ICMP, pcap, prefixes,
+//!   scanner fingerprints);
+//! * [`telescope`] — ORION-style darknet capture and darknet-event
+//!   aggregation;
+//! * [`flow`] — NetFlow-style sampling, flow caches, and the border-
+//!   router/peering model;
+//! * [`intel`] — ASN registry, Acknowledged-Scanners list, reverse DNS,
+//!   GreyNoise-style honeypot;
+//! * [`simnet`] — the synthetic internet standing in for the paper's
+//!   proprietary traces (see `DESIGN.md` for the substitution table);
+//! * [`core`] — the paper's contribution: three aggressive-hitter
+//!   definitions, network-impact measurement, characterization;
+//! * [`pipeline`] (this crate) — turnkey end-to-end runs used by the
+//!   examples, the integration tests, and the experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aggressive_scanners::pipeline::{self, RunOptions};
+//! use aggressive_scanners::simnet::scenario::ScenarioConfig;
+//! use aggressive_scanners::core::defs::Definition;
+//!
+//! // A 2-day miniature world; see ScenarioConfig::darknet for full runs.
+//! let run = pipeline::run(ScenarioConfig::tiny(2, 42), RunOptions::darknet_only());
+//! let hitters = run.report.hitters(Definition::AddressDispersion);
+//! println!("{} aggressive hitters detected", hitters.len());
+//! ```
+
+pub use ah_core as core;
+pub use ah_flow as flow;
+pub use ah_intel as intel;
+pub use ah_net as net;
+pub use ah_simnet as simnet;
+pub use ah_telescope as telescope;
+
+pub mod pipeline;

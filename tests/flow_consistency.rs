@@ -1,0 +1,97 @@
+//! Cross-crate consistency of the flow-measurement plane: sampled-flow
+//! estimates versus ground-truth counters, NetFlow v5 export round-trips
+//! of real datasets, and conservation across the router model.
+
+use aggressive_scanners::flow::record::{decode_v5, encode_v5, V5_MAX_RECORDS};
+use aggressive_scanners::pipeline::{self, RunOptions};
+use aggressive_scanners::simnet::scenario::ScenarioConfig;
+
+#[test]
+fn sampled_estimates_track_ground_truth() {
+    let run = pipeline::run(
+        ScenarioConfig::tiny(2, 21),
+        RunOptions { merit_isp: true, cu_isp: false, greynoise: false, sampling_rate: 10 },
+    );
+    let ds = run.merit_flows.as_ref().unwrap();
+    let truth: u64 = ds.router_days.values().map(|c| c.packets).sum();
+    let sampled: u64 = ds.records.iter().map(|r| r.packets).sum();
+    let estimate = ds.estimate(sampled);
+    assert!(truth > 1000, "needs traffic: {truth}");
+    let err = (estimate as f64 - truth as f64).abs() / truth as f64;
+    // Systematic 1:10 sampling over tens of thousands of packets: the
+    // inverse estimator must land within a few percent.
+    assert!(err < 0.05, "estimate {estimate} vs truth {truth} (err {err:.3})");
+}
+
+#[test]
+fn unsampled_dataset_is_exact() {
+    let run = pipeline::run(
+        ScenarioConfig::tiny(1, 22),
+        RunOptions { merit_isp: true, cu_isp: false, greynoise: false, sampling_rate: 1 },
+    );
+    let ds = run.merit_flows.as_ref().unwrap();
+    let truth: u64 = ds.router_days.values().map(|c| c.packets).sum();
+    let sampled: u64 = ds.records.iter().map(|r| r.packets).sum();
+    assert_eq!(truth, sampled, "1:1 sampling conserves every packet");
+}
+
+#[test]
+fn netflow_v5_roundtrips_real_datasets() {
+    let run = pipeline::run(
+        ScenarioConfig::tiny(1, 23),
+        RunOptions { merit_isp: true, cu_isp: false, greynoise: false, sampling_rate: 5 },
+    );
+    let ds = run.merit_flows.as_ref().unwrap();
+    assert!(!ds.records.is_empty());
+    // Records from one router (the v5 header carries a single engine id).
+    let r1: Vec<_> = ds.records.iter().filter(|r| r.router == 1).cloned().collect();
+    let mut decoded = Vec::new();
+    for (i, chunk) in r1.chunks(V5_MAX_RECORDS).enumerate() {
+        let wire = encode_v5(
+            chunk,
+            aggressive_scanners::net::time::Ts::from_secs(60),
+            i as u32,
+            5,
+        );
+        decoded.extend(decode_v5(&wire).unwrap());
+    }
+    // v5 timestamps are millisecond-resolution; compare at that granularity.
+    assert_eq!(decoded.len(), r1.len());
+    for (d, o) in decoded.iter().zip(&r1) {
+        assert_eq!(d.key, o.key);
+        assert_eq!(d.packets, o.packets);
+        assert_eq!(d.direction, o.direction);
+        assert_eq!(d.first.micros() / 1000, o.first.micros() / 1000);
+        assert_eq!(d.last.micros() / 1000, o.last.micros() / 1000);
+    }
+}
+
+#[test]
+fn routers_split_the_border_exhaustively() {
+    // Every border-crossing packet lands at exactly one router: the sum
+    // of router-day truth counters must equal the count of border
+    // dispositions.
+    use aggressive_scanners::flow::router::Disposition;
+    use aggressive_scanners::simnet::scenario::Scenario;
+    let cfg = ScenarioConfig::tiny(1, 24);
+    let mut sc = Scenario::build(cfg);
+    let world = sc.world.clone();
+    let mut isp = aggressive_scanners::flow::router::IspModel::new(
+        aggressive_scanners::flow::router::IspConfig {
+            internal: world.merit_internal(),
+            policy: Box::new(world.merit_policy()),
+            routers: vec![1, 2, 3],
+            sampling_rate: 100,
+        },
+    );
+    let mut border = 0u64;
+    while let Some(pkt) = sc.mux.next_packet() {
+        if let Disposition::Border(..) = isp.observe(&pkt) {
+            border += 1;
+        }
+    }
+    let ds = isp.finish();
+    let counted: u64 = ds.router_days.values().map(|c| c.packets).sum();
+    assert_eq!(border, counted);
+    assert!(border > 1000);
+}
