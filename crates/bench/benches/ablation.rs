@@ -174,11 +174,5 @@ fn ablate_counting(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablate_timeout,
-    ablate_sampling,
-    ablate_dispersion,
-    ablate_counting
-);
+criterion_group!(benches, ablate_timeout, ablate_sampling, ablate_dispersion, ablate_counting);
 criterion_main!(benches);

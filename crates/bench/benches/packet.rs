@@ -91,7 +91,8 @@ fn bench_prefixes(c: &mut Criterion) {
         .map(|i| Prefix::new(Ipv4Addr4(i << 24 | (i * 37) << 12), 20).unwrap())
         .collect();
     let set = PrefixSet::from_prefixes(prefixes);
-    let probes: Vec<Ipv4Addr4> = (0..4096u32).map(|i| Ipv4Addr4(i.wrapping_mul(2_654_435_761))).collect();
+    let probes: Vec<Ipv4Addr4> =
+        (0..4096u32).map(|i| Ipv4Addr4(i.wrapping_mul(2_654_435_761))).collect();
     let mut g = c.benchmark_group("prefix");
     g.throughput(Throughput::Elements(probes.len() as u64));
     g.bench_function("set_contains_4k", |b| {

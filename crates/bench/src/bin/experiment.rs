@@ -34,6 +34,29 @@ fn weekday(day0_weekday: u8, day: u64) -> &'static str {
 struct Ctx {
     runs: Runs,
     out: PathBuf,
+    seed: u64,
+}
+
+/// Exit with a diagnostic instead of panicking when a run output lacks a
+/// piece an experiment needs (a wiring bug, not a user error).
+fn require<T>(opt: Option<T>, what: &str, experiment: &str) -> T {
+    opt.unwrap_or_else(|| {
+        eprintln!("error: {experiment}: run output is missing {what}");
+        std::process::exit(1);
+    })
+}
+
+/// Parse the value following a flag, exiting with a usage error when it
+/// is absent or malformed.
+fn parse_flag<T: std::str::FromStr>(args: &[String], i: usize, flag: &str, kind: &str) -> T {
+    let Some(v) = args.get(i) else {
+        eprintln!("error: {flag} requires a value ({kind})");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag}: {v:?} is not a valid {kind}");
+        std::process::exit(2);
+    })
 }
 
 impl Ctx {
@@ -58,15 +81,19 @@ fn main() {
         match args[i].as_str() {
             "--days-scale" => {
                 i += 1;
-                scale = args[i].parse().expect("--days-scale takes a float");
+                scale = parse_flag(&args, i, "--days-scale", "float");
             }
             "--seed" => {
                 i += 1;
-                seed = args[i].parse().expect("--seed takes an integer");
+                seed = parse_flag(&args, i, "--seed", "integer");
             }
             "--out" => {
                 i += 1;
-                out = PathBuf::from(&args[i]);
+                let Some(dir) = args.get(i) else {
+                    eprintln!("error: --out requires a directory argument");
+                    std::process::exit(2);
+                };
+                out = PathBuf::from(dir);
             }
             id => ids.push(id.to_string()),
         }
@@ -74,7 +101,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiment <table1..table9|fig1..fig6|whatif|all>... [--days-scale F] [--seed N] [--out DIR]"
+            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR]"
         );
         std::process::exit(2);
     }
@@ -82,11 +109,11 @@ fn main() {
         ids = (1..=9)
             .map(|n| format!("table{n}"))
             .chain((1..=6).map(|n| format!("fig{n}")))
-            .chain(std::iter::once("whatif".to_string()))
+            .chain(["whatif".to_string(), "health".to_string()])
             .collect();
     }
     let spans = Spans::default().scaled(scale);
-    let mut ctx = Ctx { runs: Runs::new(spans, seed), out };
+    let mut ctx = Ctx { runs: Runs::new(spans, seed), out, seed };
     std::fs::create_dir_all(&ctx.out).ok();
     for id in &ids {
         let t0 = std::time::Instant::now();
@@ -107,6 +134,7 @@ fn main() {
             "fig5" => fig5(&mut ctx),
             "fig6" => fig6(&mut ctx),
             "whatif" => whatif(&mut ctx),
+            "health" => health(&mut ctx),
             other => {
                 eprintln!("unknown experiment {other:?}");
                 std::process::exit(2);
@@ -141,7 +169,7 @@ fn table1(ctx: &mut Ctx) {
     let (f_pkts, f_src, f_dst);
     {
         let f = ctx.runs.flows();
-        let ds = f.merit_flows.as_ref().expect("flow run has merit flows");
+        let ds = require(f.merit_flows.as_ref(), "merit flows", "table1");
         f_pkts = ds.router_days.values().map(|c| c.packets).sum::<u64>();
         let srcs: HashSet<_> = ds.records.iter().map(|r| r.key.src).collect();
         let dsts: HashSet<_> = ds.records.iter().map(|r| r.key.dst).collect();
@@ -168,12 +196,9 @@ fn table1(ctx: &mut Ctx) {
 /// Table 2: AH (definition 1) impact at the three Merit routers, per day.
 fn table2(ctx: &mut Ctx) {
     let flows = ctx.runs.flows();
-    let ds = flows.merit_flows.as_ref().expect("merit flows");
+    let ds = require(flows.merit_flows.as_ref(), "merit flows", "table2");
     let rows = flow_impact(ds, |day| {
-        flows
-            .report
-            .active_hitters(Definition::AddressDispersion, day)
-            .cloned()
+        flows.report.active_hitters(Definition::AddressDispersion, day).cloned()
     });
     let mut t = TextTable::new(
         "Table 2: Network impact of active AH (def. #1) at the top-3 Merit routers",
@@ -221,7 +246,7 @@ fn table2(ctx: &mut Ctx) {
 /// Table 3: protocol mix in darknet vs flow data, per definition.
 fn table3(ctx: &mut Ctx) {
     let flows = ctx.runs.flows();
-    let ds = flows.merit_flows.as_ref().expect("merit flows");
+    let ds = require(flows.merit_flows.as_ref(), "merit flows", "table3");
     let day = flows.days - 1; // the "2022-10-01" analog
     let names = ["TCP-SYN", "UDP", "ICMP Ech Rqst"];
     let mut t = TextTable::new(
@@ -233,12 +258,8 @@ fn table3(ctx: &mut Ctx) {
         let d = protocol_mix_darknet(&flows.report, def, Some(day..day + 1));
         let empty = HashSet::new();
         let hitters = flows.report.active_hitters(def, day).unwrap_or(&empty);
-        let r1_records: Vec<_> = ds
-            .records
-            .iter()
-            .filter(|r| r.router == 1 && r.day() == day)
-            .cloned()
-            .collect();
+        let r1_records: Vec<_> =
+            ds.records.iter().filter(|r| r.router == 1 && r.day() == day).cloned().collect();
         let f = protocol_mix_flow(&r1_records, hitters);
         mixes.push((d, f));
     }
@@ -257,7 +278,7 @@ fn table3(ctx: &mut Ctx) {
 /// Table 4: impact of ACKed scanners per router and definition.
 fn table4(ctx: &mut Ctx) {
     let flows = ctx.runs.flows();
-    let ds = flows.merit_flows.as_ref().expect("merit flows");
+    let ds = require(flows.merit_flows.as_ref(), "merit flows", "table4");
     let world = &flows.world;
     let acked = world.acked_list(8);
     let rdns = world.rdns(64);
@@ -416,20 +437,18 @@ fn table7(ctx: &mut Ctx) {
             &["", "D1", "D2", "D3", "D1∩D2", "D2∩D3", "D1∩D3", "D1∩D2∩D3"],
         );
         let counts: Vec<_> = sets.iter().map(|(_, s)| level_counts(s, &db)).collect();
-        let mut push = |name: &str, f: &dyn Fn(&aggressive_scanners::core::lists::LevelCounts) -> u64| {
-            let mut row = vec![name.to_string()];
-            row.extend(counts.iter().map(|c| f(c).to_string()));
-            t.row(&row);
-        };
+        let mut push =
+            |name: &str, f: &dyn Fn(&aggressive_scanners::core::lists::LevelCounts) -> u64| {
+                let mut row = vec![name.to_string()];
+                row.extend(counts.iter().map(|c| f(c).to_string()));
+                t.row(&row);
+            };
         push("IP", &|c| c.ips);
         push("ASN", &|c| c.asns);
         push("Org", &|c| c.orgs);
         push("Country", &|c| c.countries);
         println!("{}", t.render());
-        println!(
-            "Jaccard(D1, D2) = {:.2}   (paper: ≈0.8)\n",
-            jaccard(d1, d2)
-        );
+        println!("Jaccard(D1, D2) = {:.2}   (paper: ≈0.8)\n", jaccard(d1, d2));
         for (name, s) in &sets {
             let c = level_counts(s, &db);
             csv.push(vec![
@@ -448,7 +467,7 @@ fn table7(ctx: &mut Ctx) {
 /// Table 8: hitter presence per router.
 fn table8(ctx: &mut Ctx) {
     let flows = ctx.runs.flows();
-    let ds = flows.merit_flows.as_ref().expect("merit flows");
+    let ds = require(flows.merit_flows.as_ref(), "merit flows", "table8");
     let mut t = TextTable::new(
         "Table 8: active AH seen at each router (percent of population)",
         &["Day", "Def", "# AH", "Router-1", "Router-2", "Router-3"],
@@ -476,7 +495,7 @@ fn table8(ctx: &mut Ctx) {
 /// Table 9: GreyNoise tags of non-ACKed hitters.
 fn table9(ctx: &mut Ctx) {
     let gn_run = ctx.runs.gn();
-    let entries = gn_run.gn_entries.as_ref().expect("gn entries");
+    let entries = require(gn_run.gn_entries.as_ref(), "GreyNoise entries", "table9");
     let acked = gn_run.world.acked_list(8);
     let rdns = gn_run.world.rdns(64);
     let v = acked_validation(&gn_run.report, Definition::AddressDispersion, &acked, &rdns);
@@ -606,8 +625,8 @@ fn fig3(ctx: &mut Ctx) {
         let (daily, active) = run.report.mean_daily_active(Definition::AddressDispersion);
         let ah_pkts: u64 = series.iter().map(|d| d.ah_packets).sum();
         let all_pkts: u64 = series.iter().map(|d| d.all_packets).sum();
-        let avg_srcs = series.iter().map(|d| d.all_sources).sum::<u64>() as f64
-            / series.len().max(1) as f64;
+        let avg_srcs =
+            series.iter().map(|d| d.all_sources).sum::<u64>() as f64 / series.len().max(1) as f64;
         println!("## Figure 3 ({label})");
         println!("  mean daily AH/day:  {daily:.0}");
         println!("  mean active AH/day: {active:.0}");
@@ -677,7 +696,7 @@ fn fig4(ctx: &mut Ctx) {
 /// Figure 5: darknet-vs-flow port overlap scatter.
 fn fig5(ctx: &mut Ctx) {
     let flows = ctx.runs.flows();
-    let ds = flows.merit_flows.as_ref().expect("merit flows");
+    let ds = require(flows.merit_flows.as_ref(), "merit flows", "fig5");
     let day = flows.days - 1;
     let mut csv = Vec::new();
     for def in [Definition::AddressDispersion, Definition::PacketVolume] {
@@ -711,7 +730,7 @@ fn fig5(ctx: &mut Ctx) {
 fn whatif(ctx: &mut Ctx) {
     use std::collections::HashMap;
     let flows = ctx.runs.flows();
-    let ds = flows.merit_flows.as_ref().expect("merit flows");
+    let ds = require(flows.merit_flows.as_ref(), "merit flows", "whatif");
     let def = Definition::AddressDispersion;
     // Rank hitters by darknet packets (what the telescope operator knows).
     let mut pkts_by_src: HashMap<aggressive_scanners::net::ipv4::Ipv4Addr4, u64> = HashMap::new();
@@ -737,10 +756,8 @@ fn whatif(ctx: &mut Ctx) {
     let mut csv = Vec::new();
     for n in [1usize, 2, 5, 10, 25, 50, ranked.len()] {
         let n = n.min(ranked.len());
-        let removed: u64 = ranked[..n]
-            .iter()
-            .map(|&(ip, _)| router_pkts.get(&ip).copied().unwrap_or(0))
-            .sum();
+        let removed: u64 =
+            ranked[..n].iter().map(|&(ip, _)| router_pkts.get(&ip).copied().unwrap_or(0)).sum();
         let pct = if total_ah_router == 0 {
             0.0
         } else {
@@ -764,8 +781,8 @@ fn whatif(ctx: &mut Ctx) {
 /// Figure 6: GreyNoise breakdown (left) and traffic concentration (right).
 fn fig6(ctx: &mut Ctx) {
     let run = ctx.runs.gn();
-    let entries = run.gn_entries.as_ref().expect("gn entries");
-    let seen = run.gn_seen.as_ref().expect("gn seen");
+    let entries = require(run.gn_entries.as_ref(), "GreyNoise entries", "fig6");
+    let seen = require(run.gn_seen.as_ref(), "GreyNoise seen-set", "fig6");
     let acked = run.world.acked_list(8);
     let rdns = run.world.rdns(64);
     let v = acked_validation(&run.report, Definition::AddressDispersion, &acked, &rdns);
@@ -781,12 +798,7 @@ fn fig6(ctx: &mut Ctx) {
     t.row(&["benign", &b.benign.to_string(), &fmt_pct(100.0 * b.benign as f64 / total)]);
     t.row(&["not in GN", &b.absent.to_string(), &fmt_pct(100.0 * b.absent as f64 / total)]);
     println!("{}", t.render());
-    let overlap = daily_gn_overlap(
-        &run.report,
-        Definition::AddressDispersion,
-        seen,
-        0..run.days,
-    );
+    let overlap = daily_gn_overlap(&run.report, Definition::AddressDispersion, seen, 0..run.days);
     println!("Average daily AH∩GN overlap: {:.1}% (paper: 99.3%)\n", 100.0 * overlap);
 
     let z = zipf_concentration(&run.report, Definition::AddressDispersion);
@@ -813,5 +825,50 @@ fn fig6(ctx: &mut Ctx) {
             vec!["benign".into(), b.benign.to_string()],
             vec!["absent".into(), b.absent.to_string()],
         ],
+    );
+}
+
+/// Pipeline health: graceful-degradation ledgers for a pristine run and
+/// a 1%-fault chaos run of the same scenario, side by side.
+fn health(ctx: &mut Ctx) {
+    use aggressive_scanners::core::defs::Thresholds;
+    use aggressive_scanners::pipeline::{self, RunOptions};
+    use aggressive_scanners::simnet::faults::FaultPlan;
+    use aggressive_scanners::simnet::scenario::ScenarioConfig;
+    let thresholds =
+        Thresholds { dispersion_fraction: 0.10, volume_alpha: 0.01, ports_alpha: 0.01 };
+    let opts = RunOptions::full().with_thresholds(thresholds);
+    let mut csv = Vec::new();
+    for (label, faults) in
+        [("clean", None), ("faults-1pct", Some(FaultPlan::uniform(0.01, ctx.seed)))]
+    {
+        eprintln!("[run] health {label} (3 days)...");
+        let mut o = opts;
+        if let Some(plan) = faults {
+            o = o.with_faults(plan);
+        }
+        let out = pipeline::run(ScenarioConfig::tiny(3, ctx.seed ^ 0x6ea1), o);
+        println!("## Pipeline health ({label})");
+        print!("{}", out.health.render());
+        println!(
+            "conservation: {}\n",
+            if out.health.conserves() { "every stage balances" } else { "VIOLATED" }
+        );
+        for s in &out.health.stages {
+            csv.push(vec![
+                label.to_string(),
+                s.stage.clone(),
+                s.received.to_string(),
+                s.accepted.to_string(),
+                s.repaired.to_string(),
+                s.quarantined.to_string(),
+                s.discarded_total().to_string(),
+            ]);
+        }
+    }
+    ctx.csv(
+        "health.csv",
+        &["run", "stage", "received", "accepted", "repaired", "quarantined", "discarded"],
+        &csv,
     );
 }

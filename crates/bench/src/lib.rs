@@ -85,10 +85,7 @@ impl Runs {
     pub fn flows(&mut self) -> &RunOutput {
         let (spans, seed) = (self.spans, self.seed);
         self.flows.get_or_insert_with(|| {
-            eprintln!(
-                "[run] flow week (1 warm-up + {} days, Merit benign)...",
-                spans.flow_days
-            );
+            eprintln!("[run] flow week (1 warm-up + {} days, Merit benign)...", spans.flow_days);
             pipeline::run(
                 ScenarioConfig::flows(spans.flow_days + 1, seed ^ 0xf10f),
                 RunOptions::with_flows(),
@@ -104,10 +101,7 @@ impl Runs {
             let mut cfg = ScenarioConfig::darknet(Year::Y2022, spans.gn_days, seed ^ 0x60e5);
             cfg.label = "gn-month".into();
             cfg.benign = BenignLevel::Off;
-            pipeline::run(
-                cfg,
-                RunOptions { merit_isp: false, cu_isp: false, greynoise: true, sampling_rate: 100 },
-            )
+            pipeline::run(cfg, RunOptions { greynoise: true, ..RunOptions::darknet_only() })
         })
     }
 

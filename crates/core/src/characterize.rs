@@ -159,7 +159,13 @@ pub fn top_ports(report: &AhReport, def: Definition, n: usize) -> Vec<PortRow> {
     }
     let mut rows: Vec<PortRow> = map
         .into_iter()
-        .map(|((class, port), (zmap, masscan, other))| PortRow { class, port, zmap, masscan, other })
+        .map(|((class, port), (zmap, masscan, other))| PortRow {
+            class,
+            port,
+            zmap,
+            masscan,
+            other,
+        })
         .collect();
     rows.sort_by(|a, b| b.total().cmp(&a.total()).then(a.port.cmp(&b.port)));
     rows.truncate(n);
@@ -277,8 +283,7 @@ pub fn port_overlap(
     let mut flow: BTreeMap<(u8, u16), u64> = BTreeMap::new();
     for r in flow_records {
         if r.day() == day && hitters.contains(&r.key.src) && flow_scan_bucket(r).is_some() {
-            *flow.entry((r.key.protocol, r.key.dst_port)).or_default() +=
-                r.packets * sampling_rate;
+            *flow.entry((r.key.protocol, r.key.dst_port)).or_default() += r.packets * sampling_rate;
         }
     }
     let keys: std::collections::BTreeSet<(u8, u16)> =
@@ -328,7 +333,14 @@ mod tests {
 
     const DARK: u32 = 1000;
 
-    fn event(src: u8, port: u16, day: u64, packets: u64, unique: u32, tools: ToolCounts) -> DarknetEvent {
+    fn event(
+        src: u8,
+        port: u16,
+        day: u64,
+        packets: u64,
+        unique: u32,
+        tools: ToolCounts,
+    ) -> DarknetEvent {
         DarknetEvent {
             key: EventKey {
                 src: Ipv4Addr4::new(100, 64, 0, src),
@@ -359,11 +371,21 @@ mod tests {
         let mut db = AsnDb::new();
         db.announce(
             "100.64.0.0/25".parse().unwrap(),
-            AsInfo { asn: 1, org: "CloudA".into(), as_type: AsType::Cloud, country: CountryCode::new(b"US") },
+            AsInfo {
+                asn: 1,
+                org: "CloudA".into(),
+                as_type: AsType::Cloud,
+                country: CountryCode::new(b"US"),
+            },
         );
         db.announce(
             "100.64.0.128/25".parse().unwrap(),
-            AsInfo { asn: 2, org: "IspB".into(), as_type: AsType::Isp, country: CountryCode::new(b"CN") },
+            AsInfo {
+                asn: 2,
+                org: "IspB".into(),
+                as_type: AsType::Isp,
+                country: CountryCode::new(b"CN"),
+            },
         );
         db
     }

@@ -17,11 +17,8 @@ pub enum Definition {
 
 impl Definition {
     /// All three, in paper order.
-    pub const ALL: [Definition; 3] = [
-        Definition::AddressDispersion,
-        Definition::PacketVolume,
-        Definition::DistinctPorts,
-    ];
+    pub const ALL: [Definition; 3] =
+        [Definition::AddressDispersion, Definition::PacketVolume, Definition::DistinctPorts];
 
     /// Index 0..3 for array-keyed storage.
     pub fn index(self) -> usize {

@@ -159,8 +159,7 @@ impl Detector {
                 i = j;
             }
         }
-        let ports_ecdf =
-            Ecdf::from_samples(ports_per_srcday.iter().map(|&(_, _, c)| c).collect());
+        let ports_ecdf = Ecdf::from_samples(ports_per_srcday.iter().map(|&(_, _, c)| c).collect());
         // Floor of 2: a degenerate percentile of 1 port/day (possible in
         // small datasets where almost every source probes one port) would
         // otherwise declare the entire population aggressive.
@@ -360,7 +359,7 @@ mod tests {
     fn d1_requires_ten_percent_dispersion() {
         let mut d = detector();
         d.ingest(&ev(1, 23, 0, 500, 100)); // exactly 10%
-        d.ingest(&ev(2, 23, 0, 500, 99));  // just under
+        d.ingest(&ev(2, 23, 0, 500, 99)); // just under
         let r = d.finalize();
         let set = r.hitters(Definition::AddressDispersion);
         assert!(set.contains(&Ipv4Addr4::new(10, 0, 0, 1)));
@@ -444,8 +443,8 @@ mod tests {
     fn ah_packets_attributed_to_start_day() {
         let mut d = detector();
         d.ingest(&ev(1, 23, 2, 700, 150)); // qualifying
-        d.ingest(&ev(1, 22, 2, 50, 3));    // same src, same day, non-qualifying event
-        d.ingest(&ev(2, 23, 2, 60, 3));    // non-hitter
+        d.ingest(&ev(1, 22, 2, 50, 3)); // same src, same day, non-qualifying event
+        d.ingest(&ev(2, 23, 2, 60, 3)); // non-hitter
         let r = d.finalize();
         // All packets of the daily hitter count, including its small event.
         assert_eq!(r.ah_packets(Definition::AddressDispersion, 2), 750);

@@ -246,18 +246,20 @@ mod tests {
     /// Build a FlowDataset by pushing packets through a real cache.
     fn dataset(packets: &[(Ipv4Addr4, u64, u8)], totals: &[((RouterId, u64), u64)]) -> FlowDataset {
         let mut caches: HashMap<u8, FlowCache> = HashMap::new();
-        for &(src, day, router) in packets {
+        // Stagger timestamps: byte-identical packets at the same µs would
+        // be suppressed by the cache as wire duplicates.
+        for (i, &(src, day, router)) in packets.iter().enumerate() {
             let pkt = PacketMeta::tcp_syn(
-                Ts::from_days(day) + Dur::from_secs(60),
+                Ts::from_days(day) + Dur::from_secs(60) + Dur::from_millis(i as u64),
                 src,
                 user(),
                 4000,
                 23,
             );
-            caches.entry(router).or_insert_with(|| FlowCache::new(router)).observe(
-                &pkt,
-                Direction::Ingress,
-            );
+            caches
+                .entry(router)
+                .or_insert_with(|| FlowCache::new(router))
+                .observe(&pkt, Direction::Ingress);
         }
         let mut records = Vec::new();
         for (_, mut c) in caches {
@@ -295,9 +297,7 @@ mod tests {
     fn flow_impact_day_specific_population() {
         let ds = dataset(&[(ip(1), 0, 1), (ip(1), 1, 1)], &[((1, 0), 100), ((1, 1), 100)]);
         // ip(1) is a hitter on day 0 only.
-        let rows = flow_impact(&ds, |day| {
-            (day == 0).then(|| [ip(1)].into_iter().collect())
-        });
+        let rows = flow_impact(&ds, |day| (day == 0).then(|| [ip(1)].into_iter().collect()));
         let d0 = rows.iter().find(|r| r.day == 0).unwrap();
         let d1 = rows.iter().find(|r| r.day == 1).unwrap();
         assert!(d0.ah_packets > 0);
@@ -307,10 +307,8 @@ mod tests {
     #[test]
     fn presence_fractions() {
         // ip(1) seen at routers 1 and 2; ip(2) only at router 1.
-        let ds = dataset(
-            &[(ip(1), 0, 1), (ip(1), 0, 2), (ip(2), 0, 1)],
-            &[((1, 0), 10), ((2, 0), 10)],
-        );
+        let ds =
+            dataset(&[(ip(1), 0, 1), (ip(1), 0, 2), (ip(2), 0, 1)], &[((1, 0), 10), ((2, 0), 10)]);
         let pop: HashSet<_> = [ip(1), ip(2), ip(3)].into_iter().collect();
         let rows = presence(&ds, |_| Some(pop.clone()));
         assert_eq!(rows.len(), 1);
@@ -346,13 +344,7 @@ mod tests {
         let mut tap = TapAnalyzer::new(ah, Ts::from_secs(100));
         // Second 0: 3 packets, 1 from the hitter. Second 2: 2 packets, both hitter.
         for (src, at) in [(ip(1), 0u64), (ip(2), 0), (ip(3), 0), (ip(1), 2), (ip(1), 2)] {
-            tap.observe(&PacketMeta::tcp_syn(
-                Ts::from_secs(100 + at),
-                src,
-                user(),
-                1,
-                23,
-            ));
+            tap.observe(&PacketMeta::tcp_syn(Ts::from_secs(100 + at), src, user(), 1, 23));
         }
         let s = tap.series();
         assert_eq!(s.bins.len(), 3);

@@ -19,6 +19,8 @@
 //! * [`defs`] — the three aggressive-hitter definitions;
 //! * [`detector`] — streaming event compaction and list finalization;
 //! * [`lists`] — set algebra over hitter lists (Jaccard, intersections);
+//! * [`health`] — per-stage graceful-degradation ledgers (received /
+//!   accepted / repaired / quarantined / discarded-by-category);
 //! * [`impact`] — joins against flow datasets and live packet taps;
 //! * [`characterize`] — origins, port profiles, temporal trends, Zipf;
 //! * [`validate`] — acknowledged-scanner and honeypot cross-validation;
@@ -28,6 +30,7 @@ pub mod characterize;
 pub mod defs;
 pub mod detector;
 pub mod ecdf;
+pub mod health;
 pub mod impact;
 pub mod lists;
 pub mod report;
@@ -36,3 +39,4 @@ pub mod validate;
 pub use defs::{Definition, Thresholds};
 pub use detector::{AhReport, Detector, DetectorConfig, EventRecord};
 pub use ecdf::Ecdf;
+pub use health::{PipelineHealth, StageHealth};

@@ -99,11 +99,21 @@ mod tests {
         let mut db = AsnDb::new();
         db.announce(
             "100.64.0.0/25".parse().unwrap(),
-            AsInfo { asn: 1, org: "A".into(), as_type: AsType::Cloud, country: CountryCode::new(b"US") },
+            AsInfo {
+                asn: 1,
+                org: "A".into(),
+                as_type: AsType::Cloud,
+                country: CountryCode::new(b"US"),
+            },
         );
         db.announce(
             "100.64.0.128/25".parse().unwrap(),
-            AsInfo { asn: 2, org: "B".into(), as_type: AsType::Isp, country: CountryCode::new(b"US") },
+            AsInfo {
+                asn: 2,
+                org: "B".into(),
+                as_type: AsType::Isp,
+                country: CountryCode::new(b"US"),
+            },
         );
         let s = set(&[1, 2, 130, 131]);
         let c = level_counts(&s, &db);

@@ -86,11 +86,7 @@ impl TextTable {
 
 /// Write rows as CSV (minimal quoting: fields containing commas, quotes
 /// or newlines are quoted with doubled inner quotes).
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }

@@ -4,6 +4,13 @@
 //! when idle past the *inactive timeout*, when they live past the
 //! *active timeout* (long flows are chopped so collectors see them
 //! periodically), or when the trace ends.
+//!
+//! The cache is robust to the two impairments mirror ports actually
+//! produce: *exact duplicates* (same timestamp, IP ID and length as the
+//! packet just accounted to the flow) are suppressed and counted rather
+//! than double-billed, and *reordered* packets merge into their flow
+//! without splitting it — a packet older than the flow's recorded start
+//! repairs `first` backwards. All of it is tallied in [`CacheStats`].
 
 use crate::record::{FlowKey, FlowRecord};
 use crate::router::Direction;
@@ -15,6 +22,44 @@ use std::collections::HashMap;
 pub const DEFAULT_ACTIVE_TIMEOUT: Dur = Dur::from_mins(30);
 pub const DEFAULT_INACTIVE_TIMEOUT: Dur = Dur::from_secs(15);
 
+/// Input-fate counters for one flow cache.
+///
+/// Conservation: `received == accepted + duplicates_suppressed`;
+/// `late_accepted` and `first_repaired` are subsets of `accepted`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Sampled packets offered via `observe`.
+    pub received: u64,
+    /// Packets accounted to a flow entry.
+    pub accepted: u64,
+    /// Exact duplicates of the previous packet in their flow, suppressed.
+    pub duplicates_suppressed: u64,
+    /// Accepted packets that arrived behind the cache's watermark.
+    pub late_accepted: u64,
+    /// Accepted packets that moved a flow's `first` timestamp earlier.
+    pub first_repaired: u64,
+}
+
+impl CacheStats {
+    /// Fold another cache's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.received += other.received;
+        self.accepted += other.accepted;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.late_accepted += other.late_accepted;
+        self.first_repaired += other.first_repaired;
+    }
+
+    /// The conservation identity.
+    pub fn conserves(&self) -> bool {
+        self.received == self.accepted + self.duplicates_suppressed
+    }
+}
+
+/// Identity of the last packet accounted to a flow, used to recognize
+/// exact mirror-port duplicates.
+type PacketSig = (Ts, u16, u16);
+
 struct Entry {
     first: Ts,
     last: Ts,
@@ -22,6 +67,7 @@ struct Entry {
     bytes: u64,
     tcp_flags: u8,
     direction: Direction,
+    last_sig: PacketSig,
 }
 
 /// A per-router flow cache.
@@ -32,6 +78,9 @@ pub struct FlowCache {
     entries: HashMap<FlowKey, Entry>,
     exported: Vec<FlowRecord>,
     last_sweep: Ts,
+    /// Newest packet timestamp seen so far.
+    watermark: Ts,
+    stats: CacheStats,
 }
 
 impl FlowCache {
@@ -49,21 +98,44 @@ impl FlowCache {
             entries: HashMap::new(),
             exported: Vec::new(),
             last_sweep: Ts::ZERO,
+            watermark: Ts::ZERO,
+            stats: CacheStats::default(),
         }
     }
 
-    /// Account one *sampled* packet.
+    /// Input-fate counters (duplicate/reorder accounting).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Account one *sampled* packet. Exact duplicates of the previous
+    /// packet in their flow are suppressed; reordered packets merge into
+    /// their flow (repairing `first` if needed) instead of splitting it.
     pub fn observe(&mut self, pkt: &PacketMeta, direction: Direction) {
-        if pkt.ts.since(self.last_sweep) >= self.inactive_timeout {
-            self.sweep(pkt.ts);
+        self.stats.received += 1;
+        let late = pkt.ts < self.watermark;
+        self.watermark = self.watermark.max(pkt.ts);
+        // Sweep on the watermark so a reordered packet cannot rewind or
+        // re-trigger the sweep schedule.
+        if self.watermark.since(self.last_sweep) >= self.inactive_timeout {
+            self.sweep(self.watermark);
         }
         let key = FlowKey::of(pkt);
         let flags = match pkt.transport {
             Transport::Tcp { flags, .. } => flags.0,
             _ => 0,
         };
+        let sig: PacketSig = (pkt.ts, pkt.ip_id, pkt.wire_len);
         match self.entries.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
+                if e.get().last_sig == sig && e.get().direction == direction {
+                    self.stats.duplicates_suppressed += 1;
+                    return;
+                }
+                self.stats.accepted += 1;
+                if late {
+                    self.stats.late_accepted += 1;
+                }
                 let needs_cut = {
                     let en = e.get();
                     pkt.ts.since(en.last) > self.inactive_timeout
@@ -73,22 +145,31 @@ impl FlowCache {
                 if needs_cut {
                     let (k, en) = (key, e.remove());
                     self.exported.push(Self::export(self.router, k, en));
-                    self.entries.insert(key, Self::fresh(pkt, flags, direction));
+                    self.entries.insert(key, Self::fresh(pkt, flags, direction, sig));
                 } else {
                     let en = e.get_mut();
+                    if pkt.ts < en.first {
+                        en.first = pkt.ts;
+                        self.stats.first_repaired += 1;
+                    }
                     en.last = en.last.max(pkt.ts);
                     en.packets += 1;
                     en.bytes += u64::from(pkt.wire_len);
                     en.tcp_flags |= flags;
+                    en.last_sig = sig;
                 }
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(Self::fresh(pkt, flags, direction));
+                self.stats.accepted += 1;
+                if late {
+                    self.stats.late_accepted += 1;
+                }
+                v.insert(Self::fresh(pkt, flags, direction, sig));
             }
         }
     }
 
-    fn fresh(pkt: &PacketMeta, flags: u8, direction: Direction) -> Entry {
+    fn fresh(pkt: &PacketMeta, flags: u8, direction: Direction, sig: PacketSig) -> Entry {
         Entry {
             first: pkt.ts,
             last: pkt.ts,
@@ -96,6 +177,7 @@ impl FlowCache {
             bytes: u64::from(pkt.wire_len),
             tcp_flags: flags,
             direction,
+            last_sig: sig,
         }
     }
 
@@ -229,6 +311,67 @@ mod tests {
         c.sweep(Ts::from_secs(100));
         assert_eq!(c.active_flows(), 0);
         assert_eq!(c.drain().len(), 1);
+    }
+
+    #[test]
+    fn exact_duplicates_are_suppressed() {
+        let mut c = FlowCache::new(1);
+        let p = pkt(1, 80);
+        c.observe(&p, Direction::Ingress);
+        c.observe(&p, Direction::Ingress); // mirror-port duplicate
+        c.observe(&p, Direction::Ingress);
+        let s = c.stats();
+        assert_eq!(s.received, 3);
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.duplicates_suppressed, 2);
+        assert!(s.conserves());
+        let recs = c.flush();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].packets, 1, "duplicates must not be double-billed");
+        assert_eq!(recs[0].bytes, 40);
+    }
+
+    #[test]
+    fn retransmission_with_new_ip_id_is_not_a_duplicate() {
+        let mut c = FlowCache::new(1);
+        let p1 = pkt(1, 80);
+        let mut p2 = pkt(1, 80);
+        p2.ip_id = p1.ip_id.wrapping_add(1); // genuine retransmission
+        c.observe(&p1, Direction::Ingress);
+        c.observe(&p2, Direction::Ingress);
+        assert_eq!(c.stats().duplicates_suppressed, 0);
+        assert_eq!(c.flush()[0].packets, 2);
+    }
+
+    #[test]
+    fn reordered_packet_merges_and_repairs_first() {
+        let mut c = FlowCache::new(1);
+        c.observe(&pkt(10, 80), Direction::Ingress);
+        c.observe(&pkt(5, 80), Direction::Ingress); // arrives late
+        let s = c.stats();
+        assert_eq!(s.late_accepted, 1);
+        assert_eq!(s.first_repaired, 1);
+        let recs = c.flush();
+        assert_eq!(recs.len(), 1, "reordering must not split the flow");
+        assert_eq!(recs[0].first, Ts::from_secs(5));
+        assert_eq!(recs[0].last, Ts::from_secs(10));
+        assert_eq!(recs[0].packets, 2);
+    }
+
+    #[test]
+    fn stats_conserve_under_mixed_input() {
+        let mut c = FlowCache::new(1);
+        let p = pkt(0, 80);
+        c.observe(&p, Direction::Ingress);
+        c.observe(&p, Direction::Ingress); // duplicate
+        c.observe(&pkt(3, 443), Direction::Ingress);
+        c.observe(&pkt(1, 80), Direction::Ingress); // late
+        c.observe(&pkt(30, 80), Direction::Ingress); // inactive split
+        let s = c.stats();
+        assert_eq!(s.received, 5);
+        assert!(s.conserves());
+        let total: u64 = c.flush().iter().map(|r| r.packets).sum();
+        assert_eq!(total, s.accepted, "every accepted packet lands in a record");
     }
 
     #[test]

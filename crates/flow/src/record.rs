@@ -118,7 +118,11 @@ pub fn encode_v5(
 /// Decode a NetFlow v5 export packet back into flow records.
 pub fn decode_v5(data: &[u8]) -> Result<Vec<FlowRecord>> {
     if data.len() < V5_HEADER_LEN {
-        return Err(NetError::Truncated { layer: "netflow-v5", needed: V5_HEADER_LEN, got: data.len() });
+        return Err(NetError::Truncated {
+            layer: "netflow-v5",
+            needed: V5_HEADER_LEN,
+            got: data.len(),
+        });
     }
     let version = u16::from_be_bytes([data[0], data[1]]);
     if version != 5 {

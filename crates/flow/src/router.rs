@@ -13,7 +13,7 @@
 //! caches — never reaches them. That bypass is what "amplifies" scanner
 //! impact percentages at Merit relative to the cache-less CU network.
 
-use crate::cache::FlowCache;
+use crate::cache::{CacheStats, FlowCache};
 use crate::record::FlowRecord;
 use crate::sampler::Sampler;
 use ah_net::ipv4::Ipv4Addr4;
@@ -81,6 +81,11 @@ impl BorderRouter {
     /// All per-day counters.
     pub fn day_counters(&self) -> &HashMap<u64, RouterDayCounter> {
         &self.day_counters
+    }
+
+    /// This router's flow-cache input-fate counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 
@@ -233,6 +238,16 @@ impl IspModel {
         }
     }
 
+    /// Flow-cache input-fate counters aggregated over all border routers.
+    /// Read before [`IspModel::finish`] consumes the model.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for r in &self.routers {
+            total.merge(&r.cache.stats());
+        }
+        total
+    }
+
     /// Internal (border-bypassing) packets for a day.
     pub fn internal_packets(&self, day: u64) -> u64 {
         self.internal_by_day.get(&day).copied().unwrap_or(0)
@@ -290,10 +305,7 @@ mod tests {
     fn isp() -> IspModel {
         IspModel::new(IspConfig::with_prefix_routes(
             PrefixSet::from_prefixes(vec!["10.0.0.0/8".parse().unwrap()]),
-            vec![
-                ("100.0.0.0/8".parse().unwrap(), 1),
-                ("200.0.0.0/8".parse().unwrap(), 2),
-            ],
+            vec![("100.0.0.0/8".parse().unwrap(), 1), ("200.0.0.0/8".parse().unwrap(), 2)],
             3,
             vec![1, 2, 3],
             10,
@@ -317,23 +329,14 @@ mod tests {
             m.observe(&pkt(EU_SCANNER, USER, 0)),
             Disposition::Border(1, Direction::Ingress)
         );
-        assert_eq!(
-            m.observe(&pkt(US_HOST, USER, 0)),
-            Disposition::Border(2, Direction::Ingress)
-        );
-        assert_eq!(
-            m.observe(&pkt(ELSEWHERE, USER, 0)),
-            Disposition::Border(3, Direction::Ingress)
-        );
+        assert_eq!(m.observe(&pkt(US_HOST, USER, 0)), Disposition::Border(2, Direction::Ingress));
+        assert_eq!(m.observe(&pkt(ELSEWHERE, USER, 0)), Disposition::Border(3, Direction::Ingress));
     }
 
     #[test]
     fn egress_routes_by_destination_prefix() {
         let mut m = isp();
-        assert_eq!(
-            m.observe(&pkt(USER, EU_SCANNER, 0)),
-            Disposition::Border(1, Direction::Egress)
-        );
+        assert_eq!(m.observe(&pkt(USER, EU_SCANNER, 0)), Disposition::Border(1, Direction::Egress));
     }
 
     #[test]
@@ -403,6 +406,28 @@ mod tests {
         m.observe(&pkt(EU_SCANNER, USER, 0));
         let ds = m.finish();
         assert_eq!(ds.router_day_keys(), vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn cache_stats_aggregate_across_routers() {
+        let mut m = IspModel::new(IspConfig::with_prefix_routes(
+            PrefixSet::from_prefixes(vec!["10.0.0.0/8".parse().unwrap()]),
+            vec![("100.0.0.0/8".parse().unwrap(), 1), ("200.0.0.0/8".parse().unwrap(), 2)],
+            1,
+            vec![1, 2],
+            1, // unsampled: every border packet reaches a cache
+        ));
+        let a = pkt(EU_SCANNER, USER, 0);
+        let b = pkt(US_HOST, USER, 0);
+        m.observe(&a);
+        m.observe(&a); // duplicate at router 1
+        m.observe(&b);
+        let s = m.cache_stats();
+        assert_eq!(s.received, 3);
+        assert_eq!(s.duplicates_suppressed, 1);
+        assert!(s.conserves());
+        assert_eq!(m.router(1).unwrap().cache_stats().duplicates_suppressed, 1);
+        assert_eq!(m.router(2).unwrap().cache_stats().received, 1);
     }
 
     #[test]

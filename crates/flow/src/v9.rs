@@ -8,6 +8,12 @@
 //! learns templates from the stream (as real collectors must — data
 //! arriving before its template is undecodable and reported as such).
 //!
+//! Data FlowSets that arrive before their template are *buffered* in a
+//! bounded FIFO ([`DEFAULT_PENDING_CAP`] sets) and replayed the moment
+//! the template is learned, so a reordered template packet costs
+//! nothing. When the buffer is full the oldest set is evicted and
+//! counted in `evicted_sets` — bounded memory, accounted loss.
+//!
 //! Field types used (RFC 3954 §8): IN_BYTES(1), IN_PKTS(2), PROTOCOL(4),
 //! TCP_FLAGS(6), L4_SRC_PORT(7), IPV4_SRC_ADDR(8), L4_DST_PORT(11),
 //! IPV4_DST_ADDR(12), LAST_SWITCHED(21), FIRST_SWITCHED(22),
@@ -18,10 +24,14 @@ use crate::router::Direction;
 use ah_net::error::{NetError, Result};
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::time::Ts;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// The template id we export under (ids < 256 are reserved).
 pub const TEMPLATE_ID: u16 = 260;
+
+/// Default bound on data FlowSets buffered while waiting for their
+/// template.
+pub const DEFAULT_PENDING_CAP: usize = 64;
 
 /// (field type, length) pairs of the exported template, in order.
 const FIELDS: &[(u16, u16)] = &[
@@ -101,12 +111,27 @@ pub fn encode_v9(
 }
 
 /// A stateful v9 decoder: learns templates from the stream.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct V9Decoder {
     /// template id -> (field type, length) list.
     templates: HashMap<u16, Vec<(u16, u16)>>,
-    /// Data FlowSets seen before their template arrived.
+    /// Data FlowSets waiting for their template: (template id, body,
+    /// router). Bounded FIFO.
+    pending: VecDeque<(u16, Vec<u8>, u8)>,
+    pending_cap: usize,
+    /// Data FlowSets seen before their template arrived (whether later
+    /// replayed, evicted, or still pending).
     pub undecodable_sets: u64,
+    /// Pending sets evicted because the buffer was full: permanent loss.
+    pub evicted_sets: u64,
+    /// Pending sets successfully decoded once their template arrived.
+    pub replayed_sets: u64,
+}
+
+impl Default for V9Decoder {
+    fn default() -> V9Decoder {
+        V9Decoder::with_pending_cap(DEFAULT_PENDING_CAP)
+    }
 }
 
 impl V9Decoder {
@@ -114,9 +139,27 @@ impl V9Decoder {
         V9Decoder::default()
     }
 
+    /// A decoder whose data-before-template buffer holds at most `cap`
+    /// FlowSets.
+    pub fn with_pending_cap(cap: usize) -> V9Decoder {
+        V9Decoder {
+            templates: HashMap::new(),
+            pending: VecDeque::new(),
+            pending_cap: cap,
+            undecodable_sets: 0,
+            evicted_sets: 0,
+            replayed_sets: 0,
+        }
+    }
+
     /// Number of templates learned.
     pub fn template_count(&self) -> usize {
         self.templates.len()
+    }
+
+    /// Data FlowSets currently buffered awaiting a template.
+    pub fn pending_sets(&self) -> usize {
+        self.pending.len()
     }
 
     /// Decode one export packet, learning templates and returning the
@@ -145,13 +188,17 @@ impl V9Decoder {
             }
             let body = &data[off + 4..off + set_len];
             match set_id {
-                0 => self.learn_templates(body)?,
+                0 => {
+                    self.learn_templates(body)?;
+                    self.replay_pending(&mut records)?;
+                }
                 1 => {} // options templates: skipped
                 id if id >= 256 => {
                     if let Some(fields) = self.templates.get(&id).cloned() {
                         records.extend(self.decode_data(body, &fields, router)?);
                     } else {
                         self.undecodable_sets += 1;
+                        self.buffer_pending(id, body.to_vec(), router);
                     }
                 }
                 _ => {}
@@ -159,6 +206,38 @@ impl V9Decoder {
             off += set_len;
         }
         Ok(records)
+    }
+
+    /// Buffer a data FlowSet until its template shows up, evicting the
+    /// oldest pending set when the bounded buffer is full.
+    fn buffer_pending(&mut self, template: u16, body: Vec<u8>, router: u8) {
+        if self.pending_cap == 0 {
+            self.evicted_sets += 1;
+            return;
+        }
+        if self.pending.len() >= self.pending_cap {
+            self.pending.pop_front();
+            self.evicted_sets += 1;
+        }
+        self.pending.push_back((template, body, router));
+    }
+
+    /// Decode every pending set whose template is now known, in arrival
+    /// order, appending the recovered records.
+    fn replay_pending(&mut self, records: &mut Vec<FlowRecord>) -> Result<()> {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let template = self.pending[i].0;
+            let Some(fields) = self.templates.get(&template).cloned() else {
+                i += 1;
+                continue;
+            };
+            if let Some((_, body, router)) = self.pending.remove(i) {
+                records.extend(self.decode_data(&body, &fields, router)?);
+                self.replayed_sets += 1;
+            }
+        }
+        Ok(())
     }
 
     fn learn_templates(&mut self, mut body: &[u8]) -> Result<()> {
@@ -255,7 +334,7 @@ mod tests {
                 protocol: 6,
             },
             router: 2,
-            direction: if n % 2 == 0 { Direction::Ingress } else { Direction::Egress },
+            direction: if n.is_multiple_of(2) { Direction::Ingress } else { Direction::Egress },
             first: Ts::from_millis(10_000 + u64::from(n)),
             last: Ts::from_millis(20_000 + u64::from(n)),
             packets: 7 + u64::from(n),
@@ -276,21 +355,59 @@ mod tests {
     }
 
     #[test]
-    fn data_before_template_is_undecodable_then_learned() {
+    fn data_before_template_is_buffered_then_replayed() {
         let records: Vec<_> = (0..3).map(rec).collect();
         let data_only = encode_v9(&records, Ts::from_secs(1), 1, 2, false);
         let with_tpl = encode_v9(&records, Ts::from_secs(2), 2, 2, true);
         let mut dec = V9Decoder::new();
-        // First packet: no template yet.
+        // First packet: no template yet — buffered, nothing returned.
         let got = dec.decode(&data_only, 2).unwrap();
         assert!(got.is_empty());
         assert_eq!(dec.undecodable_sets, 1);
-        // Template arrives; same data decodes.
+        assert_eq!(dec.pending_sets(), 1);
+        // Template arrives: the buffered set is replayed ahead of the
+        // packet's own records — nothing was lost to the reordering.
         let got = dec.decode(&with_tpl, 2).unwrap();
-        assert_eq!(got, records);
-        // And later data-only packets decode too.
+        assert_eq!(got.len(), 6);
+        assert_eq!(&got[..3], &records[..]);
+        assert_eq!(&got[3..], &records[..]);
+        assert_eq!(dec.replayed_sets, 1);
+        assert_eq!(dec.pending_sets(), 0);
+        assert_eq!(dec.evicted_sets, 0);
+        // And later data-only packets decode directly.
         let got = dec.decode(&data_only, 2).unwrap();
         assert_eq!(got, records);
+    }
+
+    #[test]
+    fn pending_buffer_evicts_oldest_beyond_cap() {
+        let mut dec = V9Decoder::with_pending_cap(2);
+        let packets: Vec<Vec<u8>> = (0..3)
+            .map(|n| encode_v9(&[rec(n)], Ts::from_secs(u64::from(n) + 1), u32::from(n), 2, false))
+            .collect();
+        for p in &packets {
+            assert!(dec.decode(p, 2).unwrap().is_empty());
+        }
+        assert_eq!(dec.undecodable_sets, 3);
+        assert_eq!(dec.pending_sets(), 2);
+        assert_eq!(dec.evicted_sets, 1, "oldest set evicted at the cap");
+        // Template arrives alone: only the two retained sets replay.
+        let tpl_only = encode_v9(&[], Ts::from_secs(9), 9, 2, true);
+        let got = dec.decode(&tpl_only, 2).unwrap();
+        assert_eq!(got, vec![rec(1), rec(2)]);
+        assert_eq!(dec.replayed_sets, 2);
+        assert_eq!(dec.pending_sets(), 0);
+        // Ledger: every undecodable set was either replayed or evicted.
+        assert_eq!(dec.undecodable_sets, dec.replayed_sets + dec.evicted_sets);
+    }
+
+    #[test]
+    fn zero_pending_cap_discards_immediately() {
+        let mut dec = V9Decoder::with_pending_cap(0);
+        let data_only = encode_v9(&[rec(0)], Ts::from_secs(1), 1, 2, false);
+        assert!(dec.decode(&data_only, 2).unwrap().is_empty());
+        assert_eq!(dec.pending_sets(), 0);
+        assert_eq!(dec.evicted_sets, 1);
     }
 
     #[test]

@@ -145,10 +145,7 @@ mod tests {
         let extra = Ipv4Addr4::new(100, 0, 0, 99); // not on the list
         rdns.insert(extra, "probe7.ShadowLab.example.org");
         let m = acked.matches(extra, &rdns).unwrap();
-        assert_eq!(
-            m,
-            AckedMatch::Domain { org: "ShadowLab".into(), keyword: "shadowlab".into() }
-        );
+        assert_eq!(m, AckedMatch::Domain { org: "ShadowLab".into(), keyword: "shadowlab".into() });
         assert!(!m.is_ip_match());
     }
 

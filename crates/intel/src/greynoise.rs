@@ -102,11 +102,29 @@ struct SrcProfile {
     last_seen: Ts,
 }
 
+/// Ingest counters: every packet offered to the fleet is either accepted
+/// (hit a sensor, profiled) or ignored (destination not a sensor).
+/// Conservation: `received == accepted + ignored`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    pub received: u64,
+    pub accepted: u64,
+    pub ignored: u64,
+}
+
+impl IngestStats {
+    /// The conservation identity.
+    pub fn conserves(&self) -> bool {
+        self.received == self.accepted + self.ignored
+    }
+}
+
 /// The honeypot fleet.
 pub struct GreyNoise {
     sensors: PrefixSet,
     profiles: HashMap<Ipv4Addr4, SrcProfile>,
     benign_vetted: HashSet<Ipv4Addr4>,
+    ingest: IngestStats,
 }
 
 impl GreyNoise {
@@ -114,7 +132,17 @@ impl GreyNoise {
     /// GN's internal allow-list of known research sources (we feed it the
     /// acknowledged-scanner IPs, mirroring GN's own vetting process).
     pub fn new(sensors: PrefixSet, benign_vetted: HashSet<Ipv4Addr4>) -> GreyNoise {
-        GreyNoise { sensors, profiles: HashMap::new(), benign_vetted }
+        GreyNoise {
+            sensors,
+            profiles: HashMap::new(),
+            benign_vetted,
+            ingest: IngestStats::default(),
+        }
+    }
+
+    /// Ingest counters so far.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest
     }
 
     /// Does this destination belong to a sensor?
@@ -125,9 +153,12 @@ impl GreyNoise {
     /// Offer one packet; only packets to sensors are recorded. Returns
     /// true when the packet hit a sensor.
     pub fn observe(&mut self, pkt: &PacketMeta, hint: PayloadHint) -> bool {
+        self.ingest.received += 1;
         if !self.sensors.contains(pkt.dst) {
+            self.ingest.ignored += 1;
             return false;
         }
+        self.ingest.accepted += 1;
         let p = self.profiles.entry(pkt.src).or_insert_with(|| SrcProfile {
             first_seen: pkt.ts,
             last_seen: pkt.ts,
@@ -328,6 +359,11 @@ mod tests {
         assert!(g.observe(&hit, PayloadHint::None));
         assert_eq!(g.observed_count(), 1);
         assert!(g.has_seen(SRC));
+        let s = g.ingest_stats();
+        assert_eq!(s.received, 2);
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.ignored, 1);
+        assert!(s.conserves());
     }
 
     #[test]
@@ -409,7 +445,10 @@ mod tests {
     fn ping_scanner_tag() {
         let mut g = gn();
         for i in 0..4u8 {
-            g.observe(&PacketMeta::icmp_echo(Ts::from_secs(u64::from(i)), SRC, sensor(i)), PayloadHint::None);
+            g.observe(
+                &PacketMeta::icmp_echo(Ts::from_secs(u64::from(i)), SRC, sensor(i)),
+                PayloadHint::None,
+            );
         }
         let e = &g.finalize()[&SRC];
         assert_eq!(e.tags, vec![tags::PING.to_string()]);

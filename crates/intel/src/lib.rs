@@ -21,5 +21,5 @@ pub mod rdns;
 
 pub use acked::{AckedMatch, AckedScanners};
 pub use asn::{AsInfo, AsType, AsnDb, CountryCode};
-pub use greynoise::{GnClassification, GreyNoise};
+pub use greynoise::{GnClassification, GreyNoise, IngestStats};
 pub use rdns::RdnsTable;

@@ -28,11 +28,7 @@ pub enum NetError {
         value: usize,
     },
     /// A version/type field has an unsupported value.
-    Unsupported {
-        layer: &'static str,
-        field: &'static str,
-        value: u64,
-    },
+    Unsupported { layer: &'static str, field: &'static str, value: u64 },
     /// The checksum did not verify.
     BadChecksum { layer: &'static str },
     /// A pcap file had an unknown magic number.

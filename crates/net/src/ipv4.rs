@@ -12,9 +12,7 @@ use std::str::FromStr;
 /// the pipeline keeps hundreds of millions of these in hash maps and
 /// arrays: a transparent `u32` gives free ordering, masking and dense
 /// indexing into the dark space.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Ipv4Addr4(pub u32);
 
@@ -80,12 +78,8 @@ impl FromStr for Ipv4Addr4 {
         let mut octets = [0u8; 4];
         let mut parts = s.split('.');
         for o in octets.iter_mut() {
-            let part = parts
-                .next()
-                .ok_or_else(|| NetError::BadAddressSyntax(s.to_string()))?;
-            *o = part
-                .parse::<u8>()
-                .map_err(|_| NetError::BadAddressSyntax(s.to_string()))?;
+            let part = parts.next().ok_or_else(|| NetError::BadAddressSyntax(s.to_string()))?;
+            *o = part.parse::<u8>().map_err(|_| NetError::BadAddressSyntax(s.to_string()))?;
         }
         if parts.next().is_some() {
             return Err(NetError::BadAddressSyntax(s.to_string()));

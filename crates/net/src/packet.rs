@@ -44,11 +44,24 @@ impl ScanClass {
 /// Decoded transport layer of a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Transport {
-    Tcp { src_port: u16, dst_port: u16, seq: u32, flags: TcpFlags },
-    Udp { src_port: u16, dst_port: u16 },
-    Icmp { icmp_type: u8, code: u8 },
+    Tcp {
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        flags: TcpFlags,
+    },
+    Udp {
+        src_port: u16,
+        dst_port: u16,
+    },
+    Icmp {
+        icmp_type: u8,
+        code: u8,
+    },
     /// Any other IP protocol, carried for completeness.
-    Other { protocol: u8 },
+    Other {
+        protocol: u8,
+    },
 }
 
 /// One decoded IPv4 packet with capture timestamp.
@@ -156,8 +169,7 @@ impl PacketMeta {
         match self.transport {
             Transport::Tcp { src_port, dst_port, seq, flags } => {
                 let hdr = TcpHeader { seq, flags, ..TcpHeader::syn(src_port, dst_port, seq) };
-                let payload_len =
-                    usize::from(self.wire_len).saturating_sub(20 + hdr.header_len());
+                let payload_len = usize::from(self.wire_len).saturating_sub(20 + hdr.header_len());
                 hdr.emit(self.src, self.dst, &vec![0u8; payload_len], &mut l4);
             }
             Transport::Udp { src_port, dst_port } => {
@@ -221,7 +233,12 @@ impl PacketMeta {
         let transport = match ip.protocol {
             PROTO_TCP => {
                 let (t, _) = TcpHeader::parse(l4, None)?;
-                Transport::Tcp { src_port: t.src_port, dst_port: t.dst_port, seq: t.seq, flags: t.flags }
+                Transport::Tcp {
+                    src_port: t.src_port,
+                    dst_port: t.dst_port,
+                    seq: t.seq,
+                    flags: t.flags,
+                }
             }
             PROTO_UDP => {
                 let (u, _) = UdpHeader::parse(l4, None)?;
@@ -296,12 +313,8 @@ mod tests {
     #[test]
     fn synack_is_not_scanning() {
         let mut m = PacketMeta::tcp_syn(Ts::ZERO, S, D, 80, 40000);
-        m.transport = Transport::Tcp {
-            src_port: 80,
-            dst_port: 40000,
-            seq: 1,
-            flags: TcpFlags::SYN_ACK,
-        };
+        m.transport =
+            Transport::Tcp { src_port: 80, dst_port: 40000, seq: 1, flags: TcpFlags::SYN_ACK };
         assert_eq!(m.scan_class(), None);
         let p = PacketMeta::parse_ip(&m.to_bytes(), m.ts).unwrap();
         assert_eq!(p.scan_class(), None);

@@ -62,7 +62,7 @@ impl<W: Write> PcapWriter<W> {
         hdr[0..4].copy_from_slice(&MAGIC_MICROS.to_le_bytes());
         hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // version major
         hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // version minor
-        // thiszone (4) and sigfigs (4) stay zero.
+                                                        // thiszone (4) and sigfigs (4) stay zero.
         hdr[16..20].copy_from_slice(&snaplen.to_le_bytes());
         hdr[20..24].copy_from_slice(&linktype.to_le_bytes());
         inner.write_all(&hdr)?;
@@ -165,15 +165,14 @@ impl<R: Read> PcapReader<R> {
             return Err(NetError::BadLength { layer: "pcap", value: incl_len as usize });
         }
         let mut data = vec![0u8; incl_len as usize];
-        self.inner
-            .read_exact(&mut data)
-            .map_err(|_| NetError::Truncated {
-                layer: "pcap",
-                needed: incl_len as usize,
-                got: 0,
-            })?;
+        self.inner.read_exact(&mut data).map_err(|_| NetError::Truncated {
+            layer: "pcap",
+            needed: incl_len as usize,
+            got: 0,
+        })?;
         Ok(Some(PcapRecord {
-            ts: Ts::from_secs(u64::from(ts_sec)) + crate::time::Dur::from_micros(u64::from(ts_usec)),
+            ts: Ts::from_secs(u64::from(ts_sec))
+                + crate::time::Dur::from_micros(u64::from(ts_usec)),
             orig_len,
             data,
         }))

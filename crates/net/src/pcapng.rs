@@ -175,7 +175,7 @@ impl<R: Read> PcapNgReader<R> {
             }
             let btype = self.u32_of(&head[0..4]);
             let total = self.u32_of(&head[4..8]) as usize;
-            if !(12..=1 << 26).contains(&total) || total % 4 != 0 {
+            if !(12..=1 << 26).contains(&total) || !total.is_multiple_of(4) {
                 return Err(NetError::BadLength { layer: "pcapng", value: total });
             }
             let mut body = vec![0u8; total - 8];
@@ -192,7 +192,11 @@ impl<R: Read> PcapNgReader<R> {
             match btype {
                 BT_IDB => {
                     if body.len() < 12 {
-                        return Err(NetError::Truncated { layer: "pcapng-idb", needed: 12, got: body.len() });
+                        return Err(NetError::Truncated {
+                            layer: "pcapng-idb",
+                            needed: 12,
+                            got: body.len(),
+                        });
                     }
                     let lt = if self.little_endian {
                         u16::from_le_bytes([body[0], body[1]])
@@ -203,7 +207,11 @@ impl<R: Read> PcapNgReader<R> {
                 }
                 BT_EPB => {
                     if body.len() < 24 {
-                        return Err(NetError::Truncated { layer: "pcapng-epb", needed: 24, got: body.len() });
+                        return Err(NetError::Truncated {
+                            layer: "pcapng-epb",
+                            needed: 24,
+                            got: body.len(),
+                        });
                     }
                     let interface = self.u32_of(&body[0..4]);
                     let ts_hi = u64::from(self.u32_of(&body[4..8]));
@@ -284,7 +292,8 @@ mod tests {
         w.write_packet(Ts::from_secs(1), &[1, 2, 3, 4, 5]).unwrap();
         w.write_packet(Ts::from_secs(2), &[9]).unwrap();
         w.finish().unwrap();
-        let got: Vec<_> = PcapNgReader::new(&buf[..]).unwrap().packets().map(|p| p.unwrap()).collect();
+        let got: Vec<_> =
+            PcapNgReader::new(&buf[..]).unwrap().packets().map(|p| p.unwrap()).collect();
         assert_eq!(got[0].data, vec![1, 2, 3, 4, 5]);
         assert_eq!(got[1].data, vec![9]);
     }
@@ -351,7 +360,8 @@ mod tests {
         let mut w = PcapNgWriter::new(&mut buf, 1, 100).unwrap();
         w.write_packet(ts, &[1, 2, 3, 4]).unwrap();
         w.finish().unwrap();
-        let got: Vec<_> = PcapNgReader::new(&buf[..]).unwrap().packets().map(|p| p.unwrap()).collect();
+        let got: Vec<_> =
+            PcapNgReader::new(&buf[..]).unwrap().packets().map(|p| p.unwrap()).collect();
         assert_eq!(got[0].ts, ts);
     }
 }

@@ -89,13 +89,10 @@ impl FromStr for Prefix {
     type Err = NetError;
 
     fn from_str(s: &str) -> Result<Self> {
-        let (addr, len) = s
-            .split_once('/')
-            .ok_or_else(|| NetError::BadAddressSyntax(s.to_string()))?;
+        let (addr, len) =
+            s.split_once('/').ok_or_else(|| NetError::BadAddressSyntax(s.to_string()))?;
         let addr: Ipv4Addr4 = addr.parse()?;
-        let len: u8 = len
-            .parse()
-            .map_err(|_| NetError::BadAddressSyntax(s.to_string()))?;
+        let len: u8 = len.parse().map_err(|_| NetError::BadAddressSyntax(s.to_string()))?;
         Prefix::new(addr, len)
     }
 }
@@ -111,10 +108,8 @@ pub struct PrefixSet {
 impl PrefixSet {
     /// Build from any collection of prefixes; overlaps and adjacency merge.
     pub fn from_prefixes<I: IntoIterator<Item = Prefix>>(prefixes: I) -> PrefixSet {
-        let mut ranges: Vec<(u32, u32)> = prefixes
-            .into_iter()
-            .map(|p| (p.first().to_u32(), p.last().to_u32()))
-            .collect();
+        let mut ranges: Vec<(u32, u32)> =
+            prefixes.into_iter().map(|p| (p.first().to_u32(), p.last().to_u32())).collect();
         ranges.sort_unstable();
         let mut merged: Vec<(u32, u32)> = Vec::with_capacity(ranges.len());
         for (s, e) in ranges {
@@ -165,20 +160,20 @@ impl PrefixSet {
 pub fn standard_bogons() -> PrefixSet {
     PrefixSet::from_prefixes(
         [
-            "0.0.0.0/8",          // "this network"
-            "10.0.0.0/8",         // RFC 1918
-            "100.64.0.0/10",      // CGNAT (RFC 6598)
-            "127.0.0.0/8",        // loopback
-            "169.254.0.0/16",     // link-local
-            "172.16.0.0/12",      // RFC 1918
-            "192.0.0.0/24",       // IETF protocol assignments
-            "192.0.2.0/24",       // TEST-NET-1
-            "192.168.0.0/16",     // RFC 1918
-            "198.18.0.0/15",      // benchmarking
-            "198.51.100.0/24",    // TEST-NET-2
-            "203.0.113.0/24",     // TEST-NET-3
-            "224.0.0.0/4",        // multicast
-            "240.0.0.0/4",        // reserved
+            "0.0.0.0/8",       // "this network"
+            "10.0.0.0/8",      // RFC 1918
+            "100.64.0.0/10",   // CGNAT (RFC 6598)
+            "127.0.0.0/8",     // loopback
+            "169.254.0.0/16",  // link-local
+            "172.16.0.0/12",   // RFC 1918
+            "192.0.0.0/24",    // IETF protocol assignments
+            "192.0.2.0/24",    // TEST-NET-1
+            "192.168.0.0/16",  // RFC 1918
+            "198.18.0.0/15",   // benchmarking
+            "198.51.100.0/24", // TEST-NET-2
+            "203.0.113.0/24",  // TEST-NET-3
+            "224.0.0.0/4",     // multicast
+            "240.0.0.0/4",     // reserved
         ]
         .iter()
         .map(|s| s.parse().expect("static bogon prefix")),
@@ -256,8 +251,7 @@ impl<T> PrefixMap<T> {
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
         self.by_len.iter().flat_map(|(len, map)| {
             let len = *len;
-            map.iter()
-                .map(move |(net, v)| (Prefix { network: Ipv4Addr4(*net), len }, v))
+            map.iter().map(move |(net, v)| (Prefix { network: Ipv4Addr4(*net), len }, v))
         })
     }
 }
@@ -326,7 +320,8 @@ mod tests {
 
     #[test]
     fn prefix_set_merges_overlaps() {
-        let set = PrefixSet::from_prefixes(vec![p("10.0.0.0/25"), p("10.0.0.128/25"), p("10.0.0.0/24")]);
+        let set =
+            PrefixSet::from_prefixes(vec![p("10.0.0.0/25"), p("10.0.0.128/25"), p("10.0.0.0/24")]);
         assert_eq!(set.range_count(), 1);
         assert_eq!(set.size(), 256);
         assert!(set.contains(Ipv4Addr4::new(10, 0, 0, 200)));
@@ -376,7 +371,9 @@ mod tests {
     #[test]
     fn bogons_cover_martians_not_public_space() {
         let b = standard_bogons();
-        for bad in ["127.0.0.1", "10.1.2.3", "192.168.1.1", "224.0.0.5", "255.255.255.255", "169.254.9.9"] {
+        for bad in
+            ["127.0.0.1", "10.1.2.3", "192.168.1.1", "224.0.0.5", "255.255.255.255", "169.254.9.9"]
+        {
             assert!(b.contains(bad.parse().unwrap()), "{bad}");
         }
         for good in ["8.8.8.8", "1.1.1.1", "151.101.0.1", "205.0.0.1"] {

@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 pub const HEADER_LEN: usize = 20;
 
 /// TCP flag bits, as a transparent wrapper over the low 8 flag bits.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TcpFlags(pub u8);
 
@@ -80,7 +78,10 @@ impl TcpHeader {
     /// `verify_csum` optionally checks the transport checksum against the
     /// given IPv4 pseudo-header addresses. Flow collectors skip this on
     /// the fast path; the telescope verifies on capture.
-    pub fn parse(data: &[u8], verify_csum: Option<(Ipv4Addr4, Ipv4Addr4)>) -> Result<(TcpHeader, &[u8])> {
+    pub fn parse(
+        data: &[u8],
+        verify_csum: Option<(Ipv4Addr4, Ipv4Addr4)>,
+    ) -> Result<(TcpHeader, &[u8])> {
         if data.len() < HEADER_LEN {
             return Err(NetError::Truncated { layer: "tcp", needed: HEADER_LEN, got: data.len() });
         }
@@ -89,7 +90,8 @@ impl TcpHeader {
             return Err(NetError::BadLength { layer: "tcp", value: offset });
         }
         if let Some((src, dst)) = verify_csum {
-            let mut s = checksum::pseudo_header(src, dst, crate::ipv4::PROTO_TCP, data.len() as u16);
+            let mut s =
+                checksum::pseudo_header(src, dst, crate::ipv4::PROTO_TCP, data.len() as u16);
             s.add(data);
             if s.finish() != 0 {
                 return Err(NetError::BadChecksum { layer: "tcp" });

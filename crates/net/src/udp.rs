@@ -25,7 +25,10 @@ impl UdpHeader {
     /// Parse from `data` (the full L4 datagram). Returns header + payload.
     ///
     /// A zero checksum means "not computed" per RFC 768 and is accepted.
-    pub fn parse(data: &[u8], verify_csum: Option<(Ipv4Addr4, Ipv4Addr4)>) -> Result<(UdpHeader, &[u8])> {
+    pub fn parse(
+        data: &[u8],
+        verify_csum: Option<(Ipv4Addr4, Ipv4Addr4)>,
+    ) -> Result<(UdpHeader, &[u8])> {
         if data.len() < HEADER_LEN {
             return Err(NetError::Truncated { layer: "udp", needed: HEADER_LEN, got: data.len() });
         }
@@ -36,7 +39,8 @@ impl UdpHeader {
         let wire_csum = u16::from_be_bytes([data[6], data[7]]);
         if wire_csum != 0 {
             if let Some((src, dst)) = verify_csum {
-                let mut s = checksum::pseudo_header(src, dst, crate::ipv4::PROTO_UDP, length as u16);
+                let mut s =
+                    checksum::pseudo_header(src, dst, crate::ipv4::PROTO_UDP, length as u16);
                 s.add(&data[..length]);
                 if s.finish() != 0 {
                     return Err(NetError::BadChecksum { layer: "udp" });

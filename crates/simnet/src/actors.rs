@@ -263,14 +263,10 @@ impl Actor for MiraiBot {
 
     fn emit(&mut self) -> PacketMeta {
         let ts = self.next.expect("emit called after completion");
-        let dst = self
-            .space
-            .addr_at(self.rng.below(self.space.len()))
-            .expect("index below len");
+        let dst = self.space.addr_at(self.rng.below(self.space.len())).expect("index below len");
         // Mirai probes 23 with probability 0.9, else 2323.
         let port = if self.rng.chance(0.9) { 23 } else { 2323 };
-        let mut pkt =
-            PacketMeta::tcp_syn(ts, self.src, dst, ephemeral_port(&mut self.rng), port);
+        let mut pkt = PacketMeta::tcp_syn(ts, self.src, dst, ephemeral_port(&mut self.rng), port);
         if let Transport::Tcp { ref mut seq, .. } = pkt.transport {
             *seq = dst.to_u32(); // the Mirai invariant
         }
@@ -392,10 +388,7 @@ impl Actor for Backscatter {
     fn emit(&mut self) -> PacketMeta {
         let ts = self.next.expect("emit called after completion");
         let src = *self.rng.choice(&self.victims);
-        let dst = self
-            .space
-            .addr_at(self.rng.below(self.space.len()))
-            .expect("in range");
+        let dst = self.space.addr_at(self.rng.below(self.space.len())).expect("in range");
         let flags = if self.rng.chance(0.7) { TcpFlags::SYN_ACK } else { TcpFlags::RST };
         let mut pkt = PacketMeta::tcp_syn(ts, src, dst, 80, ephemeral_port(&mut self.rng));
         if let Transport::Tcp { flags: ref mut f, ref mut seq, .. } = pkt.transport {
@@ -471,10 +464,7 @@ impl Actor for Radiation {
         let u = self.rng.f64();
         let idx = ((u * u) * self.pool.len() as f64) as usize;
         let src = self.pool[idx.min(self.pool.len() - 1)];
-        let dst = self
-            .space
-            .addr_at(self.rng.below(self.space.len()))
-            .expect("in range");
+        let dst = self.space.addr_at(self.rng.below(self.space.len())).expect("in range");
         let weights: Vec<f64> = RADIATION_PORTS.iter().map(|(_, w, _)| *w).collect();
         let (port, _, proto) = RADIATION_PORTS[self.rng.weighted(&weights)];
         let sp = ephemeral_port(&mut self.rng);
@@ -544,10 +534,7 @@ impl Actor for SpoofFlood {
     fn emit(&mut self) -> PacketMeta {
         let ts = self.next.expect("emit called after completion");
         let src = self.forged_source();
-        let dst = self
-            .space
-            .addr_at(self.rng.below(self.space.len()))
-            .expect("in range");
+        let dst = self.space.addr_at(self.rng.below(self.space.len())).expect("in range");
         let mut pkt = PacketMeta::tcp_syn(ts, src, dst, ephemeral_port(&mut self.rng), 80);
         if let Transport::Tcp { ref mut seq, .. } = pkt.transport {
             *seq = self.rng.next_u64() as u32;
@@ -632,14 +619,10 @@ impl Benign {
     }
 
     fn sample_slot(&mut self) -> BenignSlot {
-        let user = self
-            .users
-            .addr_at(self.rng.below(self.users.size()) as u32)
-            .expect("in range");
+        let user = self.users.addr_at(self.rng.below(self.users.size()) as u32).expect("in range");
         let remote_prefix = *self.rng.choice(&self.remotes);
-        let remote = remote_prefix
-            .addr_at(self.rng.below(remote_prefix.size()) as u32)
-            .expect("in range");
+        let remote =
+            remote_prefix.addr_at(self.rng.below(remote_prefix.size()) as u32).expect("in range");
         let cache = match (&self.caches, self.rng.chance(self.cache_fraction)) {
             (Some(c), true) => Some(c.addr_at(self.rng.below(c.size()) as u32).expect("in range")),
             _ => None,
@@ -833,10 +816,8 @@ mod tests {
         let per_sweep = (sp.len() / 2) as usize;
         assert!(pkts.len() > per_sweep, "should re-sweep");
         let first: Vec<_> = pkts[..per_sweep].iter().map(|p| p.dst).collect();
-        let second: Vec<_> = pkts[per_sweep..(2 * per_sweep).min(pkts.len())]
-            .iter()
-            .map(|p| p.dst)
-            .collect();
+        let second: Vec<_> =
+            pkts[per_sweep..(2 * per_sweep).min(pkts.len())].iter().map(|p| p.dst).collect();
         assert_ne!(first[..second.len()], second[..], "orders should differ across sweeps");
     }
 

@@ -1,0 +1,489 @@
+//! Seeded fault injection between the traffic mux and its consumers.
+//!
+//! Real measurement pipelines never see the pristine packet stream the
+//! simulator produces: capture drops under load, mirror ports duplicate,
+//! multi-path delivery reorders, and hardware occasionally truncates or
+//! corrupts frames. This module injects exactly those impairments —
+//! deterministically, from a seed — so experiments can quantify how
+//! gracefully the telescope/flow/intel consumers degrade
+//! (`tests/chaos.rs` at the workspace root drives the full pipeline
+//! through increasing fault rates).
+//!
+//! Byte-level faults (truncation, bit flips) go through the real wire
+//! path: the packet is serialized with [`PacketMeta::to_bytes`], mutated,
+//! and re-parsed with [`PacketMeta::parse_ip`] — so the "parsers are
+//! total" guarantee of `ah-net` is exercised end to end, and a corrupted
+//! packet is delivered downstream only if a real capture stack would have
+//! accepted those bytes.
+//!
+//! Every packet's fate is counted in [`InjectorStats`], which satisfies
+//! the conservation identity checked by [`InjectorStats::conserves`]:
+//! nothing is ever silently lost or invented.
+
+use crate::rng::{hash64, Rng64};
+use ah_net::packet::{PacketMeta, Transport};
+use ah_net::time::{Dur, Ts};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-category fault rates and parameters. All rates are per-packet
+/// probabilities in `[0, 1]`; categories are drawn independently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a packet is silently dropped (capture loss).
+    pub drop: f64,
+    /// Probability a packet is delivered twice (mirror duplication).
+    pub duplicate: f64,
+    /// Probability a packet is held back and delivered out of order.
+    pub reorder: f64,
+    /// Maximum delivery delay for reordered packets; the consumer-visible
+    /// timestamp skew is bounded by this.
+    pub max_skew: Dur,
+    /// Probability the packet's bytes are truncated at a random offset
+    /// (snaplen/framing faults). Truncated packets that no longer parse
+    /// are discarded, as a capture stack would.
+    pub truncate: f64,
+    /// Probability a single random bit of the packet's bytes is flipped.
+    /// Flips that break the IP header checksum are discarded; flips the
+    /// wire would accept are delivered corrupted.
+    pub bitflip: f64,
+    /// Probability the packet's payload is stripped to a bare header
+    /// (zero-length payload capture).
+    pub zero_payload: f64,
+    /// Period of recurring burst outages; `Dur::ZERO` disables them.
+    pub outage_period: Dur,
+    /// Length of each outage window (every packet inside is dropped).
+    pub outage_len: Dur,
+    /// Seed for all fault decisions.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults at all — the injector becomes a pass-through.
+    pub fn clean() -> FaultPlan {
+        FaultPlan {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            max_skew: Dur::ZERO,
+            truncate: 0.0,
+            bitflip: 0.0,
+            zero_payload: 0.0,
+            outage_period: Dur::ZERO,
+            outage_len: Dur::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Every per-packet category at the same `rate`, with a 2-second
+    /// reorder bound and no outages — the standard chaos-test plan.
+    pub fn uniform(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            drop: rate,
+            duplicate: rate,
+            reorder: rate,
+            max_skew: Dur::from_secs(2),
+            truncate: rate,
+            bitflip: rate,
+            zero_payload: rate,
+            outage_period: Dur::ZERO,
+            outage_len: Dur::ZERO,
+            seed,
+        }
+    }
+
+    /// Add recurring burst outages to a plan.
+    pub fn with_outage(mut self, period: Dur, len: Dur) -> FaultPlan {
+        self.outage_period = period;
+        self.outage_len = len;
+        self
+    }
+
+    /// True when no category can ever fire.
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.truncate == 0.0
+            && self.bitflip == 0.0
+            && self.zero_payload == 0.0
+            && (self.outage_period.0 == 0 || self.outage_len.0 == 0)
+    }
+}
+
+/// Counters over every packet offered to a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectorStats {
+    /// Packets offered by the mux.
+    pub input: u64,
+    /// Packets handed to the consumer (including duplicates and packets
+    /// delivered mutated).
+    pub delivered: u64,
+    /// Packets dropped by the `drop` category.
+    pub dropped: u64,
+    /// Extra copies created by the `duplicate` category.
+    pub duplicated: u64,
+    /// Packets dropped inside an outage window.
+    pub outage_dropped: u64,
+    /// Truncated packets whose bytes no longer parsed.
+    pub truncated_discarded: u64,
+    /// Bit-flipped packets whose bytes no longer parsed.
+    pub corrupt_discarded: u64,
+    /// Packets delayed for out-of-order delivery (subset of `delivered`).
+    pub reordered: u64,
+    /// Bit-flipped packets that still parsed and were delivered (subset
+    /// of `delivered`).
+    pub corrupted_delivered: u64,
+    /// Packets delivered with their payload stripped (subset of
+    /// `delivered`).
+    pub zero_payload: u64,
+}
+
+impl InjectorStats {
+    /// The conservation identity: every input packet (plus every created
+    /// duplicate) is either delivered or counted in exactly one discard
+    /// category. Holds after [`FaultInjector::flush`]; while packets are
+    /// still held for reordering, add [`FaultInjector::pending`] to the
+    /// right-hand side.
+    pub fn conserves(&self) -> bool {
+        self.input + self.duplicated
+            == self.delivered
+                + self.dropped
+                + self.outage_dropped
+                + self.truncated_discarded
+                + self.corrupt_discarded
+    }
+
+    /// Total packets lost to any discard category.
+    pub fn total_discarded(&self) -> u64 {
+        self.dropped + self.outage_dropped + self.truncated_discarded + self.corrupt_discarded
+    }
+}
+
+/// A packet held back for out-of-order delivery.
+struct Held {
+    release: Ts,
+    seq: u64,
+    pkt: PacketMeta,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        (self.release, self.seq) == (other.release, other.seq)
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.release, self.seq).cmp(&(other.release, other.seq))
+    }
+}
+
+/// Applies a [`FaultPlan`] to a time-ordered packet stream.
+///
+/// Sits between [`crate::mux::TrafficMux`] and the consumers: call
+/// [`FaultInjector::apply`] with each mux packet and a delivery callback,
+/// then [`FaultInjector::flush`] at end of stream to release any packets
+/// still held for reordering.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng64,
+    held: BinaryHeap<Reverse<Held>>,
+    seq: u64,
+    /// Phase offset of the outage schedule, derived from the seed.
+    outage_phase: u64,
+    stats: InjectorStats,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let outage_phase = if plan.outage_period.0 > 0 {
+            hash64(plan.seed ^ 0x6f75_7461_6765) % plan.outage_period.0
+        } else {
+            0
+        };
+        FaultInjector {
+            rng: Rng64::new(plan.seed ^ 0xfa17_1e57),
+            plan,
+            held: BinaryHeap::new(),
+            seq: 0,
+            outage_phase,
+            stats: InjectorStats::default(),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> InjectorStats {
+        self.stats
+    }
+
+    /// Packets currently held for reordering.
+    pub fn pending(&self) -> u64 {
+        self.held.len() as u64
+    }
+
+    fn in_outage(&self, ts: Ts) -> bool {
+        let period = self.plan.outage_period.0;
+        if period == 0 || self.plan.outage_len.0 == 0 {
+            return false;
+        }
+        (ts.0 + period - self.outage_phase) % period < self.plan.outage_len.0
+    }
+
+    fn deliver(&mut self, pkt: &PacketMeta, emit: &mut impl FnMut(&PacketMeta)) {
+        self.stats.delivered += 1;
+        emit(pkt);
+    }
+
+    /// Release packets whose delivery point has been reached.
+    fn release_until(&mut self, now: Ts, emit: &mut impl FnMut(&PacketMeta)) {
+        while let Some(Reverse(top)) = self.held.peek() {
+            if top.release > now {
+                break;
+            }
+            let Some(Reverse(h)) = self.held.pop() else { break };
+            self.deliver(&h.pkt, emit);
+        }
+    }
+
+    /// Apply byte-level mutations; returns the packet to deliver, or
+    /// `None` when the mutated bytes no longer parse.
+    fn mutate(&mut self, pkt: &PacketMeta) -> Option<PacketMeta> {
+        if self.rng.chance(self.plan.truncate) {
+            let bytes = pkt.to_bytes();
+            let cut = self.rng.range(1, bytes.len().max(2) as u64) as usize;
+            match PacketMeta::parse_ip(&bytes[..cut], pkt.ts) {
+                Ok(p) => return Some(p),
+                Err(_) => {
+                    self.stats.truncated_discarded += 1;
+                    return None;
+                }
+            }
+        }
+        if self.rng.chance(self.plan.bitflip) {
+            let mut bytes = pkt.to_bytes();
+            let bit = self.rng.below((bytes.len() as u64) * 8);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            match PacketMeta::parse_ip(&bytes, pkt.ts) {
+                Ok(p) => {
+                    self.stats.corrupted_delivered += 1;
+                    return Some(p);
+                }
+                Err(_) => {
+                    self.stats.corrupt_discarded += 1;
+                    return None;
+                }
+            }
+        }
+        if self.rng.chance(self.plan.zero_payload) {
+            let header_only: u16 = match pkt.transport {
+                Transport::Tcp { .. } => 40,
+                Transport::Udp { .. } | Transport::Icmp { .. } => 28,
+                Transport::Other { .. } => 20,
+            };
+            if pkt.wire_len > header_only {
+                self.stats.zero_payload += 1;
+                let mut p = *pkt;
+                p.wire_len = header_only;
+                return Some(p);
+            }
+        }
+        Some(*pkt)
+    }
+
+    /// Offer one mux packet; `emit` receives everything delivered at this
+    /// point in the stream (held packets whose time has come, then this
+    /// packet's surviving copies).
+    pub fn apply(&mut self, pkt: &PacketMeta, emit: &mut impl FnMut(&PacketMeta)) {
+        self.stats.input += 1;
+        self.release_until(pkt.ts, emit);
+        if self.in_outage(pkt.ts) {
+            self.stats.outage_dropped += 1;
+            return;
+        }
+        if self.rng.chance(self.plan.drop) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let mut copies = 1;
+        if self.rng.chance(self.plan.duplicate) {
+            self.stats.duplicated += 1;
+            copies = 2;
+        }
+        for _ in 0..copies {
+            let Some(out) = self.mutate(pkt) else { continue };
+            if self.plan.max_skew.0 > 0 && self.rng.chance(self.plan.reorder) {
+                self.stats.reordered += 1;
+                let skew = Dur(self.rng.range(1, self.plan.max_skew.0 + 1));
+                self.seq += 1;
+                self.held.push(Reverse(Held { release: pkt.ts + skew, seq: self.seq, pkt: out }));
+            } else {
+                self.deliver(&out, emit);
+            }
+        }
+    }
+
+    /// End of stream: deliver every packet still held for reordering.
+    pub fn flush(&mut self, emit: &mut impl FnMut(&PacketMeta)) {
+        while let Some(Reverse(h)) = self.held.pop() {
+            self.deliver(&h.pkt, emit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_net::ipv4::Ipv4Addr4;
+
+    const S: Ipv4Addr4 = Ipv4Addr4::new(100, 64, 0, 1);
+    const D: Ipv4Addr4 = Ipv4Addr4::new(20, 0, 0, 7);
+
+    fn stream(n: u64) -> Vec<PacketMeta> {
+        (0..n).map(|i| PacketMeta::udp_probe(Ts::from_millis(i * 100), S, D, 40_000, 53)).collect()
+    }
+
+    fn run(plan: FaultPlan, pkts: &[PacketMeta]) -> (Vec<PacketMeta>, InjectorStats) {
+        let mut inj = FaultInjector::new(plan);
+        let mut out = Vec::new();
+        let mut emit = |p: &PacketMeta| out.push(*p);
+        for p in pkts {
+            inj.apply(p, &mut emit);
+        }
+        inj.flush(&mut emit);
+        assert_eq!(inj.pending(), 0);
+        (out, inj.stats())
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let pkts = stream(500);
+        let (out, stats) = run(FaultPlan::clean(), &pkts);
+        assert_eq!(out, pkts);
+        assert_eq!(stats.input, 500);
+        assert_eq!(stats.delivered, 500);
+        assert_eq!(stats.total_discarded(), 0);
+        assert!(stats.conserves());
+        assert!(FaultPlan::clean().is_clean());
+        assert!(!FaultPlan::uniform(0.01, 1).is_clean());
+    }
+
+    #[test]
+    fn drops_are_counted_and_conserved() {
+        let plan = FaultPlan { drop: 0.2, ..FaultPlan::clean() };
+        let (out, stats) = run(FaultPlan { seed: 3, ..plan }, &stream(2000));
+        assert!(stats.dropped > 200, "dropped {}", stats.dropped);
+        assert_eq!(out.len() as u64, stats.delivered);
+        assert!(stats.conserves());
+    }
+
+    #[test]
+    fn duplicates_add_copies() {
+        let plan = FaultPlan { duplicate: 0.5, seed: 4, ..FaultPlan::clean() };
+        let (out, stats) = run(plan, &stream(1000));
+        assert!(stats.duplicated > 300);
+        assert_eq!(out.len() as u64, 1000 + stats.duplicated);
+        assert!(stats.conserves());
+    }
+
+    #[test]
+    fn reorder_preserves_packets_within_bound() {
+        let plan = FaultPlan {
+            reorder: 0.3,
+            max_skew: Dur::from_millis(500),
+            seed: 5,
+            ..FaultPlan::clean()
+        };
+        let pkts = stream(2000);
+        let (out, stats) = run(plan, &pkts);
+        assert!(stats.reordered > 300);
+        assert_eq!(out.len(), pkts.len(), "reorder must not lose packets");
+        // Same multiset of timestamps.
+        let mut a: Vec<u64> = out.iter().map(|p| p.ts.0).collect();
+        let mut b: Vec<u64> = pkts.iter().map(|p| p.ts.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Out-of-orderness is bounded by max_skew.
+        let mut max_seen = Ts::ZERO;
+        for p in &out {
+            assert!(max_seen.since(p.ts) <= Dur::from_millis(500), "skew bound violated");
+            max_seen = max_seen.max(p.ts);
+        }
+        assert!(stats.conserves());
+    }
+
+    #[test]
+    fn truncation_discards_are_counted() {
+        let plan = FaultPlan { truncate: 0.5, seed: 6, ..FaultPlan::clean() };
+        let (out, stats) = run(plan, &stream(1000));
+        assert!(stats.truncated_discarded > 100);
+        assert_eq!(out.len() as u64, stats.delivered);
+        assert!(stats.conserves());
+    }
+
+    #[test]
+    fn bitflips_split_into_discarded_and_corrupted() {
+        let plan = FaultPlan { bitflip: 1.0, seed: 7, ..FaultPlan::clean() };
+        let (out, stats) = run(plan, &stream(1000));
+        // IP-header flips fail the checksum; payload/L4 flips survive.
+        assert!(stats.corrupt_discarded > 100, "discarded {}", stats.corrupt_discarded);
+        assert!(stats.corrupted_delivered > 100, "delivered {}", stats.corrupted_delivered);
+        assert_eq!(stats.corrupt_discarded + stats.corrupted_delivered, 1000);
+        assert_eq!(out.len() as u64, stats.delivered);
+        assert!(stats.conserves());
+    }
+
+    #[test]
+    fn zero_payload_shrinks_but_delivers() {
+        let plan = FaultPlan { zero_payload: 1.0, seed: 8, ..FaultPlan::clean() };
+        let pkts = stream(100); // UDP probes are 48 bytes: 20 over bare header
+        let (out, stats) = run(plan, &pkts);
+        assert_eq!(stats.zero_payload, 100);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|p| p.wire_len == 28));
+        assert!(stats.conserves());
+    }
+
+    #[test]
+    fn outage_windows_drop_bursts() {
+        let plan = FaultPlan::clean().with_outage(Dur::from_secs(10), Dur::from_secs(1));
+        let pkts = stream(2000); // 200 seconds at 10 pps
+        let (out, stats) = run(plan, &pkts);
+        assert!(stats.outage_dropped > 100, "outage_dropped {}", stats.outage_dropped);
+        assert!(stats.outage_dropped < 400, "outage_dropped {}", stats.outage_dropped);
+        assert_eq!(out.len() as u64, stats.delivered);
+        assert!(stats.conserves());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let plan = FaultPlan::uniform(0.05, 42);
+        let pkts = stream(1500);
+        let (out_a, stats_a) = run(plan, &pkts);
+        let (out_b, stats_b) = run(plan, &pkts);
+        assert_eq!(out_a, out_b);
+        assert_eq!(stats_a, stats_b);
+        let (_, stats_c) = run(FaultPlan::uniform(0.05, 43), &pkts);
+        assert_ne!(stats_a, stats_c, "different seeds must differ");
+    }
+
+    #[test]
+    fn uniform_plan_conserves_at_all_rates() {
+        for rate in [0.001, 0.01, 0.05, 0.25] {
+            let (_, stats) = run(FaultPlan::uniform(rate, 9), &stream(2000));
+            assert!(stats.conserves(), "rate {rate}: {stats:?}");
+            assert_eq!(stats.input, 2000);
+        }
+    }
+}

@@ -18,6 +18,9 @@
 //!   bruteforcing scanners, acknowledged research sweeps, vertical port
 //!   sweeps, DoS backscatter, background radiation, benign user traffic);
 //! * [`mux`] — the time-ordered event-queue multiplexer;
+//! * [`faults`] — seeded fault injection (drops, duplicates, bounded
+//!   reordering, truncation, corruption, burst outages) applied between
+//!   the mux and the measurement consumers;
 //! * [`world`] — the address plan and org/AS registry, and the builders
 //!   for the intel substrate (ASN DB, rDNS, acknowledged list);
 //! * [`scenario`] — paper-shaped presets: Darknet-1 (2021), Darknet-2
@@ -25,6 +28,7 @@
 //!   month.
 
 pub mod actors;
+pub mod faults;
 pub mod mux;
 pub mod permute;
 pub mod rng;
@@ -32,6 +36,7 @@ pub mod scenario;
 pub mod space;
 pub mod world;
 
+pub use faults::{FaultInjector, FaultPlan, InjectorStats};
 pub use mux::TrafficMux;
 pub use rng::Rng64;
 pub use space::ObservableSpace;

@@ -158,7 +158,8 @@ mod tests {
         mux.add(Box::new(Ticker { start: 0, step: 3, count: 5, sent: 0, src: 1 }));
         mux.add(Box::new(Ticker { start: 1, step: 3, count: 5, sent: 0, src: 2 }));
         mux.add(Box::new(Ticker { start: 2, step: 3, count: 5, sent: 0, src: 3 }));
-        let times: Vec<u64> = std::iter::from_fn(|| mux.next_packet()).map(|p| p.ts.secs()).collect();
+        let times: Vec<u64> =
+            std::iter::from_fn(|| mux.next_packet()).map(|p| p.ts.secs()).collect();
         assert_eq!(times.len(), 15);
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
         assert_eq!(times, (0..15).collect::<Vec<_>>());

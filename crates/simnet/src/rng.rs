@@ -32,12 +32,8 @@ impl Rng64 {
     /// Seed deterministically from a single u64.
     pub fn new(seed: u64) -> Rng64 {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng64 { s }
     }
 

@@ -352,17 +352,16 @@ impl Scenario {
         let mut n = 0u64;
         while let Some((start_day, life_days)) = arrivals.next(&mut rng) {
             n += 1;
-            let org = &world.orgs[world.org(origins[rng.weighted(&origin_weights)].0)];
-            let src = org.host(rng.below(org.size()));
+            let org = &world.orgs
+                [world.org(origins[rng.weighted(&origin_weights)].0).expect("registry org")];
+            let src = org.host(rng.below(org.size())).expect("org has hosts");
             // Rotate through 1-3 ports across sweeps; heavier hitters
             // retry targets (bruteforce flavor) on 22/23.
             let mut my_ports = Vec::new();
             for _ in 0..rng.range(1, 4) {
                 my_ports.push(ports[rng.weighted(&port_weights)].0);
             }
-            let brute = my_ports
-                .iter()
-                .any(|p| p.port == 22 || p.port == 23 || p.port == 2323)
+            let brute = my_ports.iter().any(|p| p.port == 22 || p.port == 23 || p.port == 2323)
                 && rng.chance(0.4);
             // ~40% of hitters scan *continuously* at a lower rate (their
             // darknet event spans their whole lifetime — the paper's
@@ -404,15 +403,12 @@ impl Scenario {
         // below the 10% dispersion cut but far out in the packet-volume
         // tail. The paper's 2022 D2 population is ~2x D1 with D1 fully
         // contained — these are the extra members.
-        let mut arrivals = ArrivalProcess::new(
-            cfg.intensity.flood_alive,
-            6.0,
-            cfg.days,
-            cfg.intensity.growth,
-        );
+        let mut arrivals =
+            ArrivalProcess::new(cfg.intensity.flood_alive, 6.0, cfg.days, cfg.intensity.growth);
         while let Some((start_day, life_days)) = arrivals.next(&mut rng) {
-            let org = &world.orgs[world.org(origins[rng.weighted(&origin_weights)].0)];
-            let src = org.host(rng.below(org.size()));
+            let org = &world.orgs
+                [world.org(origins[rng.weighted(&origin_weights)].0).expect("registry org")];
+            let src = org.host(rng.below(org.size())).expect("org has hosts");
             mux.add(Box::new(SweepScanner::new(
                 SweepConfig {
                     src,
@@ -429,9 +425,7 @@ impl Scenario {
                     coverage: 0.02 + 0.06 * rng.f64(),
                     probes_per_target: 4 + rng.pareto(1.0, 30.0, 1.1) as u32,
                     start: day_ts(start_day) + jitter(&mut rng),
-                    repeat_every: Some(Dur::from_secs(
-                        (86_400.0 * (0.8 + 0.6 * rng.f64())) as u64,
-                    )),
+                    repeat_every: Some(Dur::from_secs((86_400.0 * (0.8 + 0.6 * rng.f64())) as u64)),
                     end: end.min(day_ts(start_day + life_days)),
                     seed: rng.next_u64(),
                 },
@@ -449,8 +443,9 @@ impl Scenario {
             cfg.intensity.growth,
         );
         while let Some((start_day, life_days)) = arrivals.next(&mut rng) {
-            let org = &world.orgs[world.org(bots[rng.weighted(&bot_weights)].0)];
-            let src = org.host(rng.below(org.size()));
+            let org =
+                &world.orgs[world.org(bots[rng.weighted(&bot_weights)].0).expect("registry org")];
+            let src = org.host(rng.below(org.size())).expect("org has hosts");
             mux.add(Box::new(MiraiBot::new(
                 src,
                 rng.pareto(0.06, 0.7, 1.2),
@@ -475,7 +470,8 @@ impl Scenario {
                 world.acked_cloud_host(acked_idx, (i / research.len()) as u64)
             } else {
                 org.host((i / research.len()) as u64 * 7 + (i % 5) as u64)
-            };
+            }
+            .expect("acked org addresses exist");
             let port = ports[rng.weighted(&port_weights)].0;
             mux.add(Box::new(SweepScanner::new(
                 SweepConfig {
@@ -512,9 +508,10 @@ impl Scenario {
             let origin = if rng.chance(0.3) {
                 &world.orgs[*rng.choice(&research_orgs)]
             } else {
-                &world.orgs[world.org(origins[rng.weighted(&origin_weights)].0)]
+                &world.orgs
+                    [world.org(origins[rng.weighted(&origin_weights)].0).expect("registry org")]
             };
-            let src = origin.host(rng.below(origin.size()));
+            let src = origin.host(rng.below(origin.size())).expect("org has hosts");
             // Port breadth differs by year: the paper's D3 ECDF threshold
             // jumps from 6,542 (2021) to 57,410 (2022) ports/day.
             let port_count = match cfg.year {
@@ -556,9 +553,10 @@ impl Scenario {
         }
 
         // --- DoS backscatter ----------------------------------------------
-        let content = &world.orgs[world.org("Hyperflix CDN")];
-        let victims: Vec<Ipv4Addr4> =
-            (0..40).map(|_| content.host(rng.below(content.size()))).collect();
+        let content = &world.orgs[world.org("Hyperflix CDN").expect("registry org")];
+        let victims: Vec<Ipv4Addr4> = (0..40)
+            .map(|_| content.host(rng.below(content.size())).expect("org has hosts"))
+            .collect();
         mux.add(Box::new(Backscatter::new(
             victims,
             cfg.intensity.backscatter_pps,
@@ -585,7 +583,7 @@ impl Scenario {
         // A rotating window over a large source pool: `window` sources
         // alive at a time, `drift` fresh ones per day — producing the
         // paper's large daily and even larger yearly unique-source counts.
-        let misc = &world.orgs[world.org("Misc Internet")];
+        let misc = &world.orgs[world.org("Misc Internet").expect("registry org")];
         let window = cfg.intensity.radiation_window;
         let drift = cfg.intensity.radiation_drift_per_day;
         // One radiation actor per ~week keeps the pool rotating without a
@@ -596,7 +594,7 @@ impl Scenario {
         while day < cfg.days {
             let span = slice_days.min(cfg.days - day);
             let pool: Vec<Ipv4Addr4> = (0..window)
-                .map(|i| misc.host(slice_no * drift * slice_days + i))
+                .map(|i| misc.host(slice_no * drift * slice_days + i).expect("org has hosts"))
                 .collect();
             mux.add(Box::new(Radiation::new(
                 pool,
@@ -612,8 +610,8 @@ impl Scenario {
 
         // --- Benign user traffic ------------------------------------------
         let remotes = vec![
-            world.orgs[world.org("Hyperflix CDN")].prefixes[0],
-            world.orgs[world.org("Globe Eyeballs")].prefixes[0],
+            world.orgs[world.org("Hyperflix CDN").expect("registry org")].prefixes[0],
+            world.orgs[world.org("Globe Eyeballs").expect("registry org")].prefixes[0],
         ];
         if cfg.benign != BenignLevel::Off {
             mux.add(Box::new(Benign::new(

@@ -101,9 +101,9 @@ mod tests {
 
     fn space() -> ObservableSpace {
         ObservableSpace::new(vec![
-            "20.0.0.0/24".parse().unwrap(),  // 256
-            "10.0.0.0/30".parse().unwrap(),  // 4
-            "50.1.0.0/31".parse().unwrap(),  // 2
+            "20.0.0.0/24".parse().unwrap(), // 256
+            "10.0.0.0/30".parse().unwrap(), // 4
+            "50.1.0.0/31".parse().unwrap(), // 2
         ])
     }
 

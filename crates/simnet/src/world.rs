@@ -69,16 +69,21 @@ impl OrgDef {
         self.prefixes.iter().map(Prefix::size).sum()
     }
 
-    /// The `i`-th address of the org (dense across its prefixes, wrapping).
-    pub fn host(&self, i: u64) -> Ipv4Addr4 {
-        let mut idx = i % self.size();
+    /// The `i`-th address of the org (dense across its prefixes,
+    /// wrapping). `None` for an org with no prefixes.
+    pub fn host(&self, i: u64) -> Option<Ipv4Addr4> {
+        let size = self.size();
+        if size == 0 {
+            return None;
+        }
+        let mut idx = i % size;
         for p in &self.prefixes {
             if idx < p.size() {
-                return p.addr_at(idx as u32).expect("index in range");
+                return p.addr_at(idx as u32);
             }
             idx -= p.size();
         }
-        unreachable!("host index wraps within size()")
+        None
     }
 
     /// Is this org on the acknowledged-scanners list?
@@ -106,15 +111,15 @@ pub struct WorldConfig {
 impl Default for WorldConfig {
     fn default() -> WorldConfig {
         WorldConfig {
-            dark: "20.0.0.0/18".parse().unwrap(),        // 16,384 dark IPs
-            merit_users: "10.0.0.0/17".parse().unwrap(), // 32,768 addrs, 128 /24s
-            merit_caches: "10.128.0.0/24".parse().unwrap(),
-            cu_users: "172.16.0.0/21".parse().unwrap(), // 2,048 addrs, 8 /24s
+            dark: "20.0.0.0/18".parse().expect("static prefix"), // 16,384 dark IPs
+            merit_users: "10.0.0.0/17".parse().expect("static prefix"), // 32,768 addrs, 128 /24s
+            merit_caches: "10.128.0.0/24".parse().expect("static prefix"),
+            cu_users: "172.16.0.0/21".parse().expect("static prefix"), // 2,048 addrs, 8 /24s
             sensors: vec![
-                "198.18.0.0/26".parse().unwrap(),
-                "198.18.64.0/26".parse().unwrap(),
-                "198.18.128.0/26".parse().unwrap(),
-                "198.18.192.0/26".parse().unwrap(),
+                "198.18.0.0/26".parse().expect("static prefix"),
+                "198.18.64.0/26".parse().expect("static prefix"),
+                "198.18.128.0/26".parse().expect("static prefix"),
+                "198.18.192.0/26".parse().expect("static prefix"),
             ],
         }
     }
@@ -124,11 +129,11 @@ impl Default for WorldConfig {
 impl WorldConfig {
     pub fn tiny() -> WorldConfig {
         WorldConfig {
-            dark: "20.0.0.0/22".parse().unwrap(),        // 1,024 dark IPs
-            merit_users: "10.0.0.0/22".parse().unwrap(), // 1,024
-            merit_caches: "10.128.0.0/26".parse().unwrap(),
-            cu_users: "172.16.0.0/24".parse().unwrap(), // 256
-            sensors: vec!["198.18.0.0/27".parse().unwrap()],
+            dark: "20.0.0.0/22".parse().expect("static prefix"), // 1,024 dark IPs
+            merit_users: "10.0.0.0/22".parse().expect("static prefix"), // 1,024
+            merit_caches: "10.128.0.0/26".parse().expect("static prefix"),
+            cu_users: "172.16.0.0/24".parse().expect("static prefix"), // 256
+            sensors: vec!["198.18.0.0/27".parse().expect("static prefix")],
         }
     }
 }
@@ -154,29 +159,21 @@ impl World {
         World { config, orgs, observable }
     }
 
-    /// The scanner-observable space: dark block + both ISPs' user spaces
-    /// + sensors. Caches are excluded — they are content infrastructure,
-    /// not scan targets of interest at this scale.
+    /// The scanner-observable space: the dark block, both ISPs' user
+    /// spaces, and the sensors. Caches are excluded — they are content
+    /// infrastructure, not scan targets of interest at this scale.
     pub fn observable(&self) -> &ObservableSpace {
         &self.observable
     }
 
-    /// Find an org by name.
-    pub fn org(&self, name: &str) -> OrgId {
-        self.orgs
-            .iter()
-            .position(|o| o.name == name)
-            .unwrap_or_else(|| panic!("unknown org {name:?}"))
+    /// Find an org by name; `None` when no org carries it.
+    pub fn org(&self, name: &str) -> Option<OrgId> {
+        self.orgs.iter().position(|o| o.name == name)
     }
 
     /// Orgs filtered by predicate.
     pub fn orgs_where(&self, pred: impl Fn(&OrgDef) -> bool) -> Vec<OrgId> {
-        self.orgs
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| pred(o))
-            .map(|(i, _)| i)
-            .collect()
+        self.orgs.iter().enumerate().filter(|(_, o)| pred(o)).map(|(i, _)| i).collect()
     }
 
     /// Merit's internal address set (users + caches + dark block — the
@@ -253,8 +250,10 @@ impl World {
     /// cloud providers (the paper's Table 5 shows thousands of ACKed IPs
     /// inside the top US cloud), so acknowledged orgs scan both from
     /// their own prefixes and from these cloud slots.
-    pub fn acked_cloud_host(&self, acked_idx: usize, k: u64) -> Ipv4Addr4 {
-        let umbra = &self.orgs[self.org("Umbra Cloud")];
+    /// `None` when the registry has no "Umbra Cloud" org (custom
+    /// registries) or the org has no prefixes.
+    pub fn acked_cloud_host(&self, acked_idx: usize, k: u64) -> Option<Ipv4Addr4> {
+        let umbra = &self.orgs[self.org("Umbra Cloud")?];
         umbra.host(50_000 + (acked_idx as u64) * 97 + k)
     }
 
@@ -273,8 +272,10 @@ impl World {
             .enumerate()
             .map(|(idx, o)| {
                 let mut ips: Vec<Ipv4Addr4> =
-                    (0..disclosed_per_org.min(o.size())).map(|i| o.host(i)).collect();
-                ips.extend((0..disclosed_per_org / 2).map(|k| self.acked_cloud_host(idx, k)));
+                    (0..disclosed_per_org.min(o.size())).filter_map(|i| o.host(i)).collect();
+                ips.extend(
+                    (0..disclosed_per_org / 2).filter_map(|k| self.acked_cloud_host(idx, k)),
+                );
                 AckedOrg { name: o.name.clone(), ips, keywords: o.acked_keywords.clone() }
             })
             .collect();
@@ -288,13 +289,14 @@ impl World {
         for (idx, o) in self.orgs.iter().filter(|o| o.is_acked()).enumerate() {
             let kw = &o.acked_keywords[0];
             for i in 0..hosts_per_acked_org.min(o.size()) {
-                t.insert(o.host(i), &format!("probe-{i}.{kw}.example.org"));
+                if let Some(h) = o.host(i) {
+                    t.insert(h, &format!("probe-{i}.{kw}.example.org"));
+                }
             }
             for k in 0..hosts_per_acked_org / 2 {
-                t.insert(
-                    self.acked_cloud_host(idx, k),
-                    &format!("vm-{k}.{kw}.example.org"),
-                );
+                if let Some(h) = self.acked_cloud_host(idx, k) {
+                    t.insert(h, &format!("vm-{k}.{kw}.example.org"));
+                }
             }
         }
         t
@@ -389,35 +391,219 @@ fn org(
 pub fn standard_orgs() -> Vec<OrgDef> {
     vec![
         // -- Scanner-heavy clouds and ISPs (Table 5 shape) --
-        org("Umbra Cloud", 65001, AsType::Cloud, cc(b"US"), Region::NorthAm, &["100.64.0.0/16"], &[]),
-        org("Nimbus Compute", 65002, AsType::Cloud, cc(b"US"), Region::NorthAm, &["100.65.0.0/16"], &[]),
-        org("Vapor Cloud", 65003, AsType::Cloud, cc(b"US"), Region::NorthAm, &["100.66.0.0/16"], &[]),
-        org("Stratus Platform", 65004, AsType::Cloud, cc(b"US"), Region::NorthAm, &["100.67.0.0/16"], &[]),
-        org("Great Wall Telecom", 65011, AsType::Isp, cc(b"CN"), Region::AsiaEu, &["101.0.0.0/16"], &[]),
-        org("Red Lantern Broadband", 65012, AsType::Isp, cc(b"CN"), Region::AsiaEu, &["101.1.0.0/16"], &[]),
+        org(
+            "Umbra Cloud",
+            65001,
+            AsType::Cloud,
+            cc(b"US"),
+            Region::NorthAm,
+            &["100.64.0.0/16"],
+            &[],
+        ),
+        org(
+            "Nimbus Compute",
+            65002,
+            AsType::Cloud,
+            cc(b"US"),
+            Region::NorthAm,
+            &["100.65.0.0/16"],
+            &[],
+        ),
+        org(
+            "Vapor Cloud",
+            65003,
+            AsType::Cloud,
+            cc(b"US"),
+            Region::NorthAm,
+            &["100.66.0.0/16"],
+            &[],
+        ),
+        org(
+            "Stratus Platform",
+            65004,
+            AsType::Cloud,
+            cc(b"US"),
+            Region::NorthAm,
+            &["100.67.0.0/16"],
+            &[],
+        ),
+        org(
+            "Great Wall Telecom",
+            65011,
+            AsType::Isp,
+            cc(b"CN"),
+            Region::AsiaEu,
+            &["101.0.0.0/16"],
+            &[],
+        ),
+        org(
+            "Red Lantern Broadband",
+            65012,
+            AsType::Isp,
+            cc(b"CN"),
+            Region::AsiaEu,
+            &["101.1.0.0/16"],
+            &[],
+        ),
         org("Jade Cloud", 65013, AsType::Cloud, cc(b"CN"), Region::AsiaEu, &["101.2.0.0/16"], &[]),
-        org("Dragon Hosting", 65014, AsType::Hosting, cc(b"CN"), Region::AsiaEu, &["101.3.0.0/16"], &[]),
+        org(
+            "Dragon Hosting",
+            65014,
+            AsType::Hosting,
+            cc(b"CN"),
+            Region::AsiaEu,
+            &["101.3.0.0/16"],
+            &[],
+        ),
         org("Formosa Net", 65015, AsType::Isp, cc(b"TW"), Region::AsiaEu, &["101.4.0.0/16"], &[]),
-        org("Han River Telecom", 65016, AsType::Isp, cc(b"KR"), Region::AsiaEu, &["101.5.0.0/16"], &[]),
+        org(
+            "Han River Telecom",
+            65016,
+            AsType::Isp,
+            cc(b"KR"),
+            Region::AsiaEu,
+            &["101.5.0.0/16"],
+            &[],
+        ),
         org("Taiga Net", 65017, AsType::Isp, cc(b"RU"), Region::AsiaEu, &["102.0.0.0/16"], &[]),
         org("Prairie ISP", 65018, AsType::Isp, cc(b"US"), Region::NorthAm, &["103.0.0.0/16"], &[]),
-        org("Elbe Hosting", 65019, AsType::Hosting, cc(b"DE"), Region::AsiaEu, &["102.1.0.0/16"], &[]),
-        org("Polder Cloud", 65020, AsType::Cloud, cc(b"NL"), Region::AsiaEu, &["102.2.0.0/16"], &[]),
+        org(
+            "Elbe Hosting",
+            65019,
+            AsType::Hosting,
+            cc(b"DE"),
+            Region::AsiaEu,
+            &["102.1.0.0/16"],
+            &[],
+        ),
+        org(
+            "Polder Cloud",
+            65020,
+            AsType::Cloud,
+            cc(b"NL"),
+            Region::AsiaEu,
+            &["102.2.0.0/16"],
+            &[],
+        ),
         // -- Acknowledged research scanners --
-        org("ScanLab University", 65101, AsType::Education, cc(b"US"), Region::Research, &["104.0.0.0/24"], &["scanlab"]),
-        org("Atlas Survey Project", 65102, AsType::Education, cc(b"US"), Region::Research, &["104.0.1.0/24"], &["atlas-survey"]),
-        org("OpenMeasure Foundation", 65103, AsType::Enterprise, cc(b"US"), Region::Research, &["104.0.2.0/24"], &["openmeasure"]),
-        org("NetSight Security", 65104, AsType::Enterprise, cc(b"US"), Region::Research, &["104.0.3.0/24"], &["netsight"]),
-        org("Baltic Internet Observatory", 65105, AsType::Education, cc(b"DE"), Region::Research, &["104.0.4.0/24"], &["baltic-obs"]),
-        org("Kiwi Census", 65106, AsType::Enterprise, cc(b"GB"), Region::Research, &["104.0.5.0/24"], &["kiwi-census"]),
-        org("Sakura Probe Net", 65107, AsType::Education, cc(b"JP"), Region::Research, &["104.0.6.0/24"], &["sakura-probe"]),
-        org("Fjord Scanners", 65108, AsType::Enterprise, cc(b"NO"), Region::Research, &["104.0.7.0/24"], &["fjord-scan"]),
-        org("Gallic Survey", 65109, AsType::Education, cc(b"FR"), Region::Research, &["104.0.8.0/24"], &["gallic-survey"]),
-        org("Alpine Recon", 65110, AsType::Enterprise, cc(b"CH"), Region::Research, &["104.0.9.0/24"], &["alpine-recon"]),
-        org("Maple Watch", 65111, AsType::Education, cc(b"CA"), Region::Research, &["104.0.10.0/24"], &["maple-watch"]),
-        org("Antipode Labs", 65112, AsType::Enterprise, cc(b"AU"), Region::Research, &["104.0.11.0/24"], &["antipode-labs"]),
+        org(
+            "ScanLab University",
+            65101,
+            AsType::Education,
+            cc(b"US"),
+            Region::Research,
+            &["104.0.0.0/24"],
+            &["scanlab"],
+        ),
+        org(
+            "Atlas Survey Project",
+            65102,
+            AsType::Education,
+            cc(b"US"),
+            Region::Research,
+            &["104.0.1.0/24"],
+            &["atlas-survey"],
+        ),
+        org(
+            "OpenMeasure Foundation",
+            65103,
+            AsType::Enterprise,
+            cc(b"US"),
+            Region::Research,
+            &["104.0.2.0/24"],
+            &["openmeasure"],
+        ),
+        org(
+            "NetSight Security",
+            65104,
+            AsType::Enterprise,
+            cc(b"US"),
+            Region::Research,
+            &["104.0.3.0/24"],
+            &["netsight"],
+        ),
+        org(
+            "Baltic Internet Observatory",
+            65105,
+            AsType::Education,
+            cc(b"DE"),
+            Region::Research,
+            &["104.0.4.0/24"],
+            &["baltic-obs"],
+        ),
+        org(
+            "Kiwi Census",
+            65106,
+            AsType::Enterprise,
+            cc(b"GB"),
+            Region::Research,
+            &["104.0.5.0/24"],
+            &["kiwi-census"],
+        ),
+        org(
+            "Sakura Probe Net",
+            65107,
+            AsType::Education,
+            cc(b"JP"),
+            Region::Research,
+            &["104.0.6.0/24"],
+            &["sakura-probe"],
+        ),
+        org(
+            "Fjord Scanners",
+            65108,
+            AsType::Enterprise,
+            cc(b"NO"),
+            Region::Research,
+            &["104.0.7.0/24"],
+            &["fjord-scan"],
+        ),
+        org(
+            "Gallic Survey",
+            65109,
+            AsType::Education,
+            cc(b"FR"),
+            Region::Research,
+            &["104.0.8.0/24"],
+            &["gallic-survey"],
+        ),
+        org(
+            "Alpine Recon",
+            65110,
+            AsType::Enterprise,
+            cc(b"CH"),
+            Region::Research,
+            &["104.0.9.0/24"],
+            &["alpine-recon"],
+        ),
+        org(
+            "Maple Watch",
+            65111,
+            AsType::Education,
+            cc(b"CA"),
+            Region::Research,
+            &["104.0.10.0/24"],
+            &["maple-watch"],
+        ),
+        org(
+            "Antipode Labs",
+            65112,
+            AsType::Enterprise,
+            cc(b"AU"),
+            Region::Research,
+            &["104.0.11.0/24"],
+            &["antipode-labs"],
+        ),
         // -- Benign infrastructure --
-        org("Hyperflix CDN", 65201, AsType::Cloud, cc(b"US"), Region::Content, &["150.0.0.0/14"], &[]),
+        org(
+            "Hyperflix CDN",
+            65201,
+            AsType::Cloud,
+            cc(b"US"),
+            Region::Content,
+            &["150.0.0.0/14"],
+            &[],
+        ),
         org("Globe Eyeballs", 65202, AsType::Isp, cc(b"US"), Region::Other, &["160.0.0.0/14"], &[]),
         // -- The long tail: background-radiation source pool --
         org("Misc Internet", 65300, AsType::Isp, cc(b"BR"), Region::Other, &["110.0.0.0/12"], &[]),
@@ -446,18 +632,33 @@ mod tests {
     #[test]
     fn org_lookup_and_hosts() {
         let w = world();
-        let id = w.org("Umbra Cloud");
+        let id = w.org("Umbra Cloud").expect("registry org");
         let o = &w.orgs[id];
-        assert_eq!(o.host(0), Ipv4Addr4::new(100, 64, 0, 0));
-        assert_eq!(o.host(65535), Ipv4Addr4::new(100, 64, 255, 255));
+        assert_eq!(o.host(0), Some(Ipv4Addr4::new(100, 64, 0, 0)));
+        assert_eq!(o.host(65535), Some(Ipv4Addr4::new(100, 64, 255, 255)));
         assert_eq!(o.host(65536), o.host(0), "wraps");
         assert_eq!(o.size(), 65536);
     }
 
     #[test]
-    #[should_panic(expected = "unknown org")]
-    fn unknown_org_panics() {
-        world().org("Nonexistent");
+    fn unknown_org_is_none() {
+        assert_eq!(world().org("Nonexistent"), None);
+    }
+
+    #[test]
+    fn empty_org_has_no_hosts() {
+        let o = OrgDef {
+            name: "Ghost".into(),
+            asn: 1,
+            as_type: AsType::Isp,
+            country: cc(b"US"),
+            region: Region::Other,
+            prefixes: vec![],
+            acked_keywords: vec![],
+        };
+        assert_eq!(o.size(), 0);
+        assert_eq!(o.host(0), None);
+        assert_eq!(o.host(12345), None);
     }
 
     #[test]
@@ -477,10 +678,10 @@ mod tests {
         let list = w.acked_list(8);
         let rdns = w.rdns(16);
         // Cloud slot 0 is on the disclosed list (IP match).
-        let on_list = w.acked_cloud_host(0, 0);
+        let on_list = w.acked_cloud_host(0, 0).unwrap();
         assert!(list.matches(on_list, &rdns).unwrap().is_ip_match());
         // Cloud slot 6 is undisclosed but resolves with the keyword.
-        let off_list = w.acked_cloud_host(0, 6);
+        let off_list = w.acked_cloud_host(0, 6).unwrap();
         let m = list.matches(off_list, &rdns).unwrap();
         assert!(!m.is_ip_match());
         // And it lives inside the big cloud's prefix.
@@ -493,13 +694,13 @@ mod tests {
         let w = world();
         let list = w.acked_list(4);
         let rdns = w.rdns(16);
-        let org = &w.orgs[w.org("ScanLab University")];
+        let org = &w.orgs[w.org("ScanLab University").unwrap()];
         // host 10 is not on the list but has a keyword PTR.
-        let m = list.matches(org.host(10), &rdns).unwrap();
+        let m = list.matches(org.host(10).unwrap(), &rdns).unwrap();
         assert!(!m.is_ip_match());
         assert_eq!(m.org(), "ScanLab University");
         // host 2 is on the list: IP match wins.
-        assert!(list.matches(org.host(2), &rdns).unwrap().is_ip_match());
+        assert!(list.matches(org.host(2).unwrap(), &rdns).unwrap().is_ip_match());
     }
 
     #[test]

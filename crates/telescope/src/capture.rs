@@ -231,6 +231,11 @@ impl Telescope {
     pub fn stats(&self) -> &CaptureStats {
         &self.stats
     }
+
+    /// Reordering-policy counters from the event aggregator.
+    pub fn aggregator_stats(&self) -> crate::event::AggregatorStats {
+        self.aggregator.stats()
+    }
 }
 
 #[cfg(test)]
@@ -289,7 +294,8 @@ mod tests {
             80,
             40000,
         );
-        p.transport = Transport::Tcp { src_port: 80, dst_port: 40000, seq: 1, flags: TcpFlags::SYN_ACK };
+        p.transport =
+            Transport::Tcp { src_port: 80, dst_port: 40000, seq: 1, flags: TcpFlags::SYN_ACK };
         assert_eq!(t.observe(&p), CaptureOutcome::NonScan);
         assert_eq!(t.stats().total_packets, 1);
         assert_eq!(t.stats().non_scan_packets, 1);

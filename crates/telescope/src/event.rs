@@ -6,6 +6,18 @@
 //! more than the idle timeout; the completed event records its start/end
 //! timestamps, packet and byte totals, the number of *unique dark
 //! destinations* contacted, and per-tool fingerprint attribution.
+//!
+//! # Reordering policy
+//!
+//! Real capture pipelines deliver slightly out-of-order packets. The
+//! aggregator keeps a high-watermark of the newest timestamp seen and
+//! accepts any packet no older than `watermark - reorder_window`
+//! (default: half the idle timeout): such a packet joins its event
+//! normally, and if it predates the event's recorded start, the start is
+//! *repaired* backwards. Packets older than the window are *quarantined*
+//! — counted in [`AggregatorStats`], never merged — so a single
+//! wildly-late packet cannot stretch an event across hours. Every
+//! observed packet lands in exactly one of `accepted` or `quarantined`.
 
 use crate::dstset::DstSet;
 use ah_net::fingerprint::{classify, Tool};
@@ -126,6 +138,24 @@ impl DarknetEvent {
     }
 }
 
+/// Input-fate counters for the aggregator's reordering policy.
+///
+/// Conservation: `received == accepted + quarantined`; `late_accepted`
+/// and `start_repaired` are subsets of `accepted`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregatorStats {
+    /// Packets offered via `observe`.
+    pub received: u64,
+    /// Packets merged into an event.
+    pub accepted: u64,
+    /// Accepted packets that arrived behind the watermark.
+    pub late_accepted: u64,
+    /// Accepted packets that moved an event's start earlier.
+    pub start_repaired: u64,
+    /// Packets older than the reorder window, counted and dropped.
+    pub quarantined: u64,
+}
+
 struct ActiveEvent {
     start: Ts,
     last: Ts,
@@ -150,6 +180,12 @@ pub struct EventAggregator {
     last_sweep: Ts,
     /// How often `observe` triggers an implicit expiration sweep.
     sweep_every: Dur,
+    /// Newest packet timestamp seen so far.
+    watermark: Ts,
+    /// Max lateness (behind the watermark) a packet may have and still be
+    /// merged into its event.
+    reorder_window: Dur,
+    stats: AggregatorStats,
 }
 
 impl EventAggregator {
@@ -157,6 +193,12 @@ impl EventAggregator {
     /// passed to `observe` must be below it); `timeout` is the idle gap
     /// that terminates an event.
     pub fn new(dark_size: u32, timeout: Dur) -> EventAggregator {
+        Self::with_reorder_window(dark_size, timeout, Dur(timeout.0 / 2))
+    }
+
+    /// Like [`EventAggregator::new`], with an explicit reorder window
+    /// instead of the `timeout / 2` default.
+    pub fn with_reorder_window(dark_size: u32, timeout: Dur, window: Dur) -> EventAggregator {
         EventAggregator {
             timeout,
             dark_size,
@@ -164,6 +206,9 @@ impl EventAggregator {
             completed: Vec::new(),
             last_sweep: Ts::ZERO,
             sweep_every: Dur(timeout.0 / 2),
+            watermark: Ts::ZERO,
+            reorder_window: window,
+            stats: AggregatorStats::default(),
         }
     }
 
@@ -172,18 +217,36 @@ impl EventAggregator {
         self.active.len()
     }
 
+    /// Input-fate counters (reordering policy accounting).
+    pub fn stats(&self) -> AggregatorStats {
+        self.stats
+    }
+
     /// Observe one scanning packet. `dst_index` is the packet's dense
     /// index within the dark space (see [`crate::capture::DarkSpace`]).
     ///
-    /// Packets must arrive in non-decreasing time order; small reordering
-    /// is tolerated (an out-of-order packet extends the event it matches
-    /// but never moves its start earlier than the first packet seen).
+    /// Packets should arrive in roughly non-decreasing time order.
+    /// Reordering up to `reorder_window` behind the newest timestamp seen
+    /// is absorbed (the matching event's start is repaired backwards if
+    /// needed); anything older is quarantined, not merged.
     pub fn observe(&mut self, pkt: &PacketMeta, class: ScanClass, dst_index: u32) {
-        // Implicit periodic sweep keeps the active map bounded even if the
-        // caller never calls `advance`.
-        if pkt.ts.since(self.last_sweep) >= self.sweep_every {
-            self.advance(pkt.ts);
+        self.stats.received += 1;
+        let lateness = self.watermark.since(pkt.ts);
+        if lateness > self.reorder_window {
+            self.stats.quarantined += 1;
+            return;
         }
+        self.watermark = self.watermark.max(pkt.ts);
+        if lateness.0 > 0 {
+            self.stats.late_accepted += 1;
+        }
+        // Implicit periodic sweep keeps the active map bounded even if the
+        // caller never calls `advance`. Driven by the watermark so a late
+        // packet never rewinds the sweep schedule.
+        if self.watermark.since(self.last_sweep) >= self.sweep_every {
+            self.advance(self.watermark);
+        }
+        self.stats.accepted += 1;
         let key = EventKey::of(pkt, class);
         let tool = classify(pkt);
         match self.active.entry(key) {
@@ -195,6 +258,10 @@ impl EventAggregator {
                     self.completed.push(done);
                     self.active.insert(key, Self::fresh(pkt, tool, dst_index, self.dark_size));
                 } else {
+                    if pkt.ts < ev.start {
+                        ev.start = pkt.ts;
+                        self.stats.start_repaired += 1;
+                    }
                     ev.last = ev.last.max(pkt.ts);
                     ev.packets += 1;
                     ev.bytes += u64::from(pkt.wire_len);
@@ -239,6 +306,7 @@ impl EventAggregator {
     /// Expire all events idle past the timeout as of `now`.
     pub fn advance(&mut self, now: Ts) {
         self.last_sweep = now;
+        self.watermark = self.watermark.max(now);
         let timeout = self.timeout;
         let dark_size = self.dark_size;
         let expired: Vec<EventKey> = self
@@ -416,6 +484,72 @@ mod tests {
         }
         // By t=10000s, sources that spoke before t≈9300 are expired.
         assert!(a.active_count() < 100, "active map not swept: {}", a.active_count());
+    }
+
+    #[test]
+    fn late_packet_within_window_repairs_event_start() {
+        // Default reorder window is timeout/2 = 300s.
+        let mut a = agg();
+        let (p1, i1) = syn(100, 1, 0, 23);
+        a.observe(&p1, ScanClass::TcpSyn, i1);
+        let (p2, i2) = syn(50, 1, 1, 23); // 50s behind the watermark
+        a.observe(&p2, ScanClass::TcpSyn, i2);
+        let stats = a.stats();
+        assert_eq!(stats.late_accepted, 1);
+        assert_eq!(stats.start_repaired, 1);
+        assert_eq!(stats.quarantined, 0);
+        let evs = a.flush();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].start, Ts::from_secs(50));
+        assert_eq!(evs[0].end, Ts::from_secs(100));
+        assert_eq!(evs[0].packets, 2);
+    }
+
+    #[test]
+    fn packet_beyond_reorder_window_is_quarantined() {
+        let mut a = agg();
+        let (p1, i1) = syn(1000, 1, 0, 23);
+        a.observe(&p1, ScanClass::TcpSyn, i1);
+        let (p2, i2) = syn(100, 1, 1, 23); // 900s late > 300s window
+        a.observe(&p2, ScanClass::TcpSyn, i2);
+        let stats = a.stats();
+        assert_eq!(stats.received, 2);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.received, stats.accepted + stats.quarantined);
+        let evs = a.flush();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].packets, 1);
+        assert_eq!(evs[0].start, Ts::from_secs(1000));
+    }
+
+    #[test]
+    fn custom_reorder_window_is_honored() {
+        let mut a =
+            EventAggregator::with_reorder_window(DARK, Dur::from_mins(10), Dur::from_secs(10));
+        let (p1, i1) = syn(100, 1, 0, 23);
+        let (p2, i2) = syn(85, 1, 1, 23); // 15s late > 10s window
+        a.observe(&p1, ScanClass::TcpSyn, i1);
+        a.observe(&p2, ScanClass::TcpSyn, i2);
+        assert_eq!(a.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn stats_conserve_over_mixed_stream() {
+        let mut a = agg();
+        // In-order, slightly late, and wildly late packets interleaved.
+        let times = [0u64, 10, 5, 20, 700, 650, 10, 705];
+        for (k, t) in times.iter().enumerate() {
+            let (p, i) = syn(*t, 1, k as u32, 23);
+            a.observe(&p, ScanClass::TcpSyn, i);
+        }
+        let s = a.stats();
+        assert_eq!(s.received, times.len() as u64);
+        assert_eq!(s.received, s.accepted + s.quarantined);
+        assert!(s.quarantined >= 1); // the t=10 packet after watermark 700
+        assert!(s.late_accepted >= 2);
+        let total_pkts: u64 = a.flush().iter().map(|e| e.packets).sum();
+        assert_eq!(total_pkts, s.accepted);
     }
 
     #[test]

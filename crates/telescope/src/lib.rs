@@ -18,12 +18,12 @@
 //!   for much larger dark spaces (ablated in the bench suite).
 
 pub mod capture;
-pub mod hll;
 pub mod daily;
 pub mod dstset;
 pub mod event;
+pub mod hll;
 pub mod timeout;
 
 pub use capture::{CaptureStats, DarkSpace};
-pub use event::{DarknetEvent, EventAggregator, EventKey};
+pub use event::{AggregatorStats, DarknetEvent, EventAggregator, EventKey};
 pub use timeout::TimeoutModel;

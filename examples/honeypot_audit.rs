@@ -22,10 +22,7 @@ fn main() {
     println!("simulating {days} days with a distributed honeypot fleet...");
     let mut cfg = ScenarioConfig::darknet(Year::Y2022, days, 2023);
     cfg.benign = BenignLevel::Off;
-    let run = pipeline::run(
-        cfg,
-        RunOptions { merit_isp: false, cu_isp: false, greynoise: true, sampling_rate: 100 },
-    );
+    let run = pipeline::run(cfg, RunOptions { greynoise: true, ..RunOptions::darknet_only() });
 
     let entries = run.gn_entries.as_ref().expect("honeypot entries");
     let seen = run.gn_seen.as_ref().expect("honeypot seen set");
@@ -43,10 +40,7 @@ fn main() {
     );
 
     let overlap = daily_gn_overlap(&run.report, def, seen, 0..days);
-    println!(
-        "daily hitters also present at the honeypot: {:.1}% (paper: 99.3%)",
-        100.0 * overlap
-    );
+    println!("daily hitters also present at the honeypot: {:.1}% (paper: 99.3%)", 100.0 * overlap);
 
     let b = gn_breakdown(hitters, entries, &v.ips);
     println!();

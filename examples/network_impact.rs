@@ -34,11 +34,18 @@ fn main() {
         run.report.active_hitters(Definition::AddressDispersion, day).cloned()
     });
     println!();
-    println!("{:<8} {:>8} {:>14} {:>14} {:>8}", "day", "router", "AH packets", "all packets", "share");
+    println!(
+        "{:<8} {:>8} {:>14} {:>14} {:>8}",
+        "day", "router", "AH packets", "all packets", "share"
+    );
     for r in &rows {
         println!(
             "{:<8} {:>8} {:>14} {:>14} {:>7.2}%",
-            r.day, r.router, r.ah_packets, r.total_packets, r.pct()
+            r.day,
+            r.router,
+            r.ah_packets,
+            r.total_packets,
+            r.pct()
         );
     }
 
@@ -50,14 +57,11 @@ fn main() {
     // Where are the hitters visible?
     println!();
     println!("hitter presence per router (share of the day's active hitters seen):");
-    for row in presence(ds, |day| {
-        run.report.active_hitters(Definition::AddressDispersion, day).cloned()
-    }) {
-        let fr: Vec<String> = row
-            .seen_fraction
-            .iter()
-            .map(|(r, f)| format!("r{}: {:.0}%", r, 100.0 * f))
-            .collect();
+    for row in
+        presence(ds, |day| run.report.active_hitters(Definition::AddressDispersion, day).cloned())
+    {
+        let fr: Vec<String> =
+            row.seen_fraction.iter().map(|(r, f)| format!("r{}: {:.0}%", r, 100.0 * f)).collect();
         println!("  day {} ({} hitters): {}", row.day, row.population, fr.join("  "));
     }
 }

@@ -62,13 +62,12 @@ fn main() {
     let records: Box<dyn Iterator<Item = (aggressive_scanners::net::time::Ts, u16, Vec<u8>)>> =
         if bytes.len() >= 4 && bytes[0..4] == aggressive_scanners::net::pcapng::BT_SHB.to_le_bytes()
         {
-            let r = aggressive_scanners::net::pcapng::PcapNgReader::new(
-                std::io::Cursor::new(bytes),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("not a pcapng file: {e}");
-                std::process::exit(1);
-            });
+            let r =
+                aggressive_scanners::net::pcapng::PcapNgReader::new(std::io::Cursor::new(bytes))
+                    .unwrap_or_else(|e| {
+                        eprintln!("not a pcapng file: {e}");
+                        std::process::exit(1);
+                    });
             eprintln!("pcapng capture");
             Box::new(r.packets().map_while(|p| p.ok()).map(|p| (p.ts, 101u16, p.data)))
         } else {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, build, tests.
+#
+# Library and binary code must be panic-free on the unwrap path
+# (`clippy::unwrap_used` denied); tests may unwrap/expect freely
+# (allow-unwrap-in-tests in clippy.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> clippy (lib + bins, unwrap_used denied)"
+cargo clippy --workspace --lib --bins -- -D warnings -D clippy::unwrap_used
+
+echo "==> clippy (tests, benches, examples)"
+cargo clippy --workspace --tests --benches --examples -- -D warnings
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> tests"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -1,0 +1,101 @@
+//! End-to-end fault-injection ("chaos") runs: the full pipeline fed a
+//! degraded packet stream must neither panic nor lose input without a
+//! ledger entry, and detection must degrade gracefully — at a 1% fault
+//! rate the aggressive-hitter lists stay nearly identical to a pristine
+//! run (Jaccard ≥ 0.9 for all three definitions).
+
+use aggressive_scanners::core::defs::{Definition, Thresholds};
+use aggressive_scanners::core::lists::jaccard;
+use aggressive_scanners::net::time::Dur;
+use aggressive_scanners::pipeline::{self, RunOptions, RunOutput};
+use aggressive_scanners::simnet::faults::FaultPlan;
+use aggressive_scanners::simnet::scenario::ScenarioConfig;
+
+/// Loose tail cuts so the tiny scenario yields lists of tens of sources
+/// per definition (the paper's α = 10⁻⁴ assumes millions of events).
+fn chaos_thresholds() -> Thresholds {
+    Thresholds { dispersion_fraction: 0.10, volume_alpha: 0.01, ports_alpha: 0.01 }
+}
+
+fn chaos_run(faults: Option<FaultPlan>) -> RunOutput {
+    let mut opts = RunOptions::full().with_thresholds(chaos_thresholds());
+    if let Some(plan) = faults {
+        opts = opts.with_faults(plan);
+    }
+    pipeline::run(ScenarioConfig::tiny(3, 77), opts)
+}
+
+/// Every stage ledger must balance exactly, at any fault rate.
+fn assert_conserves(out: &RunOutput, label: &str) {
+    assert!(
+        out.health.conserves(),
+        "{label}: conservation violated in stages {:?}\n{}",
+        out.health.violations(),
+        out.health.render()
+    );
+}
+
+#[test]
+fn faulty_runs_never_panic_and_always_conserve() {
+    for rate in [0.001, 0.01, 0.05] {
+        let out = chaos_run(Some(FaultPlan::uniform(rate, 7)));
+        assert_conserves(&out, &format!("rate {rate}"));
+        let inj = out.health.stage("faults.injector").expect("injector stage present");
+        assert!(inj.received >= out.generated_packets, "injector saw every packet");
+        assert!(inj.discarded_total() > 0, "rate {rate} must discard something");
+        // The degraded stream still reaches every vantage point.
+        assert!(out.capture.total_packets > 0);
+        assert!(out.merit_flows.as_ref().is_some_and(|d| !d.records.is_empty()));
+        assert!(out.gn_entries.as_ref().is_some_and(|g| !g.is_empty()));
+    }
+}
+
+#[test]
+fn one_percent_faults_keep_hitter_lists_stable() {
+    let clean = chaos_run(None);
+    let faulty = chaos_run(Some(FaultPlan::uniform(0.01, 7)));
+    assert_conserves(&clean, "clean");
+    assert_conserves(&faulty, "1% faults");
+    for def in [Definition::AddressDispersion, Definition::PacketVolume, Definition::DistinctPorts]
+    {
+        let a = clean.report.hitters(def);
+        let b = faulty.report.hitters(def);
+        assert!(!a.is_empty(), "{def:?}: clean run must detect hitters");
+        let j = jaccard(a, b);
+        assert!(
+            j >= 0.9,
+            "{def:?}: Jaccard {j:.3} < 0.9 (clean {} vs faulty {})",
+            a.len(),
+            b.len()
+        );
+    }
+}
+
+#[test]
+fn clean_plan_is_an_identity() {
+    let baseline = chaos_run(None);
+    let injected = chaos_run(Some(FaultPlan::clean()));
+    assert_conserves(&injected, "clean plan");
+    let inj = injected.health.stage("faults.injector").expect("injector stage present");
+    assert_eq!(inj.received, inj.accepted, "clean plan delivers every packet");
+    assert_eq!(inj.discarded_total(), 0);
+    assert_eq!(baseline.generated_packets, injected.generated_packets);
+    assert_eq!(baseline.capture.total_packets, injected.capture.total_packets);
+    for def in [Definition::AddressDispersion, Definition::PacketVolume, Definition::DistinctPorts]
+    {
+        assert_eq!(baseline.report.hitters(def), injected.report.hitters(def), "{def:?}");
+    }
+}
+
+#[test]
+fn burst_outages_are_dropped_and_ledgered() {
+    let plan = FaultPlan::clean().with_outage(Dur::from_mins(60), Dur::from_mins(5));
+    let out = chaos_run(Some(plan));
+    assert_conserves(&out, "outage");
+    let inj = out.health.stage("faults.injector").expect("injector stage present");
+    let outage = inj.discarded.get("outage").copied().unwrap_or(0);
+    assert!(outage > 0, "periodic outage windows must drop packets");
+    assert_eq!(inj.received, inj.accepted + outage, "outage is the only loss");
+    // Capture still conserves downstream of the holes.
+    assert!(out.capture.total_packets > 0);
+}

@@ -33,8 +33,7 @@ fn active_covers_daily_for_event_definitions() {
     let out = run(32);
     for def in [Definition::AddressDispersion, Definition::PacketVolume] {
         for day in 0..out.days {
-            let daily: HashSet<_> =
-                out.report.daily_hitters(def, day).cloned().unwrap_or_default();
+            let daily: HashSet<_> = out.report.daily_hitters(def, day).cloned().unwrap_or_default();
             let active: HashSet<_> =
                 out.report.active_hitters(def, day).cloned().unwrap_or_default();
             assert!(daily.is_subset(&active), "{def:?} day {day}");

@@ -1,7 +1,9 @@
 //! End-to-end integration: simulate → capture → detect → join, asserting
 //! the paper's qualitative shape targets on a seeded miniature world.
 
-use aggressive_scanners::core::characterize::{protocol_mix_darknet, top_ports, zipf_concentration};
+use aggressive_scanners::core::characterize::{
+    protocol_mix_darknet, top_ports, zipf_concentration,
+};
 use aggressive_scanners::core::defs::Definition;
 use aggressive_scanners::core::impact::flow_impact;
 use aggressive_scanners::core::lists::jaccard;
@@ -145,10 +147,7 @@ fn spoofed_sources_never_become_hitters() {
     );
     for def in Definition::ALL {
         for ip in run.report.hitters(def) {
-            assert!(
-                !bogons.contains(*ip),
-                "bogon source {ip} became a {def:?} hitter"
-            );
+            assert!(!bogons.contains(*ip), "bogon source {ip} became a {def:?} hitter");
             // Forged random-unicast sources live in 80.0.0.0/12.
             assert!(
                 !aggressive_scanners::net::prefix::Prefix::new(

@@ -10,7 +10,7 @@ use aggressive_scanners::simnet::scenario::ScenarioConfig;
 fn sampled_estimates_track_ground_truth() {
     let run = pipeline::run(
         ScenarioConfig::tiny(2, 21),
-        RunOptions { merit_isp: true, cu_isp: false, greynoise: false, sampling_rate: 10 },
+        RunOptions { sampling_rate: 10, ..RunOptions::with_flows() },
     );
     let ds = run.merit_flows.as_ref().unwrap();
     let truth: u64 = ds.router_days.values().map(|c| c.packets).sum();
@@ -27,7 +27,7 @@ fn sampled_estimates_track_ground_truth() {
 fn unsampled_dataset_is_exact() {
     let run = pipeline::run(
         ScenarioConfig::tiny(1, 22),
-        RunOptions { merit_isp: true, cu_isp: false, greynoise: false, sampling_rate: 1 },
+        RunOptions { sampling_rate: 1, ..RunOptions::with_flows() },
     );
     let ds = run.merit_flows.as_ref().unwrap();
     let truth: u64 = ds.router_days.values().map(|c| c.packets).sum();
@@ -39,7 +39,7 @@ fn unsampled_dataset_is_exact() {
 fn netflow_v5_roundtrips_real_datasets() {
     let run = pipeline::run(
         ScenarioConfig::tiny(1, 23),
-        RunOptions { merit_isp: true, cu_isp: false, greynoise: false, sampling_rate: 5 },
+        RunOptions { sampling_rate: 5, ..RunOptions::with_flows() },
     );
     let ds = run.merit_flows.as_ref().unwrap();
     assert!(!ds.records.is_empty());
@@ -47,12 +47,7 @@ fn netflow_v5_roundtrips_real_datasets() {
     let r1: Vec<_> = ds.records.iter().filter(|r| r.router == 1).cloned().collect();
     let mut decoded = Vec::new();
     for (i, chunk) in r1.chunks(V5_MAX_RECORDS).enumerate() {
-        let wire = encode_v5(
-            chunk,
-            aggressive_scanners::net::time::Ts::from_secs(60),
-            i as u32,
-            5,
-        );
+        let wire = encode_v5(chunk, aggressive_scanners::net::time::Ts::from_secs(60), i as u32, 5);
         decoded.extend(decode_v5(&wire).unwrap());
     }
     // v5 timestamps are millisecond-resolution; compare at that granularity.
