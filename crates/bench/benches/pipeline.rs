@@ -1,0 +1,100 @@
+//! End-to-end pipeline throughput: the serial engine vs the sharded
+//! parallel engine at increasing worker counts.
+//!
+//! Besides the Criterion measurements, the bench writes a machine-readable
+//! summary (`BENCH_pipeline.json`, or the path in `$BENCH_PIPELINE_OUT`)
+//! with packets-per-second per engine configuration, measured with a
+//! best-of-three wall-clock loop over identical full-vantage runs. The
+//! summary is what `scripts/bench.sh` publishes and what the throughput
+//! table in `EXPERIMENTS.md` is generated from.
+
+use aggressive_scanners::pipeline::{self, RunOptions};
+use ah_simnet::scenario::ScenarioConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const DAYS: u64 = 2;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn cfg() -> ScenarioConfig {
+    ScenarioConfig::tiny(DAYS, SEED)
+}
+
+fn run_once(threads: usize) -> u64 {
+    if threads == 0 {
+        pipeline::run(cfg(), RunOptions::full()).generated_packets
+    } else {
+        pipeline::run_parallel(cfg(), RunOptions::full(), threads).generated_packets
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let generated = run_once(0);
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(generated));
+    g.bench_function("serial", |b| b.iter(|| black_box(run_once(0))));
+    for threads in THREAD_COUNTS {
+        g.bench_function(&format!("parallel_{threads}"), |b| {
+            b.iter(|| black_box(run_once(threads)))
+        });
+    }
+    g.finish();
+    write_summary(generated);
+}
+
+/// Best-of-three wall clock per configuration, written as JSON.
+///
+/// The host core count is recorded alongside the numbers: on a
+/// single-core host every configuration timeshares one CPU, so the
+/// parallel engine can only show its dispatch/ring overhead there —
+/// speedup needs `host_cpus >= threads`.
+fn write_summary(generated: u64) {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut lines = Vec::new();
+    let mut serial_pps = 0.0f64;
+    for (label, threads) in
+        std::iter::once(("serial", 0usize)).chain(THREAD_COUNTS.iter().map(|&t| ("parallel", t)))
+    {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            black_box(run_once(threads));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let pps = generated as f64 / best;
+        if threads == 0 {
+            serial_pps = pps;
+        }
+        let speedup = if serial_pps > 0.0 { pps / serial_pps } else { 1.0 };
+        eprintln!(
+            "[bench] {label}{}: {:.3}s, {:.0} pkts/s, {speedup:.2}x vs serial",
+            if threads == 0 { String::new() } else { format!("_{threads}") },
+            best,
+            pps,
+        );
+        lines.push(format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, ",
+                "\"packets_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}"
+            ),
+            label, threads, best, pps, speedup
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"scenario\": \"tiny({DAYS} days, seed {SEED})\",\n  \
+         \"generated_packets\": {generated},\n  \"host_cpus\": {host_cpus},\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        lines.join(",\n")
+    );
+    let path =
+        std::env::var("BENCH_PIPELINE_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[bench] wrote {path}"),
+        Err(e) => eprintln!("[bench] could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

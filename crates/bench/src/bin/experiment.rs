@@ -1,8 +1,11 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiment <id>... [--days-scale F] [--seed N] [--out DIR]
-//!   ids: table1..table9  fig1..fig6  whatif  all
+//! experiment <id>... [--days-scale F] [--seed N] [--out DIR] [--threads N]
+//!   ids: table1..table9  fig1..fig6  whatif  health  all
+//!
+//! `--threads N` (N >= 2) routes the single-pass simulation runs through
+//! the sharded parallel engine; output is bitwise identical to serial.
 //! ```
 //!
 //! Each experiment prints a paper-mirroring text table and writes CSV
@@ -75,6 +78,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = 1.0f64;
     let mut seed = 1u64;
+    let mut threads = 0usize;
     let mut out = PathBuf::from("out");
     let mut i = 0;
     while i < args.len() {
@@ -86,6 +90,10 @@ fn main() {
             "--seed" => {
                 i += 1;
                 seed = parse_flag(&args, i, "--seed", "integer");
+            }
+            "--threads" => {
+                i += 1;
+                threads = parse_flag(&args, i, "--threads", "integer");
             }
             "--out" => {
                 i += 1;
@@ -101,7 +109,7 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR]"
+            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR] [--threads N]"
         );
         std::process::exit(2);
     }
@@ -113,7 +121,7 @@ fn main() {
             .collect();
     }
     let spans = Spans::default().scaled(scale);
-    let mut ctx = Ctx { runs: Runs::new(spans, seed), out, seed };
+    let mut ctx = Ctx { runs: Runs::new(spans, seed).with_threads(threads), out, seed };
     std::fs::create_dir_all(&ctx.out).ok();
     for id in &ids {
         let t0 = std::time::Instant::now();

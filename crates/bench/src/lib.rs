@@ -41,10 +41,24 @@ impl Spans {
     }
 }
 
+/// Run a scenario on the requested engine: the serial reference for
+/// `threads <= 1`, the sharded engine otherwise. Both produce bitwise
+/// identical output (see `tests/determinism.rs`), so callers may treat
+/// the choice as a pure performance knob.
+pub fn execute(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> RunOutput {
+    if threads > 1 {
+        pipeline::run_parallel(cfg, opts, threads)
+    } else {
+        pipeline::run(cfg, opts)
+    }
+}
+
 /// Lazily-computed, shared simulation runs.
 pub struct Runs {
     pub spans: Spans,
     pub seed: u64,
+    /// Worker shards for the parallel engine (`0`/`1` = serial).
+    pub threads: usize,
     darknet1: Option<RunOutput>,
     darknet2: Option<RunOutput>,
     flows: Option<RunOutput>,
@@ -54,54 +68,72 @@ pub struct Runs {
 
 impl Runs {
     pub fn new(spans: Spans, seed: u64) -> Runs {
-        Runs { spans, seed, darknet1: None, darknet2: None, flows: None, gn: None, taps: None }
+        Runs {
+            spans,
+            seed,
+            threads: 0,
+            darknet1: None,
+            darknet2: None,
+            flows: None,
+            gn: None,
+            taps: None,
+        }
+    }
+
+    /// Route every subsequent run through `run_parallel` on `n` shards.
+    pub fn with_threads(mut self, n: usize) -> Runs {
+        self.threads = n;
+        self
     }
 
     /// Darknet-1 (2021) characterization run.
     pub fn darknet1(&mut self) -> &RunOutput {
-        let (spans, seed) = (self.spans, self.seed);
+        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
         self.darknet1.get_or_insert_with(|| {
             eprintln!("[run] darknet-1 ({} days)...", spans.darknet1_days);
-            pipeline::run(
+            execute(
                 ScenarioConfig::darknet(Year::Y2021, spans.darknet1_days, seed ^ 0x2021),
                 RunOptions::darknet_only(),
+                threads,
             )
         })
     }
 
     /// Darknet-2 (2022) characterization run.
     pub fn darknet2(&mut self) -> &RunOutput {
-        let (spans, seed) = (self.spans, self.seed);
+        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
         self.darknet2.get_or_insert_with(|| {
             eprintln!("[run] darknet-2 ({} days)...", spans.darknet2_days);
-            pipeline::run(
+            execute(
                 ScenarioConfig::darknet(Year::Y2022, spans.darknet2_days, seed ^ 0x2022),
                 RunOptions::darknet_only(),
+                threads,
             )
         })
     }
 
     /// The flow-measurement week (Merit benign + 3 border routers).
     pub fn flows(&mut self) -> &RunOutput {
-        let (spans, seed) = (self.spans, self.seed);
+        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
         self.flows.get_or_insert_with(|| {
             eprintln!("[run] flow week (1 warm-up + {} days, Merit benign)...", spans.flow_days);
-            pipeline::run(
+            execute(
                 ScenarioConfig::flows(spans.flow_days + 1, seed ^ 0xf10f),
                 RunOptions::with_flows(),
+                threads,
             )
         })
     }
 
     /// The honeypot-validation month (telescope + GreyNoise).
     pub fn gn(&mut self) -> &RunOutput {
-        let (spans, seed) = (self.spans, self.seed);
+        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
         self.gn.get_or_insert_with(|| {
             eprintln!("[run] greynoise month ({} days)...", spans.gn_days);
             let mut cfg = ScenarioConfig::darknet(Year::Y2022, spans.gn_days, seed ^ 0x60e5);
             cfg.label = "gn-month".into();
             cfg.benign = BenignLevel::Off;
-            pipeline::run(cfg, RunOptions { greynoise: true, ..RunOptions::darknet_only() })
+            execute(cfg, RunOptions { greynoise: true, ..RunOptions::darknet_only() }, threads)
         })
     }
 

@@ -21,12 +21,17 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 pub struct OriginRow {
     /// "Cloud (US)"-style label; the paper anonymizes org names.
     pub label: String,
+    /// Underlying organization name (simulator ground truth).
     pub org: String,
+    /// Distinct hitter IPs attributed to the origin.
     pub unique_ips: u64,
+    /// Distinct hitter /24s attributed to the origin.
     pub unique_24s: u64,
+    /// Scanning packets attributed to the origin.
     pub packets: u64,
     /// How many of the IPs / /24s are acknowledged scanners.
     pub acked_ips: u64,
+    /// Acknowledged-scanner /24s among `unique_24s`.
     pub acked_24s: u64,
 }
 
@@ -34,11 +39,17 @@ pub struct OriginRow {
 /// population.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OriginTotals {
+    /// Hitter IPs covered by the top-N origins.
     pub top_ips: u64,
+    /// `top_ips` as a fraction of all hitter IPs.
     pub top_ips_share: f64,
+    /// Hitter /24s covered by the top-N origins.
     pub top_24s: u64,
+    /// `top_24s` as a fraction of all hitter /24s.
     pub top_24s_share: f64,
+    /// Packets covered by the top-N origins.
     pub top_packets: u64,
+    /// `top_packets` as a fraction of all hitter packets.
     pub top_packets_share: f64,
 }
 
@@ -124,14 +135,20 @@ fn ratio(a: u64, b: u64) -> f64 {
 /// One targeted service in Figure 4.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PortRow {
+    /// Traffic type of the service.
     pub class: ScanClass,
+    /// Destination port (0 for ICMP).
     pub port: u16,
+    /// Packets with the ZMap fingerprint.
     pub zmap: u64,
+    /// Packets with the Masscan fingerprint.
     pub masscan: u64,
+    /// Packets with neither fingerprint.
     pub other: u64,
 }
 
 impl PortRow {
+    /// All packets targeting the service.
     pub fn total(&self) -> u64 {
         self.zmap + self.masscan + self.other
     }
@@ -230,6 +247,7 @@ fn to_pct(counts: [u64; 3]) -> ProtocolMix {
 /// One day of the Figure 3 time series.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TrendDay {
+    /// Day index within the run.
     pub day: u64,
     /// Hitters active this day (may have started earlier).
     pub active_ah: u64,

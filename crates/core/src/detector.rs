@@ -27,13 +27,21 @@ use std::collections::{BTreeMap, HashSet};
 /// detector's working set for multi-month runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EventRecord {
+    /// Scanning source address.
     pub src: Ipv4Addr4,
+    /// Targeted destination port (0 for ICMP).
     pub dst_port: u16,
+    /// Traffic type (TCP SYN / UDP / ICMP echo).
     pub class: ScanClass,
+    /// Day index of the event's first packet.
     pub start_day: u16,
+    /// Day index of the event's last packet.
     pub end_day: u16,
+    /// Scanning packets in the event (saturating at `u32::MAX`).
     pub packets: u32,
+    /// Total wire bytes.
     pub bytes: u64,
+    /// Exact distinct dark destinations contacted.
     pub unique_dsts: u32,
     /// Packets carrying the ZMap fingerprint.
     pub zmap: u32,
@@ -71,12 +79,14 @@ impl EventRecord {
 /// Detector configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct DetectorConfig {
+    /// Tail cuts for the three definitions.
     pub thresholds: Thresholds,
     /// Size of the monitored dark space (denominator of dispersion).
     pub dark_size: u32,
 }
 
 impl DetectorConfig {
+    /// Default thresholds over a dark space of `dark_size` addresses.
     pub fn new(dark_size: u32) -> DetectorConfig {
         DetectorConfig { thresholds: Thresholds::default(), dark_size }
     }
@@ -100,6 +110,7 @@ fn unpack_src_day(t: u64) -> (Ipv4Addr4, u16) {
 }
 
 impl Detector {
+    /// An empty detector with the given configuration.
     pub fn new(cfg: DetectorConfig) -> Detector {
         Detector { cfg, records: Vec::new(), port_tuples: Vec::new() }
     }
@@ -251,12 +262,15 @@ impl Detector {
 
 /// The finalized detection output.
 pub struct AhReport {
+    /// The configuration the detector ran with.
     pub cfg: DetectorConfig,
     /// Definition-2 packets-per-event threshold (strictly above ⇒ hitter).
     pub d2_threshold: u64,
     /// Definition-3 distinct-ports-per-day threshold.
     pub d3_threshold: u64,
+    /// ECDF over per-event packet counts (definition 2's threshold base).
     pub volume_ecdf: Ecdf,
+    /// ECDF over per-(source, day) distinct-port counts (definition 3).
     pub ports_ecdf: Ecdf,
     yearly: [HashSet<Ipv4Addr4>; 3],
     daily: [BTreeMap<u64, HashSet<Ipv4Addr4>>; 3],

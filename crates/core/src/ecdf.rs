@@ -21,10 +21,12 @@ impl Ecdf {
     }
 
     /// Number of samples.
+    /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()
     }
 
+    /// True when no samples were added.
     pub fn is_empty(&self) -> bool {
         self.sorted.is_empty()
     }

@@ -40,6 +40,7 @@ pub struct StageHealth {
 }
 
 impl StageHealth {
+    /// An empty ledger for the named stage.
     pub fn new(stage: &str) -> StageHealth {
         StageHealth { stage: stage.to_string(), ..StageHealth::default() }
     }
@@ -65,10 +66,12 @@ impl StageHealth {
 /// Health records for every stage of one pipeline run, in pipeline order.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct PipelineHealth {
+    /// Stage ledgers, in pipeline order.
     pub stages: Vec<StageHealth>,
 }
 
 impl PipelineHealth {
+    /// Append the next stage's ledger.
     pub fn push(&mut self, stage: StageHealth) {
         self.stages.push(stage);
     }

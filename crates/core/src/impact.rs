@@ -12,7 +12,9 @@ use std::collections::{BTreeMap, HashSet};
 /// Impact of a hitter population at one router on one day.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RouterDayImpact {
+    /// The border router measured.
     pub router: RouterId,
+    /// Day index within the run.
     pub day: u64,
     /// Estimated hitter packets (sampled count × sampling rate).
     pub ah_packets: u64,
@@ -66,6 +68,7 @@ pub fn flow_impact(
 /// source) at each router.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PresenceRow {
+    /// Day index within the run.
     pub day: u64,
     /// Hitters in the darknet-derived population that day.
     pub population: u64,

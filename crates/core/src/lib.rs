@@ -26,6 +26,8 @@
 //! * [`validate`] — acknowledged-scanner and honeypot cross-validation;
 //! * [`report`] — text-table and CSV rendering for the experiment runner.
 
+#![warn(missing_docs)]
+
 pub mod characterize;
 pub mod defs;
 pub mod detector;

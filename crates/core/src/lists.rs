@@ -36,9 +36,13 @@ pub fn intersect3(
 /// A population counted at the four granularities of Table 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LevelCounts {
+    /// Distinct source IPs.
     pub ips: u64,
+    /// Distinct origin ASNs.
     pub asns: u64,
+    /// Distinct organizations.
     pub orgs: u64,
+    /// Distinct origin countries.
     pub countries: u64,
 }
 

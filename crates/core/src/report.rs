@@ -13,6 +13,7 @@ pub struct TextTable {
 }
 
 impl TextTable {
+    /// An empty table with a title row and column headers.
     pub fn new(title: &str, headers: &[&str]) -> TextTable {
         TextTable {
             title: title.to_string(),
@@ -32,6 +33,7 @@ impl TextTable {
         self.rows.len()
     }
 
+    /// True when the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }

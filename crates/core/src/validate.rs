@@ -78,14 +78,18 @@ pub fn acked_validation(
 /// Figure 6 (left): GreyNoise-based breakdown of a hitter population.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct GnBreakdown {
+    /// Hitters GreyNoise classifies as benign (vetted researchers).
     pub benign: u64,
+    /// Hitters with malicious tags (worms, bruteforcers, exploits).
     pub malicious: u64,
+    /// Hitters seen by sensors but not classifiable either way.
     pub unknown: u64,
     /// Hitters never seen by any honeypot sensor (localized scanners).
     pub absent: u64,
 }
 
 impl GnBreakdown {
+    /// Size of the whole population broken down.
     pub fn total(&self) -> u64 {
         self.benign + self.malicious + self.unknown + self.absent
     }

@@ -112,7 +112,6 @@ impl FlowCache {
     /// packet in their flow are suppressed; reordered packets merge into
     /// their flow (repairing `first` if needed) instead of splitting it.
     pub fn observe(&mut self, pkt: &PacketMeta, direction: Direction) {
-        self.stats.received += 1;
         let late = pkt.ts < self.watermark;
         self.watermark = self.watermark.max(pkt.ts);
         // Sweep on the watermark so a reordered packet cannot rewind or
@@ -120,6 +119,20 @@ impl FlowCache {
         if self.watermark.since(self.last_sweep) >= self.inactive_timeout {
             self.sweep(self.watermark);
         }
+        self.observe_stamped(pkt, direction, late);
+    }
+
+    /// Account one sampled packet with a pre-computed lateness verdict.
+    ///
+    /// Shard-mode entry point for the parallel pipeline: the dispatcher
+    /// thread replays this cache's watermark over the *global* sampled
+    /// stream ([`crate::router::FlowDispatch`]), stamps each packet with
+    /// `late`, and broadcasts [`FlowCache::sweep`] calls at the exact
+    /// serial stream positions. This method applies only the per-flow
+    /// merge/cut/duplicate logic, which depends on the packet and its
+    /// own flow entry — state that sharding by source keeps local.
+    pub fn observe_stamped(&mut self, pkt: &PacketMeta, direction: Direction, late: bool) {
+        self.stats.received += 1;
         let key = FlowKey::of(pkt);
         let flags = match pkt.transport {
             Transport::Tcp { flags, .. } => flags.0,

@@ -38,7 +38,7 @@ pub enum Direction {
 /// Per-day ground-truth counters for one router (the "all routed packets"
 /// denominator of Tables 2 and 4 — what an unsampled line-card counter
 /// would report).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouterDayCounter {
     pub packets: u64,
     pub bytes: u64,
@@ -70,6 +70,25 @@ impl BorderRouter {
         c.bytes += u64::from(pkt.wire_len);
         if self.sampler.sample() {
             self.cache.observe(pkt, direction);
+        }
+    }
+
+    /// Shard-mode observe: the sampling and lateness verdicts were
+    /// pre-computed by the dispatcher's [`FlowDispatch`] over the global
+    /// stream; this router only updates its truth counters and (for
+    /// sampled packets) the per-flow cache entry.
+    fn observe_decided(
+        &mut self,
+        pkt: &PacketMeta,
+        direction: Direction,
+        sampled: bool,
+        late: bool,
+    ) {
+        let c = self.day_counters.entry(pkt.ts.day()).or_default();
+        c.packets += 1;
+        c.bytes += u64::from(pkt.wire_len);
+        if sampled {
+            self.cache.observe_stamped(pkt, direction, late);
         }
     }
 
@@ -207,16 +226,22 @@ impl IspModel {
         self.routers.iter().map(|r| r.id).collect()
     }
 
-    /// Process one packet through the ISP.
-    pub fn observe(&mut self, pkt: &PacketMeta) -> Disposition {
+    /// Where this packet would go — a pure function of the address plan
+    /// and routing policy, with no side effects on the model.
+    pub fn disposition(&self, pkt: &PacketMeta) -> Disposition {
         let src_in = self.internal.contains(pkt.src);
         let dst_in = self.internal.contains(pkt.dst);
-        let disposition = match (src_in, dst_in) {
+        match (src_in, dst_in) {
             (false, true) => Disposition::Border(self.route(pkt.src, pkt.dst), Direction::Ingress),
             (true, false) => Disposition::Border(self.route(pkt.dst, pkt.src), Direction::Egress),
             (true, true) => Disposition::Internal,
             (false, false) => Disposition::Transit,
-        };
+        }
+    }
+
+    /// Process one packet through the ISP.
+    pub fn observe(&mut self, pkt: &PacketMeta) -> Disposition {
+        let disposition = self.disposition(pkt);
         match disposition {
             Disposition::Border(id, dir) => {
                 if let Some(r) = self.router_mut(id) {
@@ -229,6 +254,44 @@ impl IspModel {
             Disposition::Transit => {}
         }
         disposition
+    }
+
+    /// Shard-mode observe with pre-computed sampling/lateness verdicts
+    /// (from the dispatcher's [`FlowDispatch`]); see
+    /// [`crate::cache::FlowCache::observe_stamped`]. The disposition is
+    /// recomputed locally — it is pure — and `sampled`/`late` are only
+    /// consulted for border-crossing packets.
+    pub fn observe_decided(&mut self, pkt: &PacketMeta, sampled: bool, late: bool) -> Disposition {
+        let disposition = self.disposition(pkt);
+        match disposition {
+            Disposition::Border(id, dir) => {
+                if let Some(r) = self.router_mut(id) {
+                    r.observe_decided(pkt, dir, sampled, late);
+                }
+            }
+            Disposition::Internal => {
+                *self.internal_by_day.entry(pkt.ts.day()).or_default() += 1;
+            }
+            Disposition::Transit => {}
+        }
+        disposition
+    }
+
+    /// Sweep a single router's flow cache as of `now` — the shard-mode
+    /// counterpart of the implicit per-cache sweep, applied when the
+    /// dispatcher broadcasts the sweep position it observed on the
+    /// global stream.
+    pub fn sweep_router(&mut self, id: RouterId, now: Ts) {
+        if let Some(r) = self.router_mut(id) {
+            r.cache.sweep(now);
+        }
+    }
+
+    /// The dispatcher-side shadow of this ISP's samplers and cache
+    /// clocks. Must be taken from a **freshly built** model (samplers at
+    /// their initial phase) before any packet is observed.
+    pub fn dispatch(&self) -> FlowDispatch {
+        FlowDispatch::new(&self.router_ids(), self.sampling_rate)
     }
 
     /// Sweep all flow caches as of `now`.
@@ -263,8 +326,126 @@ impl IspModel {
                 router_days.insert((r.id, *day), c.clone());
             }
         }
-        records.sort_by_key(|r| (r.first, r.key.src, r.key.dst_port));
+        // Total order over record content: HashMap drain order must never
+        // leak into the dataset, so ties on (first, src, dst_port) are
+        // broken by every remaining field. Records identical in all sort
+        // fields are interchangeable, making the order canonical — the
+        // parallel pipeline relies on this to merge per-shard datasets
+        // into the bitwise-identical serial result.
+        records.sort_by_key(canonical_record_key);
         FlowDataset { records, sampling_rate: self.sampling_rate, router_days }
+    }
+}
+
+/// The canonical (total) sort key for exported flow records.
+///
+/// Covers every field of the record, so any two streams containing the
+/// same multiset of records sort to the same sequence — the invariant
+/// that makes per-shard flow datasets mergeable into a bitwise-identical
+/// serial result.
+#[allow(clippy::type_complexity)]
+pub fn canonical_record_key(
+    r: &FlowRecord,
+) -> (Ts, Ipv4Addr4, u16, Ipv4Addr4, u16, u8, RouterId, u8, Ts, u64, u64, u8) {
+    (
+        r.first,
+        r.key.src,
+        r.key.dst_port,
+        r.key.dst,
+        r.key.src_port,
+        r.key.protocol,
+        r.router,
+        match r.direction {
+            Direction::Ingress => 0,
+            Direction::Egress => 1,
+        },
+        r.last,
+        r.packets,
+        r.bytes,
+        r.tcp_flags,
+    )
+}
+
+/// Per-router shadow state for the dispatcher's flow clock.
+struct DispatchRouter {
+    id: RouterId,
+    sampler: Sampler,
+    watermark: Ts,
+    last_sweep: Ts,
+    inactive_timeout: ah_net::time::Dur,
+}
+
+/// The verdicts [`FlowDispatch::decide`] stamps onto one border packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowStamp {
+    /// Border router the packet crossed.
+    pub router: RouterId,
+    /// The router's 1:N sampler selected this packet.
+    pub sampled: bool,
+    /// The packet arrived behind the router cache's watermark (only
+    /// meaningful when `sampled`).
+    pub late: bool,
+    /// When set, the serial cache would have run its implicit sweep at
+    /// this watermark *before* merging the packet: the dispatcher must
+    /// broadcast a [`FlowCache::sweep`] at this stream position to every
+    /// shard, then deliver the packet.
+    pub sweep: Option<Ts>,
+}
+
+/// Dispatcher-side shadow of an ISP's per-router samplers and flow-cache
+/// clocks, used by the sharded parallel pipeline.
+///
+/// Two pieces of [`IspModel`] state are *global* — order-dependent
+/// across flow keys and therefore across shards: each router's 1:N
+/// packet [`Sampler`] (a counter over every border packet) and each
+/// router cache's watermark (advanced by any sampled packet, consulted
+/// for lateness and the implicit sweep schedule). The dispatcher thread
+/// still sees every packet in global serial order, so it replays exactly
+/// those two pieces here and stamps each border packet with the
+/// resulting [`FlowStamp`]; shards then apply identical outcomes via
+/// [`IspModel::observe_decided`] without sharing any state.
+pub struct FlowDispatch {
+    routers: Vec<DispatchRouter>,
+}
+
+impl FlowDispatch {
+    /// Shadow for routers built by [`IspModel::new`] with the same ids
+    /// and sampling rate (same stagger phases, default cache timeouts).
+    pub fn new(router_ids: &[RouterId], sampling_rate: u64) -> FlowDispatch {
+        FlowDispatch {
+            routers: router_ids
+                .iter()
+                .map(|&id| DispatchRouter {
+                    id,
+                    sampler: Sampler::new(sampling_rate, u64::from(id) * 37),
+                    watermark: Ts::ZERO,
+                    last_sweep: Ts::ZERO,
+                    inactive_timeout: crate::cache::DEFAULT_INACTIVE_TIMEOUT,
+                })
+                .collect(),
+        }
+    }
+
+    /// Replay the sampler and cache clock for one packet with the given
+    /// (pure) disposition; `None` for non-border packets, which touch
+    /// neither sampler nor cache.
+    pub fn decide(&mut self, ts: Ts, disposition: Disposition) -> Option<FlowStamp> {
+        let Disposition::Border(id, _) = disposition else {
+            return None;
+        };
+        let r = self.routers.iter_mut().find(|r| r.id == id)?;
+        if !r.sampler.sample() {
+            return Some(FlowStamp { router: id, sampled: false, late: false, sweep: None });
+        }
+        let late = ts < r.watermark;
+        r.watermark = r.watermark.max(ts);
+        let sweep = if r.watermark.since(r.last_sweep) >= r.inactive_timeout {
+            r.last_sweep = r.watermark;
+            Some(r.watermark)
+        } else {
+            None
+        };
+        Some(FlowStamp { router: id, sampled: true, late, sweep })
     }
 }
 

@@ -78,7 +78,7 @@ const MALICIOUS_TAGS: &[&str] = &[
 ];
 
 /// The finalized record for one observed source.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GnEntry {
     pub classification: GnClassification,
     pub tags: Vec<String>,

@@ -18,6 +18,8 @@
 //!   bruteforcing scanners, acknowledged research sweeps, vertical port
 //!   sweeps, DoS backscatter, background radiation, benign user traffic);
 //! * [`mux`] — the time-ordered event-queue multiplexer;
+//! * [`ring`] — a bounded lock-free SPSC ring buffer used by the
+//!   sharded parallel pipeline to fan packets out to worker threads;
 //! * [`faults`] — seeded fault injection (drops, duplicates, bounded
 //!   reordering, truncation, corruption, burst outages) applied between
 //!   the mux and the measurement consumers;
@@ -31,6 +33,7 @@ pub mod actors;
 pub mod faults;
 pub mod mux;
 pub mod permute;
+pub mod ring;
 pub mod rng;
 pub mod scenario;
 pub mod space;

@@ -1,0 +1,334 @@
+//! Bounded lock-free SPSC ring buffer for the parallel pipeline.
+//!
+//! One producer thread (the packet dispatcher) feeds one consumer thread
+//! (a pipeline shard) through a fixed-capacity power-of-two ring. The
+//! design follows the classic cache-friendly SPSC layout:
+//!
+//! * **Cache-line-padded indices.** `head` (consumer cursor) and `tail`
+//!   (producer cursor) live on separate 128-byte-aligned cache lines so
+//!   the two threads never false-share.
+//! * **Cached counterparts.** The producer keeps a stale copy of `head`
+//!   and only re-reads the atomic when the ring *looks* full; the
+//!   consumer does the same with `tail`. In the common case a push/pop
+//!   touches no foreign cache line at all.
+//! * **Batched two-phase writes.** `push` writes the slot immediately
+//!   (phase one) but publishes the new tail only every
+//!   [`PUBLISH_BATCH`] items or on [`Producer::flush`] (phase two), so
+//!   the producer amortizes its release stores. Consumers see items in
+//!   FIFO order regardless of batching.
+//!
+//! # Memory-ordering contract
+//!
+//! Slot writes are plain (unsynchronized) stores made *before* the
+//! producer's `tail.store(Release)`; the consumer's matching
+//! `tail.load(Acquire)` therefore happens-after every write it observes
+//! — reading a slot below the loaded tail is safe. Symmetrically the
+//! consumer reads a slot out *before* `head.store(Release)`, and the
+//! producer's `head.load(Acquire)` happens-after that read — so a slot
+//! is never overwritten until its previous occupant has been moved out.
+//! Indices are monotonically increasing `usize` counters masked into the
+//! buffer, which makes "full" (`tail - head == capacity`) and "empty"
+//! (`tail == head`) unambiguous without a reserved slot.
+//!
+//! The stream is closed by dropping or [`Producer::close`]-ing the
+//! producer: `closed` is set with `Release` *after* the final flush, so
+//! a consumer that observes `closed` with `Acquire` and then finds the
+//! ring empty has seen every item.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Producer publishes its tail after at most this many buffered writes.
+pub const PUBLISH_BATCH: usize = 32;
+
+/// A 128-byte-aligned wrapper that keeps its contents on a private cache
+/// line (two 64-byte lines, covering adjacent-line prefetching).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+struct Shared<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next index the consumer will pop (published).
+    head: CachePadded<AtomicUsize>,
+    /// One past the last index the producer has published.
+    tail: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+}
+
+// Safety: the ring transfers owned `T` values between exactly two
+// threads; each slot is accessed by one side at a time per the
+// memory-ordering contract above.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drop every published-but-unpopped item.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for i in head..tail {
+            let slot = self.slots[i & self.mask].get();
+            // Safety: items in head..tail are initialized and owned by us.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// The write half of a ring; see [`ring`].
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Next index to write (may run ahead of the published tail).
+    local_tail: usize,
+    /// Last published tail value.
+    published: usize,
+    /// Stale copy of the consumer's head.
+    cached_head: usize,
+}
+
+/// The read half of a ring; see [`ring`].
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Next index to pop.
+    head: usize,
+    /// Stale copy of the producer's published tail.
+    cached_tail: usize,
+}
+
+/// Create a bounded SPSC ring holding at least `capacity` items
+/// (rounded up to a power of two, minimum 2).
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(Shared {
+        mask: cap - 1,
+        slots,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Producer { shared: Arc::clone(&shared), local_tail: 0, published: 0, cached_head: 0 },
+        Consumer { shared, head: 0, cached_tail: 0 },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Ring capacity in items.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Publish every buffered write to the consumer (phase two of the
+    /// two-phase write).
+    pub fn flush(&mut self) {
+        if self.published != self.local_tail {
+            self.shared.tail.0.store(self.local_tail, Ordering::Release);
+            self.published = self.local_tail;
+        }
+    }
+
+    /// Try to enqueue without blocking; returns the value back when the
+    /// ring is full.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let cap = self.shared.mask + 1;
+        if self.local_tail - self.cached_head >= cap {
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if self.local_tail - self.cached_head >= cap {
+                // Make buffered items visible so the consumer can drain.
+                self.flush();
+                return Err(value);
+            }
+        }
+        let slot = self.shared.slots[self.local_tail & self.shared.mask].get();
+        // Safety: the slot is free (local_tail - head < capacity) and no
+        // other thread writes it; publication below synchronizes the read.
+        unsafe { (*slot).write(value) };
+        self.local_tail += 1;
+        if self.local_tail - self.published >= PUBLISH_BATCH {
+            self.flush();
+        }
+        Ok(())
+    }
+
+    /// Enqueue, spinning (with escalating yields) while the ring is full.
+    pub fn push(&mut self, value: T) {
+        let mut v = value;
+        let mut spins = 0u32;
+        loop {
+            match self.try_push(v) {
+                Ok(()) => return,
+                Err(back) => v = back,
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Flush and mark the stream finished; the consumer's
+    /// [`Consumer::pop_wait`] returns `None` once the ring drains.
+    pub fn close(mut self) {
+        self.flush();
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        // A dropped producer behaves like close(): publish and finish.
+        if self.published != self.local_tail {
+            self.shared.tail.0.store(self.local_tail, Ordering::Release);
+            self.published = self.local_tail;
+        }
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Dequeue without blocking; `None` when no published item is ready.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.head == self.cached_tail {
+            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = self.shared.slots[self.head & self.shared.mask].get();
+        // Safety: head < published tail, so the slot is initialized and
+        // the producer will not touch it until we advance head.
+        let value = unsafe { (*slot).assume_init_read() };
+        self.head += 1;
+        self.shared.head.0.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeue, waiting (spin, then yield) for an item; `None` only after
+    /// the producer closed the ring *and* every item has been drained.
+    pub fn pop_wait(&mut self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(v) = self.pop() {
+                return Some(v);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // Re-check: the final flush happens-before `closed`.
+                return self.pop();
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// True when the producer has closed the stream (items may remain).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_one_thread() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        assert_eq!(tx.capacity(), 8);
+        for i in 0..5 {
+            tx.try_push(i).unwrap();
+        }
+        tx.flush();
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn unflushed_items_are_invisible_until_batch_or_flush() {
+        let (mut tx, mut rx) = ring::<u32>(64);
+        tx.try_push(1).unwrap();
+        assert_eq!(rx.pop(), None, "phase-one write must not be visible");
+        tx.flush();
+        assert_eq!(rx.pop(), Some(1));
+        // A full batch self-publishes.
+        for i in 0..PUBLISH_BATCH as u32 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(rx.pop(), Some(0));
+    }
+
+    #[test]
+    fn full_ring_rejects_and_capacity_is_respected() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99));
+        assert_eq!(rx.pop(), Some(0));
+        tx.try_push(4).unwrap();
+        tx.flush();
+        assert_eq!((1..=4).map(|_| rx.pop().unwrap()).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        tx.try_push(7).unwrap();
+        tx.close(); // close implies flush
+        assert_eq!(rx.pop_wait(), Some(7));
+        assert_eq!(rx.pop_wait(), None);
+        assert!(rx.is_closed());
+    }
+
+    #[test]
+    fn drop_of_producer_closes() {
+        let (tx, mut rx) = ring::<u32>(8);
+        drop(tx);
+        assert_eq!(rx.pop_wait(), None);
+    }
+
+    #[test]
+    fn unpopped_items_are_dropped_with_the_ring() {
+        // Box<u64> would leak if Shared::drop didn't run destructors;
+        // run under the workspace's normal test flags this is exercised
+        // by miri-like tooling and by not leaking under valgrind — here
+        // we at least exercise the code path.
+        let (mut tx, rx) = ring::<Box<u64>>(8);
+        tx.try_push(Box::new(1)).unwrap();
+        tx.try_push(Box::new(2)).unwrap();
+        tx.flush();
+        drop(rx);
+        drop(tx);
+    }
+
+    #[test]
+    fn cross_thread_fifo_and_completeness() {
+        const N: usize = 200_000;
+        let (mut tx, mut rx) = ring::<usize>(256);
+        let consumer = std::thread::spawn(move || {
+            let mut seen = Vec::with_capacity(N);
+            while let Some(v) = rx.pop_wait() {
+                seen.push(v);
+            }
+            seen
+        });
+        for i in 0..N {
+            tx.push(i);
+        }
+        tx.close();
+        let seen = consumer.join().expect("consumer thread");
+        assert_eq!(seen.len(), N);
+        assert!(seen.iter().enumerate().all(|(i, &v)| i == v), "items reordered or lost");
+    }
+}

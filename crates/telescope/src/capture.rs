@@ -17,6 +17,7 @@ pub struct DarkSpace {
 }
 
 impl DarkSpace {
+    /// The dark space covering `prefix`.
     pub fn new(prefix: Prefix) -> DarkSpace {
         DarkSpace { prefix }
     }
@@ -66,6 +67,7 @@ pub struct CaptureStats {
 }
 
 impl CaptureStats {
+    /// Empty statistics over a dark space of `dark_size` addresses.
     pub fn new(dark_size: u32) -> CaptureStats {
         CaptureStats {
             total_packets: 0,
@@ -104,16 +106,39 @@ impl CaptureStats {
     pub fn scan_packets(&self) -> u64 {
         self.class_packets.iter().sum()
     }
+
+    /// Fold another shard's statistics into this one.
+    ///
+    /// Counters sum; the unique-source and unique-destination sets take
+    /// their set union, so the merged result equals what a single
+    /// instance would have computed over the concatenated streams — in
+    /// any merge order.
+    pub fn merge(&mut self, other: &CaptureStats) {
+        self.total_packets += other.total_packets;
+        self.total_bytes += other.total_bytes;
+        for (a, b) in self.class_packets.iter_mut().zip(other.class_packets.iter()) {
+            *a += *b;
+        }
+        self.non_scan_packets += other.non_scan_packets;
+        self.sources.extend(other.sources.iter().copied());
+        self.dsts.union_with(&other.dsts);
+    }
 }
 
 /// Compact summary of capture statistics for reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CaptureSummary {
+    /// All packets that arrived at the dark space.
     pub total_packets: u64,
+    /// Total wire bytes.
     pub total_bytes: u64,
+    /// Packets classified as scanning.
     pub scan_packets: u64,
+    /// Packets not classifiable as scanning (backscatter etc.).
     pub non_scan_packets: u64,
+    /// Unique source IPs seen (exact).
     pub unique_sources: u64,
+    /// Unique dark destinations touched (exact).
     pub unique_dsts: u64,
 }
 
@@ -194,6 +219,31 @@ impl Telescope {
 
     /// Offer one packet to the telescope.
     pub fn observe(&mut self, pkt: &PacketMeta) -> CaptureOutcome {
+        self.observe_inner(pkt, None)
+    }
+
+    /// Offer one packet with a pre-computed aggregator-clock verdict.
+    ///
+    /// Shard-mode entry point for the parallel pipeline: filtering,
+    /// classification and capture statistics are recomputed locally
+    /// (they are pure per-packet functions), but the watermark-dependent
+    /// accept/quarantine decision comes from the dispatcher's
+    /// [`TelescopeDispatch`], which replayed the aggregator clock in
+    /// global stream order. `decision` is only consulted for scanning
+    /// packets that pass the dark-space and source-filter checks.
+    pub fn observe_decided(
+        &mut self,
+        pkt: &PacketMeta,
+        decision: crate::event::AggDecision,
+    ) -> CaptureOutcome {
+        self.observe_inner(pkt, Some(decision))
+    }
+
+    fn observe_inner(
+        &mut self,
+        pkt: &PacketMeta,
+        decision: Option<crate::event::AggDecision>,
+    ) -> CaptureOutcome {
         let Some(idx) = self.dark.index_of(pkt.dst) else {
             return CaptureOutcome::NotDark;
         };
@@ -205,7 +255,10 @@ impl Telescope {
         self.stats.record(pkt, class, idx);
         match class {
             Some(c) => {
-                self.aggregator.observe(pkt, c, idx);
+                match decision {
+                    None => self.aggregator.observe(pkt, c, idx),
+                    Some(d) => self.aggregator.observe_decided(pkt, c, idx, d),
+                }
                 CaptureOutcome::Scan(c)
             }
             None => CaptureOutcome::NonScan,
@@ -235,6 +288,80 @@ impl Telescope {
     /// Reordering-policy counters from the event aggregator.
     pub fn aggregator_stats(&self) -> crate::event::AggregatorStats {
         self.aggregator.stats()
+    }
+}
+
+/// Dispatcher-side shadow of the telescope's aggregator clock.
+///
+/// The sharded parallel pipeline splits the packet stream by source IP,
+/// but the [`crate::event::EventAggregator`] watermark (and its implicit
+/// expiration sweep) is *global* state: a packet from any source
+/// advances it, and a later packet from a different source is judged
+/// against it. To keep parallel runs bitwise-identical to serial ones,
+/// the single dispatcher thread — which still sees every packet in
+/// global serial order — runs this shadow clock, stamps each scanning
+/// packet with its [`crate::event::AggDecision`], and broadcasts an
+/// `advance(now)` to every shard whenever the serial pipeline would have
+/// swept. Shards then apply identical outcomes without sharing state.
+///
+/// Must be constructed with the same prefix/timeout/filter as the
+/// shards' [`Telescope`]s so it replays exactly the clock that
+/// [`Telescope::with_source_filter`] would build.
+pub struct TelescopeDispatch {
+    dark: DarkSpace,
+    source_filter: ah_net::prefix::PrefixSet,
+    watermark: ah_net::time::Ts,
+    last_sweep: ah_net::time::Ts,
+    sweep_every: ah_net::time::Dur,
+    reorder_window: ah_net::time::Dur,
+}
+
+impl TelescopeDispatch {
+    /// Shadow clock for a telescope built by
+    /// [`Telescope::with_source_filter`] with the same arguments.
+    pub fn new(
+        prefix: Prefix,
+        timeout: ah_net::time::Dur,
+        filter: ah_net::prefix::PrefixSet,
+    ) -> TelescopeDispatch {
+        TelescopeDispatch {
+            dark: DarkSpace::new(prefix),
+            source_filter: filter,
+            watermark: ah_net::time::Ts::ZERO,
+            last_sweep: ah_net::time::Ts::ZERO,
+            sweep_every: ah_net::time::Dur(timeout.0 / 2),
+            reorder_window: ah_net::time::Dur(timeout.0 / 2),
+        }
+    }
+
+    /// Run the serial aggregator's clock logic for one packet.
+    ///
+    /// Returns `None` for packets the aggregator would never see
+    /// (outside the dark space, filtered source, or non-scanning);
+    /// otherwise the accept/quarantine decision plus, when the implicit
+    /// sweep fired, the sweep timestamp that must be broadcast to every
+    /// shard *before* this packet is delivered to its own shard.
+    pub fn decide(
+        &mut self,
+        pkt: &PacketMeta,
+    ) -> Option<(crate::event::AggDecision, Option<ah_net::time::Ts>)> {
+        self.dark.index_of(pkt.dst)?;
+        if self.source_filter.contains(pkt.src) {
+            return None;
+        }
+        pkt.scan_class()?;
+        let lateness = self.watermark.since(pkt.ts);
+        if lateness > self.reorder_window {
+            return Some((crate::event::AggDecision::Quarantine, None));
+        }
+        self.watermark = self.watermark.max(pkt.ts);
+        let sweep = if self.watermark.since(self.last_sweep) >= self.sweep_every {
+            self.last_sweep = self.watermark;
+            Some(self.watermark)
+        } else {
+            None
+        };
+        Some((crate::event::AggDecision::Accept { late: lateness.0 > 0 }, sweep))
     }
 }
 

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// Aggregates for one day of capture.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DayStats {
     /// Scanning packets captured this day.
     pub scan_packets: u64,
@@ -35,6 +35,7 @@ struct DayAccum {
 }
 
 impl DailyTracker {
+    /// An empty tracker.
     pub fn new() -> DailyTracker {
         DailyTracker::default()
     }
@@ -69,6 +70,20 @@ impl DailyTracker {
     /// Days observed so far.
     pub fn day_count(&self) -> usize {
         self.days.len()
+    }
+
+    /// Fold another shard's tracker into this one.
+    ///
+    /// Packet counters sum and per-day source sets take their union, so
+    /// the merged tracker finalizes to exactly what a single tracker fed
+    /// the concatenated streams would produce — in any merge order.
+    pub fn absorb(&mut self, other: DailyTracker) {
+        for (day, acc) in other.days {
+            let mine = self.days.entry(day).or_default();
+            mine.scan_packets += acc.scan_packets;
+            mine.total_packets += acc.total_packets;
+            mine.sources.extend(acc.sources);
+        }
     }
 }
 

@@ -123,6 +123,48 @@ impl DstSet {
         }
     }
 
+    /// Union another set into this one (exact, order-insensitive).
+    ///
+    /// Fast-paths the bitmap×bitmap case with word-wise OR; all other
+    /// representation pairs fall back to element-wise insertion (which
+    /// also performs any representation upgrades the growth triggers).
+    pub fn union_with(&mut self, other: &DstSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch in union");
+        if let (Repr::Bitmap { words, count }, Repr::Bitmap { words: ow, .. }) =
+            (&mut self.repr, &other.repr)
+        {
+            let mut total = 0u32;
+            for (a, b) in words.iter_mut().zip(ow.iter()) {
+                *a |= *b;
+                total += a.count_ones();
+            }
+            *count = total;
+            return;
+        }
+        match &other.repr {
+            Repr::Vec(v) => {
+                for &id in v {
+                    self.insert(id);
+                }
+            }
+            Repr::Hash(set) => {
+                for &id in set {
+                    self.insert(id);
+                }
+            }
+            Repr::Bitmap { words, .. } => {
+                for (w, word) in words.iter().enumerate() {
+                    let mut bits = *word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros();
+                        self.insert(w as u32 * 64 + b);
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Which representation is currently in use (for tests/benches).
     pub fn repr_name(&self) -> &'static str {
         match self.repr {

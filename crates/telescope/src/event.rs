@@ -33,8 +33,11 @@ use std::collections::HashMap;
 /// events dataset encodes them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct EventKey {
+    /// Scanning source address.
     pub src: Ipv4Addr4,
+    /// Targeted destination port (0 for ICMP).
     pub dst_port: u16,
+    /// Traffic type (TCP SYN / UDP / ICMP echo).
     pub class: ScanClass,
 }
 
@@ -48,9 +51,13 @@ impl EventKey {
 /// Per-tool packet counters, indexed by [`Tool`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ToolCounts {
+    /// Packets carrying the ZMap fingerprint.
     pub zmap: u64,
+    /// Packets carrying the Masscan fingerprint.
     pub masscan: u64,
+    /// Packets carrying the Mirai fingerprint.
     pub mirai: u64,
+    /// Packets with no known tool fingerprint.
     pub other: u64,
 }
 
@@ -101,8 +108,11 @@ impl ToolCounts {
 /// A completed darknet event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DarknetEvent {
+    /// The (source, port, type) identity of the logical scan.
     pub key: EventKey,
+    /// Timestamp of the event's first packet.
     pub start: Ts,
+    /// Timestamp of the event's last packet.
     pub end: Ts,
     /// Total scanning packets in the event.
     pub packets: u64,
@@ -138,6 +148,26 @@ impl DarknetEvent {
     }
 }
 
+/// The aggregator-clock verdict for one scanning packet.
+///
+/// In the serial pipeline [`EventAggregator::observe`] computes this
+/// internally from its watermark. In the sharded parallel pipeline the
+/// dispatcher thread — which sees the packet stream in global serial
+/// order — replays the same watermark logic once and stamps each packet
+/// with the resulting decision, so every shard applies *identical*
+/// accept/quarantine outcomes regardless of thread interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggDecision {
+    /// The packet is older than the reorder window: count and drop.
+    Quarantine,
+    /// Merge the packet into its event; `late` marks packets that
+    /// arrived behind the watermark (within the window).
+    Accept {
+        /// The packet arrived behind the watermark.
+        late: bool,
+    },
+}
+
 /// Input-fate counters for the aggregator's reordering policy.
 ///
 /// Conservation: `received == accepted + quarantined`; `late_accepted`
@@ -154,6 +184,17 @@ pub struct AggregatorStats {
     pub start_repaired: u64,
     /// Packets older than the reorder window, counted and dropped.
     pub quarantined: u64,
+}
+
+impl AggregatorStats {
+    /// Sum another shard's counters into this one (order-insensitive).
+    pub fn merge(&mut self, other: &AggregatorStats) {
+        self.received += other.received;
+        self.accepted += other.accepted;
+        self.late_accepted += other.late_accepted;
+        self.start_repaired += other.start_repaired;
+        self.quarantined += other.quarantined;
+    }
 }
 
 struct ActiveEvent {
@@ -230,21 +271,47 @@ impl EventAggregator {
     /// is absorbed (the matching event's start is repaired backwards if
     /// needed); anything older is quarantined, not merged.
     pub fn observe(&mut self, pkt: &PacketMeta, class: ScanClass, dst_index: u32) {
-        self.stats.received += 1;
         let lateness = self.watermark.since(pkt.ts);
         if lateness > self.reorder_window {
-            self.stats.quarantined += 1;
+            self.observe_decided(pkt, class, dst_index, AggDecision::Quarantine);
             return;
         }
         self.watermark = self.watermark.max(pkt.ts);
-        if lateness.0 > 0 {
-            self.stats.late_accepted += 1;
-        }
         // Implicit periodic sweep keeps the active map bounded even if the
         // caller never calls `advance`. Driven by the watermark so a late
         // packet never rewinds the sweep schedule.
         if self.watermark.since(self.last_sweep) >= self.sweep_every {
             self.advance(self.watermark);
+        }
+        self.observe_decided(pkt, class, dst_index, AggDecision::Accept { late: lateness.0 > 0 });
+    }
+
+    /// Observe one scanning packet with a pre-computed clock verdict.
+    ///
+    /// This is the shard-mode entry point: the caller (the parallel
+    /// dispatcher) has already run the watermark/reorder logic in global
+    /// stream order and supplies the [`AggDecision`]; this aggregator's
+    /// own watermark is left untouched and sweeps happen only via
+    /// explicit [`EventAggregator::advance`] calls (broadcast by the
+    /// dispatcher at the exact serial stream positions). Per-key merge
+    /// semantics are identical to [`EventAggregator::observe`].
+    pub fn observe_decided(
+        &mut self,
+        pkt: &PacketMeta,
+        class: ScanClass,
+        dst_index: u32,
+        decision: AggDecision,
+    ) {
+        self.stats.received += 1;
+        let late = match decision {
+            AggDecision::Quarantine => {
+                self.stats.quarantined += 1;
+                return;
+            }
+            AggDecision::Accept { late } => late,
+        };
+        if late {
+            self.stats.late_accepted += 1;
         }
         self.stats.accepted += 1;
         let key = EventKey::of(pkt, class);

@@ -28,6 +28,7 @@ fn hash64(x: u64) -> u64 {
 impl<const P: u8> HyperLogLog<P> {
     const M: usize = 1 << P;
 
+    /// An empty sketch with `2^P` registers.
     pub fn new() -> Self {
         assert!((4..=18).contains(&P), "register exponent out of range");
         HyperLogLog { registers: vec![0u8; Self::M] }

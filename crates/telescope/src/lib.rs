@@ -17,6 +17,8 @@
 //! * [`hll`] — a HyperLogLog sketch, the constant-memory alternative
 //!   for much larger dark spaces (ablated in the bench suite).
 
+#![warn(missing_docs)]
+
 pub mod capture;
 pub mod daily;
 pub mod dstset;

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Pipeline throughput baseline: runs the end-to-end engine bench (serial
+# vs sharded parallel) and publishes the machine-readable summary as
+# BENCH_pipeline.json in the repo root.
+#
+# The summary records packets/sec and speedup per thread count plus the
+# host core count — on a single-core host the parallel engine can only
+# exhibit its dispatch overhead, so interpret speedups against host_cpus.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BENCH_PIPELINE_OUT="${BENCH_PIPELINE_OUT:-$PWD/BENCH_pipeline.json}"
+
+echo "==> pipeline throughput bench (summary -> $BENCH_PIPELINE_OUT)"
+cargo bench -p ah-bench --bench pipeline
+
+echo "==> summary"
+cat "$BENCH_PIPELINE_OUT"

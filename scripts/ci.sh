@@ -16,6 +16,12 @@ cargo clippy --workspace --lib --bins -- -D warnings -D clippy::unwrap_used
 echo "==> clippy (tests, benches, examples)"
 cargo clippy --workspace --tests --benches --examples -- -D warnings
 
+echo "==> rustdoc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> benches compile"
+cargo bench --workspace --no-run -q
+
 echo "==> build (release)"
 cargo build --release --workspace
 

@@ -5,6 +5,21 @@
 //! CU-like campus border, and the honeypot fleet — in a single pass, then
 //! finalizes detection.
 //!
+//! Two execution engines share one finalization path:
+//!
+//! * [`run`] — the serial reference: one vantage stack consumes the
+//!   muxed (and optionally fault-injected) stream in generation order.
+//! * [`run_parallel`] — the sharded engine: a single-threaded dispatcher
+//!   replays every *global* (cross-source order-dependent) decision —
+//!   fault injection, aggregator watermark/sweep clocks, per-router
+//!   samplers and flow-cache clocks — and stamps the verdicts onto each
+//!   packet, then hands the packet to one of N worker shards over a
+//!   lock-free SPSC ring ([`ah_simnet::ring`]). Sharding is by source IP,
+//!   so all per-source state is shard-local; shard outputs merge with
+//!   order-insensitive operators and both engines produce **bitwise
+//!   identical** [`RunOutput`]s (see `ARCHITECTURE.md` for the proof
+//!   sketch and [`RunOutput::fingerprint`] for the check).
+//!
 //! Tap experiments (Figures 1/2) are inherently two-phase: the paper
 //! derives the hitter list from darknet detection *before* counting
 //! hitter packets on the mirrored streams. [`run_taps`] therefore runs
@@ -18,17 +33,22 @@ use ah_core::health::{PipelineHealth, StageHealth};
 use ah_core::impact::{TapAnalyzer, TapSeries};
 use ah_flow::cache::CacheStats;
 use ah_flow::record::FlowRecord;
-use ah_flow::router::{FlowDataset, IspConfig, IspModel, RouterId};
+use ah_flow::router::{canonical_record_key, FlowDataset, IspConfig, IspModel, RouterId};
 use ah_flow::v9::{encode_v9, V9Decoder};
-use ah_intel::greynoise::{GnEntry, GreyNoise, PayloadHint};
+use ah_intel::greynoise::{GnEntry, GreyNoise, IngestStats, PayloadHint};
 use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::{PacketMeta, ScanClass};
 use ah_net::time::Ts;
-use ah_simnet::faults::{FaultInjector, FaultPlan};
+use ah_simnet::faults::{FaultInjector, FaultPlan, InjectorStats};
+use ah_simnet::ring::ring;
 use ah_simnet::rng::hash64;
 use ah_simnet::scenario::{Scenario, ScenarioConfig};
 use ah_simnet::world::World;
-use ah_telescope::capture::{CaptureOutcome, CaptureSummary, Telescope};
+use ah_telescope::capture::{
+    CaptureOutcome, CaptureStats, CaptureSummary, DarkSpace, Telescope, TelescopeDispatch,
+};
 use ah_telescope::daily::{DailyTracker, DayStats};
+use ah_telescope::event::{AggDecision, AggregatorStats, DarknetEvent};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Which vantage points to instantiate for a run.
@@ -125,6 +145,20 @@ fn merit_isp(world: &World, sampling_rate: u64) -> IspModel {
     })
 }
 
+/// The telescope's operational source filter.
+///
+/// The synthetic address plan reuses several special-purpose v4 ranges
+/// (RFC 1918 for the ISPs, benchmarking space for the sensors), so the
+/// filter lists only bogons that cannot collide with it. Real deployments
+/// would pass `ah_net::prefix::standard_bogons()`.
+fn bogon_filter() -> ah_net::prefix::PrefixSet {
+    ah_net::prefix::PrefixSet::from_prefixes(
+        ["0.0.0.0/8", "127.0.0.0/8", "169.254.0.0/16", "224.0.0.0/4", "240.0.0.0/4"]
+            .iter()
+            .map(|p| p.parse().expect("static prefix")),
+    )
+}
+
 /// Payload evidence for the honeypot tagger, derived deterministically
 /// from the source (the simulator does not carry HTTP payload bytes; see
 /// the `intel::greynoise` module docs for this documented substitution).
@@ -170,70 +204,372 @@ fn v9_loopback(records: &[FlowRecord]) -> StageHealth {
     st
 }
 
+// --- Shared vantage-point state (one copy per shard) -------------------
+
+fn class_rank(c: ScanClass) -> u8 {
+    match c {
+        ScanClass::TcpSyn => 0,
+        ScanClass::Udp => 1,
+        ScanClass::IcmpEcho => 2,
+    }
+}
+
+/// Total order over darknet-event *content*, used to canonicalize the
+/// detector's ingest order. Events with identical keys are interchangeable,
+/// so sorting by every field yields one canonical sequence no matter which
+/// shard (or hash-map iteration order) produced the events.
+#[allow(clippy::type_complexity)]
+fn event_sort_key(ev: &DarknetEvent) -> (u32, u16, u8, Ts, Ts, u64, u64, u32, u64, u64, u64, u64) {
+    (
+        ev.key.src.to_u32(),
+        ev.key.dst_port,
+        class_rank(ev.key.class),
+        ev.start,
+        ev.end,
+        ev.packets,
+        ev.bytes,
+        ev.unique_dsts,
+        ev.tools.zmap,
+        ev.tools.masscan,
+        ev.tools.mirai,
+        ev.tools.other,
+    )
+}
+
+/// All vantage-point state for one execution unit — the whole pipeline in
+/// the serial engine, one shard's slice of it in the parallel engine.
+struct Vantage {
+    telescope: Telescope,
+    tracker: DailyTracker,
+    merit: Option<IspModel>,
+    cu: Option<IspModel>,
+    gn: Option<GreyNoise>,
+    not_dark: u64,
+}
+
+/// Everything a shard hands back for the order-insensitive merge.
+struct ShardOut {
+    events: Vec<DarknetEvent>,
+    capture: CaptureStats,
+    agg: AggregatorStats,
+    filtered: u64,
+    not_dark: u64,
+    tracker: DailyTracker,
+    merit: Option<(CacheStats, FlowDataset)>,
+    cu: Option<(CacheStats, FlowDataset)>,
+    gn: Option<(HashMap<Ipv4Addr4, GnEntry>, IngestStats)>,
+}
+
+impl Vantage {
+    fn build(world: &World, opts: &RunOptions) -> Vantage {
+        let telescope = Telescope::with_source_filter(
+            world.config.dark,
+            ah_telescope::timeout::paper_default(),
+            bogon_filter(),
+        );
+        let merit = opts.merit_isp.then(|| merit_isp(world, opts.sampling_rate));
+        let cu = opts.cu_isp.then(|| cu_isp(world, opts.sampling_rate));
+        let gn = opts.greynoise.then(|| {
+            // GN's vetting knows the acknowledged orgs' addresses.
+            let acked = world.acked_list(64);
+            let rdns = world.rdns(64);
+            let mut vetted: HashSet<Ipv4Addr4> = HashSet::new();
+            for org in world.orgs.iter().filter(|o| o.is_acked()) {
+                for i in 0..64.min(org.size()) {
+                    let Some(ip) = org.host(i) else { continue };
+                    if acked.matches(ip, &rdns).is_some() {
+                        vetted.insert(ip);
+                    }
+                }
+            }
+            GreyNoise::new(world.sensor_set(), vetted)
+        });
+        Vantage { telescope, tracker: DailyTracker::new(), merit, cu, gn, not_dark: 0 }
+    }
+
+    fn track(&mut self, pkt: &PacketMeta, outcome: CaptureOutcome) {
+        match outcome {
+            CaptureOutcome::Scan(_) => self.tracker.record(pkt, true),
+            CaptureOutcome::NonScan => self.tracker.record(pkt, false),
+            CaptureOutcome::NotDark => self.not_dark += 1,
+            CaptureOutcome::FilteredSource => {}
+        }
+    }
+
+    /// Serial engine: every vantage point runs its own clocks.
+    fn consume(&mut self, pkt: &PacketMeta) {
+        let outcome = self.telescope.observe(pkt);
+        self.track(pkt, outcome);
+        if let Some(m) = self.merit.as_mut() {
+            m.observe(pkt);
+        }
+        if let Some(c) = self.cu.as_mut() {
+            c.observe(pkt);
+        }
+        if let Some(g) = self.gn.as_mut() {
+            g.observe(pkt, payload_hint(pkt.src, pkt.dst_port()));
+        }
+    }
+
+    /// Parallel engine: the dispatcher already ran every clock; replay
+    /// its verdicts from the message flags.
+    fn consume_decided(&mut self, pkt: &PacketMeta, flags: u8) {
+        let decision = if flags & F_AGG_QUARANTINE != 0 {
+            AggDecision::Quarantine
+        } else {
+            AggDecision::Accept { late: flags & F_AGG_LATE != 0 }
+        };
+        let outcome = self.telescope.observe_decided(pkt, decision);
+        self.track(pkt, outcome);
+        if let Some(m) = self.merit.as_mut() {
+            m.observe_decided(pkt, flags & F_MERIT_SAMPLED != 0, flags & F_MERIT_LATE != 0);
+        }
+        if let Some(c) = self.cu.as_mut() {
+            c.observe_decided(pkt, flags & F_CU_SAMPLED != 0, flags & F_CU_LATE != 0);
+        }
+        if let Some(g) = self.gn.as_mut() {
+            g.observe(pkt, payload_hint(pkt.src, pkt.dst_port()));
+        }
+    }
+
+    fn apply(&mut self, msg: PipeMsg) {
+        match msg {
+            PipeMsg::Pkt(pkt, flags) => self.consume_decided(&pkt, flags),
+            PipeMsg::AggSweep(now) => self.telescope.advance(now),
+            PipeMsg::FlowSweep { cu, router, now } => {
+                let isp = if cu { self.cu.as_mut() } else { self.merit.as_mut() };
+                if let Some(m) = isp {
+                    m.sweep_router(router, now);
+                }
+            }
+        }
+    }
+
+    /// Flush open state and reduce to plain mergeable data.
+    fn into_shard_out(mut self) -> ShardOut {
+        let events = self.telescope.flush();
+        let agg = self.telescope.aggregator_stats();
+        let filtered = self.telescope.filtered_packets();
+        let capture = self.telescope.stats().clone();
+        // Cache stats are snapshotted before `finish` flushes the caches,
+        // mirroring the serial health-ledger read order.
+        let merit = self.merit.map(|m| (m.cache_stats(), m.finish()));
+        let cu = self.cu.map(|c| (c.cache_stats(), c.finish()));
+        let gn = self.gn.map(|g| {
+            let stats = g.ingest_stats();
+            (g.finalize(), stats)
+        });
+        ShardOut {
+            events,
+            capture,
+            agg,
+            filtered,
+            not_dark: self.not_dark,
+            tracker: self.tracker,
+            merit,
+            cu,
+            gn,
+        }
+    }
+}
+
+// --- The sharded engine ------------------------------------------------
+
+/// Per-ring slot count. Broadcast sweeps are rare (every half-timeout of
+/// simulated time), so rings mostly carry 1/N of the packet stream.
+const RING_CAPACITY: usize = 4096;
+
+const F_AGG_QUARANTINE: u8 = 1;
+const F_AGG_LATE: u8 = 2;
+const F_MERIT_SAMPLED: u8 = 4;
+const F_MERIT_LATE: u8 = 8;
+const F_CU_SAMPLED: u8 = 16;
+const F_CU_LATE: u8 = 32;
+
+/// One message on a shard's ring: a packet with the dispatcher's verdict
+/// flags, or a broadcast clock event every shard must apply at this exact
+/// stream position.
+#[derive(Debug, Clone, Copy)]
+enum PipeMsg {
+    Pkt(PacketMeta, u8),
+    /// The event aggregator's implicit sweep fired at `Ts`.
+    AggSweep(Ts),
+    /// One border router's flow-cache inactive sweep fired.
+    FlowSweep {
+        cu: bool,
+        router: RouterId,
+        now: Ts,
+    },
+}
+
+fn shard_of(src: Ipv4Addr4, threads: usize) -> usize {
+    (hash64(u64::from(src.to_u32())) % threads as u64) as usize
+}
+
+/// Merge shard outputs and finalize. The serial engine passes a single
+/// shard, so both engines share every line of finalization.
+fn finalize_run(
+    world: World,
+    days: u64,
+    generated: u64,
+    delivered: u64,
+    injector: Option<InjectorStats>,
+    shards: Vec<ShardOut>,
+    opts: &RunOptions,
+) -> RunOutput {
+    let mut shards = shards.into_iter();
+    let first = shards.next().expect("at least one shard");
+    let mut capture_stats = first.capture;
+    let mut agg = first.agg;
+    let mut filtered = first.filtered;
+    let mut not_dark = first.not_dark;
+    let mut tracker = first.tracker;
+    let mut events = first.events;
+    let mut merit_parts: Vec<_> = first.merit.into_iter().collect();
+    let mut cu_parts: Vec<_> = first.cu.into_iter().collect();
+    let mut gn_parts: Vec<_> = first.gn.into_iter().collect();
+    for sh in shards {
+        capture_stats.merge(&sh.capture);
+        agg.merge(&sh.agg);
+        filtered += sh.filtered;
+        not_dark += sh.not_dark;
+        tracker.absorb(sh.tracker);
+        events.extend(sh.events);
+        merit_parts.extend(sh.merit);
+        cu_parts.extend(sh.cu);
+        gn_parts.extend(sh.gn);
+    }
+
+    // Canonical ingest order: shard counts (and hash-map iteration) must
+    // not leak into the report's record table.
+    events.sort_by_key(event_sort_key);
+    let mut detector = Detector::new(DetectorConfig {
+        thresholds: opts.thresholds,
+        dark_size: DarkSpace::new(world.config.dark).size(),
+    });
+    for ev in &events {
+        detector.ingest(ev);
+    }
+
+    let merit = merge_flow_parts(merit_parts);
+    let cu = merge_flow_parts(cu_parts);
+    let gn = merge_gn_parts(gn_parts);
+
+    // --- Health ledger, in pipeline order ------------------------------
+    let mut health = PipelineHealth::default();
+    if let Some(s) = injector {
+        let mut st = StageHealth::new("faults.injector");
+        st.received = s.input + s.duplicated;
+        st.accepted = s.delivered;
+        st.discard("dropped", s.dropped);
+        st.discard("outage", s.outage_dropped);
+        st.discard("truncated", s.truncated_discarded);
+        st.discard("corrupt", s.corrupt_discarded);
+        health.push(st);
+    }
+    let mut cap = StageHealth::new("telescope.capture");
+    cap.received = delivered;
+    cap.accepted = capture_stats.total_packets;
+    cap.discard("not_dark", not_dark);
+    cap.discard("filtered_source", filtered);
+    health.push(cap);
+    let mut ev = StageHealth::new("telescope.events");
+    ev.received = agg.received;
+    ev.accepted = agg.accepted;
+    ev.repaired = agg.start_repaired;
+    ev.quarantined = agg.quarantined;
+    health.push(ev);
+    if let Some((s, _)) = merit.as_ref() {
+        health.push(cache_stage("flow.merit", *s));
+    }
+    if let Some((s, _)) = cu.as_ref() {
+        health.push(cache_stage("flow.cu", *s));
+    }
+    if let Some((_, s)) = gn.as_ref() {
+        let mut st = StageHealth::new("intel.greynoise");
+        st.received = s.received;
+        st.accepted = s.accepted;
+        st.discard("non_sensor_dst", s.ignored);
+        health.push(st);
+    }
+
+    let capture = CaptureSummary::from(&capture_stats);
+    let report = detector.finalize();
+    let (gn_entries, gn_seen) = match gn {
+        Some((entries, _)) => {
+            let seen = entries.keys().copied().collect();
+            (Some(entries), Some(seen))
+        }
+        None => (None, None),
+    };
+    let merit_flows = merit.map(|(_, d)| d);
+    if let Some(flows) = merit_flows.as_ref() {
+        health.push(v9_loopback(&flows.records));
+    }
+    RunOutput {
+        world,
+        report,
+        capture,
+        daily: tracker.finalize(),
+        merit_flows,
+        cu_flows: cu.map(|(_, d)| d),
+        gn_entries,
+        gn_seen,
+        days,
+        generated_packets: generated,
+        health,
+    }
+}
+
+/// Merge per-shard flow datasets: cache counters sum, records concatenate
+/// and re-sort by the canonical total order, truth counters sum.
+fn merge_flow_parts(parts: Vec<(CacheStats, FlowDataset)>) -> Option<(CacheStats, FlowDataset)> {
+    let mut parts = parts.into_iter();
+    let (mut stats, mut ds) = parts.next()?;
+    for (s, d) in parts {
+        stats.merge(&s);
+        ds.records.extend(d.records);
+        for (k, c) in d.router_days {
+            let e = ds.router_days.entry(k).or_default();
+            e.packets += c.packets;
+            e.bytes += c.bytes;
+        }
+    }
+    ds.records.sort_by_key(canonical_record_key);
+    Some((stats, ds))
+}
+
+/// Merge per-shard honeypot output. Entry maps are keyed by source IP and
+/// sources are shard-disjoint, so the union is exact.
+#[allow(clippy::type_complexity)]
+fn merge_gn_parts(
+    parts: Vec<(HashMap<Ipv4Addr4, GnEntry>, IngestStats)>,
+) -> Option<(HashMap<Ipv4Addr4, GnEntry>, IngestStats)> {
+    let mut parts = parts.into_iter();
+    let (mut map, mut stats) = parts.next()?;
+    for (m, s) in parts {
+        map.extend(m);
+        stats.received += s.received;
+        stats.accepted += s.accepted;
+        stats.ignored += s.ignored;
+    }
+    Some((map, stats))
+}
+
 /// Run a scenario through every requested vantage point and detect.
 pub fn run(cfg: ScenarioConfig, opts: RunOptions) -> RunOutput {
     let days = cfg.days;
     let mut sc = Scenario::build(cfg);
     let world = sc.world.clone();
-
-    // The synthetic address plan reuses several special-purpose v4 ranges
-    // (RFC 1918 for the ISPs, benchmarking space for the sensors), so the
-    // operational filter here lists only bogons that cannot collide with
-    // it. Real deployments would pass `ah_net::prefix::standard_bogons()`.
-    let bogons = ah_net::prefix::PrefixSet::from_prefixes(
-        ["0.0.0.0/8", "127.0.0.0/8", "169.254.0.0/16", "224.0.0.0/4", "240.0.0.0/4"]
-            .iter()
-            .map(|p| p.parse().expect("static prefix")),
-    );
-    let mut telescope = Telescope::with_source_filter(
-        world.config.dark,
-        ah_telescope::timeout::paper_default(),
-        bogons,
-    );
-    let mut tracker = DailyTracker::new();
-    let mut detector = Detector::new(DetectorConfig {
-        thresholds: opts.thresholds,
-        dark_size: telescope.dark_space().size(),
-    });
-    let mut merit = opts.merit_isp.then(|| merit_isp(&world, opts.sampling_rate));
-    let mut cu = opts.cu_isp.then(|| cu_isp(&world, opts.sampling_rate));
-    let mut gn = opts.greynoise.then(|| {
-        // GN's vetting knows the acknowledged orgs' addresses.
-        let acked = world.acked_list(64);
-        let rdns = world.rdns(64);
-        let mut vetted: HashSet<Ipv4Addr4> = HashSet::new();
-        for org in world.orgs.iter().filter(|o| o.is_acked()) {
-            for i in 0..64.min(org.size()) {
-                let Some(ip) = org.host(i) else { continue };
-                if acked.matches(ip, &rdns).is_some() {
-                    vetted.insert(ip);
-                }
-            }
-        }
-        GreyNoise::new(world.sensor_set(), vetted)
-    });
+    let mut vantage = Vantage::build(&world, &opts);
 
     let mut generated = 0u64;
-    let mut not_dark = 0u64;
+    let mut delivered = 0u64;
     let mut injector = opts.faults.map(FaultInjector::new);
     {
-        let mut consume = |pkt: &ah_net::packet::PacketMeta| {
-            let outcome = telescope.observe(pkt);
-            match outcome {
-                CaptureOutcome::Scan(_) => tracker.record(pkt, true),
-                CaptureOutcome::NonScan => tracker.record(pkt, false),
-                CaptureOutcome::NotDark => not_dark += 1,
-                CaptureOutcome::FilteredSource => {}
-            }
-            if let Some(m) = merit.as_mut() {
-                m.observe(pkt);
-            }
-            if let Some(c) = cu.as_mut() {
-                c.observe(pkt);
-            }
-            if let Some(g) = gn.as_mut() {
-                g.observe(pkt, payload_hint(pkt.src, pkt.dst_port()));
-            }
+        let mut consume = |pkt: &PacketMeta| {
+            delivered += 1;
+            vantage.consume(pkt);
         };
         sc.mux.drive(|pkt| {
             generated += 1;
@@ -246,82 +582,312 @@ pub fn run(cfg: ScenarioConfig, opts: RunOptions) -> RunOutput {
             inj.flush(&mut consume);
         }
     }
-
-    for ev in telescope.flush() {
-        detector.ingest(&ev);
-    }
-
-    // --- Health ledger, in pipeline order ------------------------------
-    let mut health = PipelineHealth::default();
-    let delivered = match injector.as_ref() {
-        Some(inj) => {
-            let s = inj.stats();
-            let mut st = StageHealth::new("faults.injector");
-            st.received = s.input + s.duplicated;
-            st.accepted = s.delivered;
-            st.discard("dropped", s.dropped);
-            st.discard("outage", s.outage_dropped);
-            st.discard("truncated", s.truncated_discarded);
-            st.discard("corrupt", s.corrupt_discarded);
-            health.push(st);
-            s.delivered
-        }
-        None => generated,
-    };
-    let mut cap = StageHealth::new("telescope.capture");
-    cap.received = delivered;
-    cap.accepted = telescope.stats().total_packets;
-    cap.discard("not_dark", not_dark);
-    cap.discard("filtered_source", telescope.filtered_packets());
-    health.push(cap);
-    let agg = telescope.aggregator_stats();
-    let mut ev = StageHealth::new("telescope.events");
-    ev.received = agg.received;
-    ev.accepted = agg.accepted;
-    ev.repaired = agg.start_repaired;
-    ev.quarantined = agg.quarantined;
-    health.push(ev);
-    if let Some(m) = merit.as_ref() {
-        health.push(cache_stage("flow.merit", m.cache_stats()));
-    }
-    if let Some(c) = cu.as_ref() {
-        health.push(cache_stage("flow.cu", c.cache_stats()));
-    }
-    if let Some(g) = gn.as_ref() {
-        let s = g.ingest_stats();
-        let mut st = StageHealth::new("intel.greynoise");
-        st.received = s.received;
-        st.accepted = s.accepted;
-        st.discard("non_sensor_dst", s.ignored);
-        health.push(st);
-    }
-
-    let capture = CaptureSummary::from(telescope.stats());
-    let report = detector.finalize();
-    let (gn_entries, gn_seen) = match gn {
-        Some(g) => {
-            let entries = g.finalize();
-            let seen = entries.keys().copied().collect();
-            (Some(entries), Some(seen))
-        }
-        None => (None, None),
-    };
-    let merit_flows = merit.map(IspModel::finish);
-    if let Some(flows) = merit_flows.as_ref() {
-        health.push(v9_loopback(&flows.records));
-    }
-    RunOutput {
+    let inj_stats = injector.map(|i| i.stats());
+    finalize_run(
         world,
-        report,
-        capture,
-        daily: tracker.finalize(),
-        merit_flows,
-        cu_flows: cu.map(IspModel::finish),
-        gn_entries,
-        gn_seen,
         days,
-        generated_packets: generated,
-        health,
+        generated,
+        delivered,
+        inj_stats,
+        vec![vantage.into_shard_out()],
+        &opts,
+    )
+}
+
+/// Run the same pipeline on `threads` worker shards.
+///
+/// A single-threaded dispatcher drives the mux and fault injector (the
+/// only stages whose behavior depends on total stream order), replays the
+/// aggregator and flow-cache clocks via [`TelescopeDispatch`] and
+/// [`ah_flow::router::FlowDispatch`], stamps each packet with the
+/// verdicts, and ships it to the shard owning its source IP. Broadcast
+/// sweep messages are enqueued to *every* shard before the packet that
+/// triggered them, so each shard observes clock events at the same stream
+/// positions the serial engine does.
+///
+/// The output is bitwise identical to [`run`] with the same inputs;
+/// `threads == 0` or `1` still goes through the sharded path (with one
+/// worker), which is useful for isolating engine differences.
+pub fn run_parallel(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> RunOutput {
+    let threads = threads.max(1);
+    let days = cfg.days;
+    let mut sc = Scenario::build(cfg);
+    let world = sc.world.clone();
+
+    // Dispatcher-side clocks. The ISP models here are never observed —
+    // they exist to answer the pure `disposition` routing query.
+    let mut tele = TelescopeDispatch::new(
+        world.config.dark,
+        ah_telescope::timeout::paper_default(),
+        bogon_filter(),
+    );
+    let merit_model = opts.merit_isp.then(|| merit_isp(&world, opts.sampling_rate));
+    let cu_model = opts.cu_isp.then(|| cu_isp(&world, opts.sampling_rate));
+    let mut merit_dispatch = merit_model.as_ref().map(IspModel::dispatch);
+    let mut cu_dispatch = cu_model.as_ref().map(IspModel::dispatch);
+
+    let mut producers = Vec::with_capacity(threads);
+    let mut consumers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = ring::<PipeMsg>(RING_CAPACITY);
+        producers.push(tx);
+        consumers.push(rx);
+    }
+
+    let mut generated = 0u64;
+    let mut delivered = 0u64;
+    let mut injector = opts.faults.map(FaultInjector::new);
+
+    let (inj_stats, shards) = std::thread::scope(|s| {
+        let world_ref = &world;
+        let opts_ref = &opts;
+        let handles: Vec<_> = consumers
+            .into_iter()
+            .map(|mut rx| {
+                s.spawn(move || {
+                    let mut v = Vantage::build(world_ref, opts_ref);
+                    while let Some(msg) = rx.pop_wait() {
+                        v.apply(msg);
+                    }
+                    v.into_shard_out()
+                })
+            })
+            .collect();
+
+        {
+            let mut consume = |pkt: &PacketMeta| {
+                let mut flags = 0u8;
+                if let Some((decision, sweep)) = tele.decide(pkt) {
+                    match decision {
+                        AggDecision::Quarantine => flags |= F_AGG_QUARANTINE,
+                        AggDecision::Accept { late } => {
+                            if late {
+                                flags |= F_AGG_LATE;
+                            }
+                        }
+                    }
+                    if let Some(now) = sweep {
+                        for p in producers.iter_mut() {
+                            p.push(PipeMsg::AggSweep(now));
+                        }
+                    }
+                }
+                if let (Some(m), Some(d)) = (merit_model.as_ref(), merit_dispatch.as_mut()) {
+                    if let Some(stamp) = d.decide(pkt.ts, m.disposition(pkt)) {
+                        if stamp.sampled {
+                            flags |= F_MERIT_SAMPLED;
+                            if stamp.late {
+                                flags |= F_MERIT_LATE;
+                            }
+                        }
+                        if let Some(now) = stamp.sweep {
+                            for p in producers.iter_mut() {
+                                p.push(PipeMsg::FlowSweep { cu: false, router: stamp.router, now });
+                            }
+                        }
+                    }
+                }
+                if let (Some(c), Some(d)) = (cu_model.as_ref(), cu_dispatch.as_mut()) {
+                    if let Some(stamp) = d.decide(pkt.ts, c.disposition(pkt)) {
+                        if stamp.sampled {
+                            flags |= F_CU_SAMPLED;
+                            if stamp.late {
+                                flags |= F_CU_LATE;
+                            }
+                        }
+                        if let Some(now) = stamp.sweep {
+                            for p in producers.iter_mut() {
+                                p.push(PipeMsg::FlowSweep { cu: true, router: stamp.router, now });
+                            }
+                        }
+                    }
+                }
+                delivered += 1;
+                producers[shard_of(pkt.src, threads)].push(PipeMsg::Pkt(*pkt, flags));
+            };
+            sc.mux.drive(|pkt| {
+                generated += 1;
+                match injector.as_mut() {
+                    Some(inj) => inj.apply(pkt, &mut consume),
+                    None => consume(pkt),
+                }
+            });
+            if let Some(inj) = injector.as_mut() {
+                inj.flush(&mut consume);
+            }
+        }
+        for p in producers {
+            p.close();
+        }
+        let shards: Vec<ShardOut> =
+            handles.into_iter().map(|h| h.join().expect("pipeline shard thread")).collect();
+        (injector.as_ref().map(|i| i.stats()), shards)
+    });
+    finalize_run(world, days, generated, delivered, inj_stats, shards, &opts)
+}
+
+// --- Output fingerprinting ---------------------------------------------
+
+/// Incremental FNV-1a over the canonical byte rendering of a run output.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+}
+
+impl RunOutput {
+    /// A content fingerprint over every externally meaningful field —
+    /// detection report, capture summary, daily rollups, flow datasets,
+    /// honeypot entries, and the health ledgers.
+    ///
+    /// Two runs with equal fingerprints produced bitwise-identical
+    /// results; the determinism suite holds `run` and [`run_parallel`] to
+    /// exactly this standard. Hash-ordered containers are folded in
+    /// sorted order so the fingerprint is itself deterministic.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.generated_packets);
+        h.u64(self.days);
+
+        h.u64(self.capture.total_packets);
+        h.u64(self.capture.total_bytes);
+        h.u64(self.capture.scan_packets);
+        h.u64(self.capture.non_scan_packets);
+        h.u64(self.capture.unique_sources);
+        h.u64(self.capture.unique_dsts);
+
+        for (day, s) in &self.daily {
+            h.u64(*day);
+            h.u64(s.scan_packets);
+            h.u64(s.total_packets);
+            h.u64(s.unique_sources);
+        }
+
+        h.u64(self.report.d2_threshold);
+        h.u64(self.report.d3_threshold);
+        for r in self.report.records() {
+            h.u64(u64::from(r.src.to_u32()));
+            h.u64(u64::from(r.dst_port));
+            h.u64(u64::from(class_rank(r.class)));
+            h.u64(u64::from(r.start_day));
+            h.u64(u64::from(r.end_day));
+            h.u64(u64::from(r.packets));
+            h.u64(r.bytes);
+            h.u64(u64::from(r.unique_dsts));
+            h.u64(u64::from(r.zmap));
+            h.u64(u64::from(r.masscan));
+            h.u64(u64::from(r.mirai));
+        }
+        for def in Definition::ALL {
+            let mut yearly: Vec<u32> =
+                self.report.hitters(def).iter().map(|ip| ip.to_u32()).collect();
+            yearly.sort_unstable();
+            h.u64(yearly.len() as u64);
+            for ip in yearly {
+                h.u64(u64::from(ip));
+            }
+            for day in self.report.days(def) {
+                h.u64(day);
+                for set in
+                    [self.report.daily_hitters(def, day), self.report.active_hitters(def, day)]
+                {
+                    let mut ips: Vec<u32> =
+                        set.map(|s| s.iter().map(|ip| ip.to_u32()).collect()).unwrap_or_default();
+                    ips.sort_unstable();
+                    h.u64(ips.len() as u64);
+                    for ip in ips {
+                        h.u64(u64::from(ip));
+                    }
+                }
+                h.u64(self.report.ah_packets(def, day));
+            }
+        }
+        for (day, n) in &self.report.day_all_sources {
+            h.u64(*day);
+            h.u64(*n);
+        }
+        for (day, n) in &self.report.day_all_packets {
+            h.u64(*day);
+            h.u64(*n);
+        }
+
+        for flows in [self.merit_flows.as_ref(), self.cu_flows.as_ref()].into_iter().flatten() {
+            h.u64(flows.sampling_rate);
+            h.u64(flows.records.len() as u64);
+            for r in &flows.records {
+                h.u64(u64::from(r.key.src.to_u32()));
+                h.u64(u64::from(r.key.dst.to_u32()));
+                h.u64(u64::from(r.key.src_port));
+                h.u64(u64::from(r.key.dst_port));
+                h.u64(u64::from(r.key.protocol));
+                h.u64(u64::from(r.router));
+                h.u64(match r.direction {
+                    ah_flow::router::Direction::Ingress => 0,
+                    ah_flow::router::Direction::Egress => 1,
+                });
+                h.u64(r.first.0);
+                h.u64(r.last.0);
+                h.u64(r.packets);
+                h.u64(r.bytes);
+                h.u64(u64::from(r.tcp_flags));
+            }
+            let mut truth: Vec<_> =
+                flows.router_days.iter().map(|((r, d), c)| (*r, *d, c.packets, c.bytes)).collect();
+            truth.sort_unstable();
+            for (r, d, p, b) in truth {
+                h.u64(u64::from(r));
+                h.u64(d);
+                h.u64(p);
+                h.u64(b);
+            }
+        }
+
+        if let Some(entries) = self.gn_entries.as_ref() {
+            let mut ips: Vec<u32> = entries.keys().map(|ip| ip.to_u32()).collect();
+            ips.sort_unstable();
+            h.u64(ips.len() as u64);
+            for ip in ips {
+                let e = &entries[&Ipv4Addr4(ip)];
+                h.u64(u64::from(ip));
+                h.u64(match e.classification {
+                    ah_intel::greynoise::GnClassification::Benign => 0,
+                    ah_intel::greynoise::GnClassification::Malicious => 1,
+                    ah_intel::greynoise::GnClassification::Unknown => 2,
+                });
+                for tag in &e.tags {
+                    h.bytes(tag.as_bytes());
+                }
+                h.u64(e.first_seen.0);
+                h.u64(e.last_seen.0);
+                h.u64(e.packets);
+            }
+        }
+
+        for st in &self.health.stages {
+            h.bytes(st.stage.as_bytes());
+            h.u64(st.received);
+            h.u64(st.accepted);
+            h.u64(st.repaired);
+            h.u64(st.quarantined);
+            for (cat, n) in &st.discarded {
+                h.bytes(cat.as_bytes());
+                h.u64(*n);
+            }
+        }
+        h.0
     }
 }
 
@@ -456,5 +1022,13 @@ mod tests {
             a.report.hitters(Definition::AddressDispersion),
             b.report.hitters(Definition::AddressDispersion)
         );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn parallel_matches_serial_smoke() {
+        let a = run(ScenarioConfig::tiny(1, 16), RunOptions::full());
+        let b = run_parallel(ScenarioConfig::tiny(1, 16), RunOptions::full(), 2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

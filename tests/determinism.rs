@@ -1,0 +1,106 @@
+//! Serial/parallel equivalence suite.
+//!
+//! The sharded engine's headline invariant: `run_parallel` produces
+//! **bitwise identical** output to the serial `run` — same hitter lists,
+//! same record tables, same flow datasets, same health ledgers — at any
+//! thread count, with or without fault injection. Beyond the fingerprint
+//! (which covers every externally meaningful field), the key collections
+//! are compared directly so a regression names the field that diverged.
+
+use aggressive_scanners::pipeline::{self, RunOptions, RunOutput};
+use ah_core::defs::{Definition, Thresholds};
+use ah_simnet::faults::FaultPlan;
+use ah_simnet::scenario::ScenarioConfig;
+
+/// Looser tail cuts so tiny scenarios yield non-trivial hitter lists.
+fn test_thresholds() -> Thresholds {
+    Thresholds { dispersion_fraction: 0.10, volume_alpha: 0.01, ports_alpha: 0.01 }
+}
+
+fn assert_equivalent(a: &RunOutput, b: &RunOutput, label: &str) {
+    assert_eq!(a.generated_packets, b.generated_packets, "{label}: generated packets");
+    assert_eq!(a.capture.total_packets, b.capture.total_packets, "{label}: capture totals");
+    assert_eq!(a.capture.unique_sources, b.capture.unique_sources, "{label}: unique sources");
+    assert_eq!(a.daily, b.daily, "{label}: daily rollups");
+    for def in Definition::ALL {
+        assert_eq!(a.report.hitters(def), b.report.hitters(def), "{label}: hitters {def:?}");
+        assert_eq!(a.report.days(def), b.report.days(def), "{label}: day list {def:?}");
+        for day in a.report.days(def) {
+            assert_eq!(
+                a.report.daily_hitters(def, day),
+                b.report.daily_hitters(def, day),
+                "{label}: daily hitters {def:?} day {day}"
+            );
+            assert_eq!(
+                a.report.active_hitters(def, day),
+                b.report.active_hitters(def, day),
+                "{label}: active hitters {def:?} day {day}"
+            );
+            assert_eq!(
+                a.report.ah_packets(def, day),
+                b.report.ah_packets(def, day),
+                "{label}: AH packets {def:?} day {day}"
+            );
+        }
+    }
+    assert_eq!(a.report.records(), b.report.records(), "{label}: event record table");
+    match (a.merit_flows.as_ref(), b.merit_flows.as_ref()) {
+        (Some(x), Some(y)) => {
+            assert_eq!(x.records, y.records, "{label}: merit flow records");
+            assert_eq!(x.router_days, y.router_days, "{label}: merit truth counters");
+        }
+        (None, None) => {}
+        _ => panic!("{label}: merit dataset presence diverged"),
+    }
+    assert_eq!(
+        a.cu_flows.as_ref().map(|f| &f.records),
+        b.cu_flows.as_ref().map(|f| &f.records),
+        "{label}: cu flow records"
+    );
+    assert_eq!(a.gn_entries, b.gn_entries, "{label}: honeypot entries");
+    assert_eq!(a.health.stages, b.health.stages, "{label}: health ledgers");
+    assert_eq!(a.fingerprint(), b.fingerprint(), "{label}: fingerprint");
+}
+
+#[test]
+fn parallel_is_bitwise_identical_clean() {
+    let opts = || RunOptions::full().with_thresholds(test_thresholds());
+    let serial = pipeline::run(ScenarioConfig::tiny(2, 21), opts());
+    for threads in [1, 2, 8] {
+        let par = pipeline::run_parallel(ScenarioConfig::tiny(2, 21), opts(), threads);
+        assert_equivalent(&serial, &par, &format!("clean, {threads} threads"));
+    }
+}
+
+#[test]
+fn parallel_is_bitwise_identical_under_faults() {
+    let opts = || {
+        RunOptions::full()
+            .with_thresholds(test_thresholds())
+            .with_faults(FaultPlan::uniform(0.01, 7))
+    };
+    let serial = pipeline::run(ScenarioConfig::tiny(2, 22), opts());
+    assert!(
+        serial.health.stage("faults.injector").is_some(),
+        "fault plan must actually engage the injector"
+    );
+    for threads in [2, 8] {
+        let par = pipeline::run_parallel(ScenarioConfig::tiny(2, 22), opts(), threads);
+        assert_equivalent(&serial, &par, &format!("faulty, {threads} threads"));
+    }
+}
+
+#[test]
+fn parallel_darknet_only_matches() {
+    let serial = pipeline::run(ScenarioConfig::tiny(2, 23), RunOptions::darknet_only());
+    let par = pipeline::run_parallel(ScenarioConfig::tiny(2, 23), RunOptions::darknet_only(), 4);
+    assert_equivalent(&serial, &par, "darknet-only, 4 threads");
+}
+
+#[test]
+fn fingerprint_is_sensitive_to_inputs() {
+    // Sanity: the fingerprint must not be a constant.
+    let a = pipeline::run(ScenarioConfig::tiny(1, 31), RunOptions::darknet_only());
+    let b = pipeline::run(ScenarioConfig::tiny(1, 32), RunOptions::darknet_only());
+    assert_ne!(a.fingerprint(), b.fingerprint(), "different seeds must fingerprint differently");
+}
