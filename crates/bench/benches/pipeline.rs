@@ -8,7 +8,8 @@
 //! summary is what `scripts/bench.sh` publishes and what the throughput
 //! table in `EXPERIMENTS.md` is generated from.
 
-use aggressive_scanners::pipeline::{self, RunOptions};
+use aggressive_scanners::pipeline::{self, RunOptions, Telemetry};
+use ah_obs::{Recorder, Value};
 use ah_simnet::scenario::ScenarioConfig;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use std::time::Instant;
@@ -44,13 +45,59 @@ fn bench_pipeline(c: &mut Criterion) {
     write_summary(generated);
 }
 
+/// The commit the numbers were measured at: `$GIT_COMMIT` if the harness
+/// (scripts/bench.sh) exported it, else `git rev-parse`, else "unknown".
+fn git_commit() -> String {
+    if let Ok(c) = std::env::var("GIT_COMMIT") {
+        if !c.is_empty() {
+            return c;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One instrumented run on the widest configuration, returning the
+/// per-shard SPSC ring occupancy high-water marks (in slots) plus the
+/// run's wall clock — the recorder is the only way to see inside the
+/// dispatcher/shard boundary without perturbing the output.
+fn ring_occupancy(threads: usize) -> (Vec<i64>, f64) {
+    let rec = Recorder::new();
+    let mut tel = Telemetry::new(rec.clone());
+    let t0 = Instant::now();
+    black_box(pipeline::run_parallel_with_recorder(cfg(), RunOptions::full(), threads, &mut tel));
+    let secs = t0.elapsed().as_secs_f64();
+    let snap = rec.snapshot();
+    let hwm: Vec<i64> = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "ah_pipeline_ring_occupancy_hwm")
+        .map(|s| match s.value {
+            Value::Gauge(v) => v,
+            _ => 0,
+        })
+        .collect();
+    (hwm, secs)
+}
+
 /// Best-of-three wall clock per configuration, written as JSON.
 ///
 /// The host core count is recorded alongside the numbers: on a
 /// single-core host every configuration timeshares one CPU, so the
 /// parallel engine can only show its dispatch/ring overhead there —
-/// speedup needs `host_cpus >= threads`.
+/// speedup needs `host_cpus >= threads`. `git_commit` and
+/// `wall_seconds` tie the numbers to a revision and a total cost;
+/// `ring_occupancy_hwm` (from a live-recorder run of the widest
+/// configuration) shows how close each shard ring came to
+/// back-pressuring the dispatcher.
 fn write_summary(generated: u64) {
+    let wall0 = Instant::now();
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut lines = Vec::new();
     let mut serial_pps = 0.0f64;
@@ -82,10 +129,34 @@ fn write_summary(generated: u64) {
             label, threads, best, pps, speedup
         ));
     }
+    let widest = *THREAD_COUNTS.last().expect("thread counts");
+    let (ring_hwm, metrics_secs) = ring_occupancy(widest);
+    let metrics_pps = generated as f64 / metrics_secs;
+    eprintln!(
+        "[bench] parallel_{widest} with live recorder: {metrics_secs:.3}s, {metrics_pps:.0} pkts/s"
+    );
+    eprintln!("[bench] ring occupancy HWM (slots, per shard): {ring_hwm:?}");
+    lines.push(format!(
+        concat!(
+            "    {{\"engine\": \"parallel_metrics\", \"threads\": {}, \"seconds\": {:.6}, ",
+            "\"packets_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}"
+        ),
+        widest,
+        metrics_secs,
+        metrics_pps,
+        if serial_pps > 0.0 { metrics_pps / serial_pps } else { 1.0 }
+    ));
+    let ring_json: Vec<String> = ring_hwm.iter().map(|v| v.to_string()).collect();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"scenario\": \"tiny({DAYS} days, seed {SEED})\",\n  \
+        "{{\n  \"bench\": \"pipeline\",\n  \"git_commit\": \"{}\",\n  \
+         \"scenario\": \"tiny({DAYS} days, seed {SEED})\",\n  \
          \"generated_packets\": {generated},\n  \"host_cpus\": {host_cpus},\n  \
+         \"wall_seconds\": {:.3},\n  \
+         \"ring_occupancy_hwm\": {{\"threads\": {widest}, \"slots\": [{}]}},\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
+        git_commit(),
+        wall0.elapsed().as_secs_f64(),
+        ring_json.join(", "),
         lines.join(",\n")
     );
     let path =

@@ -2,10 +2,17 @@
 //!
 //! ```text
 //! experiment <id>... [--days-scale F] [--seed N] [--out DIR] [--threads N]
+//!                    [--metrics PATH] [--metrics-interval N]
 //!   ids: table1..table9  fig1..fig6  whatif  health  all
 //!
 //! `--threads N` (N >= 2) routes the single-pass simulation runs through
 //! the sharded parallel engine; output is bitwise identical to serial.
+//!
+//! `--metrics PATH` turns on pipeline telemetry and writes snapshot files
+//! `PATH.jsonl` (one snapshot per line) and `PATH.prom` (Prometheus text
+//! exposition, latest snapshot). `--metrics-interval N` exports every N
+//! delivered packets (default 100000). Telemetry is observation-only:
+//! all tables and figures are bitwise identical with it on or off.
 //! ```
 //!
 //! Each experiment prints a paper-mirroring text table and writes CSV
@@ -23,7 +30,7 @@ use aggressive_scanners::core::report::{fmt_count, fmt_pct, write_csv, TextTable
 use aggressive_scanners::core::validate::{
     acked_validation, daily_gn_overlap, gn_breakdown, gn_tag_table,
 };
-use aggressive_scanners::pipeline::RunOutput;
+use aggressive_scanners::pipeline::{RunOutput, Telemetry};
 use ah_bench::{Runs, Spans};
 use std::collections::HashSet;
 use std::path::PathBuf;
@@ -80,6 +87,8 @@ fn main() {
     let mut seed = 1u64;
     let mut threads = 0usize;
     let mut out = PathBuf::from("out");
+    let mut metrics: Option<PathBuf> = None;
+    let mut metrics_interval = 100_000u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -103,13 +112,25 @@ fn main() {
                 };
                 out = PathBuf::from(dir);
             }
+            "--metrics" => {
+                i += 1;
+                let Some(base) = args.get(i) else {
+                    eprintln!("error: --metrics requires a file-base argument (e.g. out/metrics)");
+                    std::process::exit(2);
+                };
+                metrics = Some(PathBuf::from(base));
+            }
+            "--metrics-interval" => {
+                i += 1;
+                metrics_interval = parse_flag(&args, i, "--metrics-interval", "integer");
+            }
             id => ids.push(id.to_string()),
         }
         i += 1;
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR] [--threads N]"
+            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR] [--threads N] [--metrics PATH] [--metrics-interval N]"
         );
         std::process::exit(2);
     }
@@ -121,7 +142,21 @@ fn main() {
             .collect();
     }
     let spans = Spans::default().scaled(scale);
-    let mut ctx = Ctx { runs: Runs::new(spans, seed).with_threads(threads), out, seed };
+    let mut runs = Runs::new(spans, seed).with_threads(threads);
+    if let Some(base) = metrics {
+        if let Some(dir) = base.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).ok();
+        }
+        let rec = ah_obs::Recorder::new();
+        let exporter = ah_obs::Exporter::new(rec.clone(), base, metrics_interval);
+        eprintln!(
+            "[metrics] recording to {} / {} every {metrics_interval} packets",
+            exporter.jsonl_path().display(),
+            exporter.prom_path().display()
+        );
+        runs = runs.with_telemetry(Telemetry::with_exporter(rec, exporter));
+    }
+    let mut ctx = Ctx { runs, out, seed };
     std::fs::create_dir_all(&ctx.out).ok();
     for id in &ids {
         let t0 = std::time::Instant::now();
@@ -149,6 +184,14 @@ fn main() {
             }
         }
         eprintln!("[done] {id} in {:.1}s\n", t0.elapsed().as_secs_f64());
+    }
+    if let Some(ex) = ctx.runs.telemetry().exporter.as_ref() {
+        eprintln!(
+            "[metrics] {} snapshots -> {} ({} io errors)",
+            ex.snapshots_written(),
+            ex.jsonl_path().display(),
+            ex.io_errors()
+        );
     }
 }
 

@@ -4,9 +4,10 @@
 //! provides the run cache the `experiment` binary uses so that multiple
 //! tables regenerated in one invocation share simulation output.
 
-use aggressive_scanners::pipeline::{self, RunOptions, RunOutput, TapRun};
+use aggressive_scanners::pipeline::{self, RunOptions, RunOutput, TapRun, Telemetry};
 use aggressive_scanners::simnet::scenario::{BenignLevel, ScenarioConfig, Year};
 use ah_core::defs::Definition;
+use ah_obs::Recorder;
 
 /// Span (in simulated days) of each dataset, scaled from the paper's
 /// 365 / 288 / 8 / 3 / 30 by roughly 1:9 so a full `experiment all`
@@ -46,10 +47,21 @@ impl Spans {
 /// identical output (see `tests/determinism.rs`), so callers may treat
 /// the choice as a pure performance knob.
 pub fn execute(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> RunOutput {
+    execute_with(cfg, opts, threads, &mut Telemetry::disabled())
+}
+
+/// [`execute`] with live telemetry (recorder + optional exporter); the
+/// output is bitwise identical to a telemetry-free run.
+pub fn execute_with(
+    cfg: ScenarioConfig,
+    opts: RunOptions,
+    threads: usize,
+    tel: &mut Telemetry,
+) -> RunOutput {
     if threads > 1 {
-        pipeline::run_parallel(cfg, opts, threads)
+        pipeline::run_parallel_with_recorder(cfg, opts, threads, tel)
     } else {
-        pipeline::run(cfg, opts)
+        pipeline::run_with_recorder(cfg, opts, tel)
     }
 }
 
@@ -59,6 +71,7 @@ pub struct Runs {
     pub seed: u64,
     /// Worker shards for the parallel engine (`0`/`1` = serial).
     pub threads: usize,
+    telemetry: Telemetry,
     darknet1: Option<RunOutput>,
     darknet2: Option<RunOutput>,
     flows: Option<RunOutput>,
@@ -72,6 +85,7 @@ impl Runs {
             spans,
             seed,
             threads: 0,
+            telemetry: Telemetry::disabled(),
             darknet1: None,
             darknet2: None,
             flows: None,
@@ -86,55 +100,80 @@ impl Runs {
         self
     }
 
+    /// Record pipeline telemetry on `rec` for every subsequent run
+    /// (keeping any exporter already configured). Telemetry is
+    /// observation-only: run outputs are unchanged.
+    pub fn with_recorder(mut self, rec: Recorder) -> Runs {
+        self.telemetry.recorder = rec;
+        self
+    }
+
+    /// Replace the whole telemetry handle (recorder + snapshot exporter).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Runs {
+        self.telemetry = tel;
+        self
+    }
+
+    /// The telemetry handle shared by every cached run (for end-of-batch
+    /// snapshot or exporter-health inspection).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Darknet-1 (2021) characterization run.
     pub fn darknet1(&mut self) -> &RunOutput {
-        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
-        self.darknet1.get_or_insert_with(|| {
-            eprintln!("[run] darknet-1 ({} days)...", spans.darknet1_days);
-            execute(
-                ScenarioConfig::darknet(Year::Y2021, spans.darknet1_days, seed ^ 0x2021),
-                RunOptions::darknet_only(),
-                threads,
-            )
-        })
+        if self.darknet1.is_none() {
+            eprintln!("[run] darknet-1 ({} days)...", self.spans.darknet1_days);
+            let cfg =
+                ScenarioConfig::darknet(Year::Y2021, self.spans.darknet1_days, self.seed ^ 0x2021);
+            let out =
+                execute_with(cfg, RunOptions::darknet_only(), self.threads, &mut self.telemetry);
+            self.darknet1 = Some(out);
+        }
+        self.darknet1.as_ref().expect("just inserted")
     }
 
     /// Darknet-2 (2022) characterization run.
     pub fn darknet2(&mut self) -> &RunOutput {
-        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
-        self.darknet2.get_or_insert_with(|| {
-            eprintln!("[run] darknet-2 ({} days)...", spans.darknet2_days);
-            execute(
-                ScenarioConfig::darknet(Year::Y2022, spans.darknet2_days, seed ^ 0x2022),
-                RunOptions::darknet_only(),
-                threads,
-            )
-        })
+        if self.darknet2.is_none() {
+            eprintln!("[run] darknet-2 ({} days)...", self.spans.darknet2_days);
+            let cfg =
+                ScenarioConfig::darknet(Year::Y2022, self.spans.darknet2_days, self.seed ^ 0x2022);
+            let out =
+                execute_with(cfg, RunOptions::darknet_only(), self.threads, &mut self.telemetry);
+            self.darknet2 = Some(out);
+        }
+        self.darknet2.as_ref().expect("just inserted")
     }
 
     /// The flow-measurement week (Merit benign + 3 border routers).
     pub fn flows(&mut self) -> &RunOutput {
-        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
-        self.flows.get_or_insert_with(|| {
-            eprintln!("[run] flow week (1 warm-up + {} days, Merit benign)...", spans.flow_days);
-            execute(
-                ScenarioConfig::flows(spans.flow_days + 1, seed ^ 0xf10f),
-                RunOptions::with_flows(),
-                threads,
-            )
-        })
+        if self.flows.is_none() {
+            eprintln!(
+                "[run] flow week (1 warm-up + {} days, Merit benign)...",
+                self.spans.flow_days
+            );
+            let cfg = ScenarioConfig::flows(self.spans.flow_days + 1, self.seed ^ 0xf10f);
+            let out =
+                execute_with(cfg, RunOptions::with_flows(), self.threads, &mut self.telemetry);
+            self.flows = Some(out);
+        }
+        self.flows.as_ref().expect("just inserted")
     }
 
     /// The honeypot-validation month (telescope + GreyNoise).
     pub fn gn(&mut self) -> &RunOutput {
-        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
-        self.gn.get_or_insert_with(|| {
-            eprintln!("[run] greynoise month ({} days)...", spans.gn_days);
-            let mut cfg = ScenarioConfig::darknet(Year::Y2022, spans.gn_days, seed ^ 0x60e5);
+        if self.gn.is_none() {
+            eprintln!("[run] greynoise month ({} days)...", self.spans.gn_days);
+            let mut cfg =
+                ScenarioConfig::darknet(Year::Y2022, self.spans.gn_days, self.seed ^ 0x60e5);
             cfg.label = "gn-month".into();
             cfg.benign = BenignLevel::Off;
-            execute(cfg, RunOptions { greynoise: true, ..RunOptions::darknet_only() }, threads)
-        })
+            let opts = RunOptions { greynoise: true, ..RunOptions::darknet_only() };
+            let out = execute_with(cfg, opts, self.threads, &mut self.telemetry);
+            self.gn = Some(out);
+        }
+        self.gn.as_ref().expect("just inserted")
     }
 
     /// The 72-hour packet-tap experiment (two-phase).

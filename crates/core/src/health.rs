@@ -96,6 +96,34 @@ impl PipelineHealth {
         self.stages.iter().map(StageHealth::discarded_total).sum()
     }
 
+    /// Export every stage ledger as gauges on `rec`, under
+    /// `ah_core_health_*` with a `stage` label (and a `category` label
+    /// for per-category discards).
+    ///
+    /// Gauges rather than counters because a ledger is a point-in-time
+    /// absolute snapshot, not an increment stream; re-exporting the same
+    /// ledger is idempotent. Values mirror the `PipelineHealth` struct
+    /// exactly, so `tests/telemetry.rs` cross-checks the exported
+    /// metrics against the end-of-run ledger field by field.
+    pub fn export_metrics(&self, rec: &ah_obs::Recorder) {
+        for s in &self.stages {
+            let labels = [("stage", s.stage.as_str())];
+            rec.gauge_with("ah_core_health_received_count", &labels).set(s.received as i64);
+            rec.gauge_with("ah_core_health_accepted_count", &labels).set(s.accepted as i64);
+            rec.gauge_with("ah_core_health_repaired_count", &labels).set(s.repaired as i64);
+            rec.gauge_with("ah_core_health_quarantined_count", &labels).set(s.quarantined as i64);
+            rec.gauge_with("ah_core_health_discarded_count", &labels)
+                .set(s.discarded_total() as i64);
+            for (cat, n) in &s.discarded {
+                rec.gauge_with(
+                    "ah_core_health_discarded_by_category_count",
+                    &[("stage", s.stage.as_str()), ("category", cat.as_str())],
+                )
+                .set(*n as i64);
+            }
+        }
+    }
+
     /// Human-readable ledger, one stage per line plus discard breakdown.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -16,10 +16,14 @@ use crate::record::{FlowKey, FlowRecord};
 use crate::router::Direction;
 use ah_net::packet::{PacketMeta, Transport};
 use ah_net::time::{Dur, Ts};
+use ah_obs::{Counter, Gauge, Histogram, Recorder};
 use std::collections::HashMap;
 
-/// Cisco-style defaults.
+/// Cisco-style default active timeout: a long-lived flow is cut and
+/// exported every 30 minutes even while packets keep arriving.
 pub const DEFAULT_ACTIVE_TIMEOUT: Dur = Dur::from_mins(30);
+/// Cisco-style default inactive timeout: a flow idle for 15 seconds is
+/// expired at the next sweep.
 pub const DEFAULT_INACTIVE_TIMEOUT: Dur = Dur::from_secs(15);
 
 /// Input-fate counters for one flow cache.
@@ -81,6 +85,15 @@ pub struct FlowCache {
     /// Newest packet timestamp seen so far.
     watermark: Ts,
     stats: CacheStats,
+    /// Telemetry (inert until [`FlowCache::set_recorder`]).
+    m_received: Counter,
+    m_accepted: Counter,
+    m_duplicates: Counter,
+    m_exported: Counter,
+    m_evicted: Counter,
+    m_occupancy_hwm: Gauge,
+    m_sweeps: Counter,
+    m_sweep_us: Histogram,
 }
 
 impl FlowCache {
@@ -100,7 +113,34 @@ impl FlowCache {
             last_sweep: Ts::ZERO,
             watermark: Ts::ZERO,
             stats: CacheStats::default(),
+            m_received: Counter::default(),
+            m_accepted: Counter::default(),
+            m_duplicates: Counter::default(),
+            m_exported: Counter::default(),
+            m_evicted: Counter::default(),
+            m_occupancy_hwm: Gauge::default(),
+            m_sweeps: Counter::default(),
+            m_sweep_us: Histogram::default(),
         }
+    }
+
+    /// Attach live telemetry instruments (`ah_flow_cache_*`).
+    ///
+    /// Counters are shared across caches (they sum); the occupancy
+    /// high-water mark is labeled by router id. Observation-only: flow
+    /// accounting and export semantics are unchanged.
+    pub fn set_recorder(&mut self, rec: &Recorder) {
+        let router = self.router.to_string();
+        self.m_received = rec.counter("ah_flow_cache_packets_received_total");
+        self.m_accepted = rec.counter("ah_flow_cache_packets_accepted_total");
+        self.m_duplicates = rec.counter("ah_flow_cache_duplicates_suppressed_total");
+        self.m_exported = rec.counter("ah_flow_cache_records_exported_total");
+        self.m_evicted = rec.counter("ah_flow_cache_records_evicted_total");
+        self.m_occupancy_hwm =
+            rec.gauge_with("ah_flow_cache_active_flows_hwm", &[("router", &router)]);
+        self.m_sweeps = rec.counter("ah_flow_cache_sweeps_total");
+        self.m_sweep_us =
+            rec.histogram("ah_flow_cache_sweep_duration_us", ah_obs::LATENCY_US_BUCKETS);
     }
 
     /// Input-fate counters (duplicate/reorder accounting).
@@ -133,6 +173,7 @@ impl FlowCache {
     /// own flow entry — state that sharding by source keeps local.
     pub fn observe_stamped(&mut self, pkt: &PacketMeta, direction: Direction, late: bool) {
         self.stats.received += 1;
+        self.m_received.inc();
         let key = FlowKey::of(pkt);
         let flags = match pkt.transport {
             Transport::Tcp { flags, .. } => flags.0,
@@ -143,9 +184,11 @@ impl FlowCache {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 if e.get().last_sig == sig && e.get().direction == direction {
                     self.stats.duplicates_suppressed += 1;
+                    self.m_duplicates.inc();
                     return;
                 }
                 self.stats.accepted += 1;
+                self.m_accepted.inc();
                 if late {
                     self.stats.late_accepted += 1;
                 }
@@ -158,6 +201,7 @@ impl FlowCache {
                 if needs_cut {
                     let (k, en) = (key, e.remove());
                     self.exported.push(Self::export(self.router, k, en));
+                    self.m_exported.inc();
                     self.entries.insert(key, Self::fresh(pkt, flags, direction, sig));
                 } else {
                     let en = e.get_mut();
@@ -174,12 +218,14 @@ impl FlowCache {
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 self.stats.accepted += 1;
+                self.m_accepted.inc();
                 if late {
                     self.stats.late_accepted += 1;
                 }
                 v.insert(Self::fresh(pkt, flags, direction, sig));
             }
         }
+        self.m_occupancy_hwm.set_max(self.entries.len() as i64);
     }
 
     fn fresh(pkt: &PacketMeta, flags: u8, direction: Direction, sig: PacketSig) -> Entry {
@@ -210,6 +256,8 @@ impl FlowCache {
     /// Export all entries idle past the inactive timeout or older than the
     /// active timeout as of `now`.
     pub fn sweep(&mut self, now: Ts) {
+        self.m_sweeps.inc();
+        let _span = self.m_sweep_us.time();
         self.last_sweep = now;
         let inactive = self.inactive_timeout;
         let active = self.active_timeout;
@@ -222,6 +270,8 @@ impl FlowCache {
         for k in expired {
             if let Some(e) = self.entries.remove(&k) {
                 self.exported.push(Self::export(self.router, k, e));
+                self.m_exported.inc();
+                self.m_evicted.inc();
             }
         }
     }
@@ -237,6 +287,7 @@ impl FlowCache {
         let mut out = std::mem::take(&mut self.exported);
         for (k, e) in self.entries.drain() {
             out.push(Self::export(router, k, e));
+            self.m_exported.inc();
         }
         out
     }

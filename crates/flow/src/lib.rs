@@ -17,6 +17,8 @@
 //!   router-3), ingress/egress classification, and the content-cache
 //!   bypass that explains the Merit-vs-CU impact gap.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod record;
 pub mod router;

@@ -9,10 +9,15 @@ use serde::{Deserialize, Serialize};
 /// The 5-tuple keying a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FlowKey {
+    /// Source address.
     pub src: Ipv4Addr4,
+    /// Destination address.
     pub dst: Ipv4Addr4,
+    /// Source port (0 for port-less protocols).
     pub src_port: u16,
+    /// Destination port (0 for port-less protocols).
     pub dst_port: u16,
+    /// IP protocol number.
     pub protocol: u8,
 }
 
@@ -35,12 +40,15 @@ impl FlowKey {
 /// rate (or use [`crate::sampler::Sampler::estimate`]) for wire totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlowRecord {
+    /// The flow's 5-tuple.
     pub key: FlowKey,
     /// Router that exported the record.
     pub router: u8,
     /// Ingress (into the ISP) or egress.
     pub direction: crate::router::Direction,
+    /// Timestamp of the first sampled packet.
     pub first: Ts,
+    /// Timestamp of the last sampled packet.
     pub last: Ts,
     /// Sampled packet count.
     pub packets: u64,

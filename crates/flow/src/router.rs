@@ -40,17 +40,24 @@ pub enum Direction {
 /// would report).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouterDayCounter {
+    /// Packets routed that day.
     pub packets: u64,
+    /// Bytes routed that day.
     pub bytes: u64,
 }
 
 /// One border router: sampler + flow cache + truth counters.
 pub struct BorderRouter {
+    /// Router identifier (1-based, as in the paper's tables).
     pub id: RouterId,
     sampler: Sampler,
     cache: FlowCache,
     /// Ground truth packets per day index.
     day_counters: HashMap<u64, RouterDayCounter>,
+    /// Telemetry for the serial engine's sampler decisions (inert until
+    /// [`IspModel::set_recorder`]).
+    m_seen: ah_obs::Counter,
+    m_selected: ah_obs::Counter,
 }
 
 impl BorderRouter {
@@ -61,14 +68,27 @@ impl BorderRouter {
             sampler: Sampler::new(sampling_rate, u64::from(id) * 37),
             cache: FlowCache::new(id),
             day_counters: HashMap::new(),
+            m_seen: ah_obs::Counter::default(),
+            m_selected: ah_obs::Counter::default(),
         }
+    }
+
+    fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        let router = self.id.to_string();
+        self.m_seen =
+            rec.counter_with("ah_flow_sampler_packets_seen_total", &[("router", &router)]);
+        self.m_selected =
+            rec.counter_with("ah_flow_sampler_packets_selected_total", &[("router", &router)]);
+        self.cache.set_recorder(rec);
     }
 
     fn observe(&mut self, pkt: &PacketMeta, direction: Direction) {
         let c = self.day_counters.entry(pkt.ts.day()).or_default();
         c.packets += 1;
         c.bytes += u64::from(pkt.wire_len);
+        self.m_seen.inc();
         if self.sampler.sample() {
+            self.m_selected.inc();
             self.cache.observe(pkt, direction);
         }
     }
@@ -127,6 +147,7 @@ pub enum Disposition {
 /// the ISP announces itself per point of presence). Policies that only
 /// look at the external side can use [`PrefixRoutePolicy`].
 pub trait RoutePolicy {
+    /// The border router carrying traffic between `external` and `internal`.
     fn route(&self, external: Ipv4Addr4, internal: Ipv4Addr4) -> RouterId;
 }
 
@@ -138,6 +159,7 @@ pub struct PrefixRoutePolicy {
 }
 
 impl PrefixRoutePolicy {
+    /// A policy from explicit routes, falling back to `default_router`.
     pub fn new(routes: Vec<(Prefix, RouterId)>, default_router: RouterId) -> PrefixRoutePolicy {
         let mut map = PrefixMap::new();
         for (p, r) in routes {
@@ -194,6 +216,7 @@ pub struct IspModel {
 }
 
 impl IspModel {
+    /// Build the ISP: one [`BorderRouter`] per configured id.
     pub fn new(cfg: IspConfig) -> IspModel {
         IspModel {
             internal: cfg.internal,
@@ -214,6 +237,15 @@ impl IspModel {
 
     fn router_mut(&mut self, id: RouterId) -> Option<&mut BorderRouter> {
         self.routers.iter_mut().find(|r| r.id == id)
+    }
+
+    /// Attach live telemetry instruments (`ah_flow_sampler_*` per router
+    /// and `ah_flow_cache_*` for every router's flow cache).
+    /// Observation-only: routing, sampling and export are unchanged.
+    pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        for r in &mut self.routers {
+            r.set_recorder(rec);
+        }
     }
 
     /// Border router by id.
@@ -373,6 +405,10 @@ struct DispatchRouter {
     watermark: Ts,
     last_sweep: Ts,
     inactive_timeout: ah_net::time::Dur,
+    /// Telemetry for the parallel engine's sampler decisions (inert
+    /// until [`FlowDispatch::set_recorder`]).
+    m_seen: ah_obs::Counter,
+    m_selected: ah_obs::Counter,
 }
 
 /// The verdicts [`FlowDispatch::decide`] stamps onto one border packet.
@@ -421,8 +457,24 @@ impl FlowDispatch {
                     watermark: Ts::ZERO,
                     last_sweep: Ts::ZERO,
                     inactive_timeout: crate::cache::DEFAULT_INACTIVE_TIMEOUT,
+                    m_seen: ah_obs::Counter::default(),
+                    m_selected: ah_obs::Counter::default(),
                 })
                 .collect(),
+        }
+    }
+
+    /// Attach live telemetry instruments. Sampler-decision counters use
+    /// the same names as [`IspModel::set_recorder`]'s serial-engine
+    /// counters, so the metric is populated exactly once per border
+    /// packet in either engine.
+    pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        for r in &mut self.routers {
+            let router = r.id.to_string();
+            r.m_seen =
+                rec.counter_with("ah_flow_sampler_packets_seen_total", &[("router", &router)]);
+            r.m_selected =
+                rec.counter_with("ah_flow_sampler_packets_selected_total", &[("router", &router)]);
         }
     }
 
@@ -434,9 +486,11 @@ impl FlowDispatch {
             return None;
         };
         let r = self.routers.iter_mut().find(|r| r.id == id)?;
+        r.m_seen.inc();
         if !r.sampler.sample() {
             return Some(FlowStamp { router: id, sampled: false, late: false, sweep: None });
         }
+        r.m_selected.inc();
         let late = ts < r.watermark;
         r.watermark = r.watermark.max(ts);
         let sweep = if r.watermark.since(r.last_sweep) >= r.inactive_timeout {
@@ -453,7 +507,9 @@ impl FlowDispatch {
 /// ground-truth per-router-day totals.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowDataset {
+    /// Every record exported by any router, in export order.
     pub records: Vec<FlowRecord>,
+    /// The 1:N sampling rate the routers ran at.
     pub sampling_rate: u64,
     /// Ground truth (router, day) → processed packet counters.
     pub router_days: HashMap<(RouterId, u64), RouterDayCounter>,

@@ -126,6 +126,11 @@ pub struct V9Decoder {
     pub evicted_sets: u64,
     /// Pending sets successfully decoded once their template arrived.
     pub replayed_sets: u64,
+    /// Telemetry (inert until [`V9Decoder::set_recorder`]).
+    m_records: ah_obs::Counter,
+    m_pending_hwm: ah_obs::Gauge,
+    m_templates: ah_obs::Gauge,
+    m_evicted: ah_obs::Counter,
 }
 
 impl Default for V9Decoder {
@@ -135,6 +140,7 @@ impl Default for V9Decoder {
 }
 
 impl V9Decoder {
+    /// A decoder with the default data-before-template buffer cap.
     pub fn new() -> V9Decoder {
         V9Decoder::default()
     }
@@ -149,7 +155,20 @@ impl V9Decoder {
             undecodable_sets: 0,
             evicted_sets: 0,
             replayed_sets: 0,
+            m_records: ah_obs::Counter::default(),
+            m_pending_hwm: ah_obs::Gauge::default(),
+            m_templates: ah_obs::Gauge::default(),
+            m_evicted: ah_obs::Counter::default(),
         }
+    }
+
+    /// Attach live telemetry instruments (`ah_flow_v9_*`).
+    /// Observation-only: decoding semantics are unchanged.
+    pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        self.m_records = rec.counter("ah_flow_v9_records_decoded_total");
+        self.m_pending_hwm = rec.gauge("ah_flow_v9_pending_sets_hwm");
+        self.m_templates = rec.gauge("ah_flow_v9_templates_learned");
+        self.m_evicted = rec.counter("ah_flow_v9_pending_evicted_total");
     }
 
     /// Number of templates learned.
@@ -205,6 +224,9 @@ impl V9Decoder {
             }
             off += set_len;
         }
+        self.m_records.add(records.len() as u64);
+        self.m_pending_hwm.set_max(self.pending.len() as i64);
+        self.m_templates.set(self.templates.len() as i64);
         Ok(records)
     }
 
@@ -213,11 +235,13 @@ impl V9Decoder {
     fn buffer_pending(&mut self, template: u16, body: Vec<u8>, router: u8) {
         if self.pending_cap == 0 {
             self.evicted_sets += 1;
+            self.m_evicted.inc();
             return;
         }
         if self.pending.len() >= self.pending_cap {
             self.pending.pop_front();
             self.evicted_sets += 1;
+            self.m_evicted.inc();
         }
         self.pending.push_back((template, body, router));
     }

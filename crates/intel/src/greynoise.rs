@@ -125,6 +125,11 @@ pub struct GreyNoise {
     profiles: HashMap<Ipv4Addr4, SrcProfile>,
     benign_vetted: HashSet<Ipv4Addr4>,
     ingest: IngestStats,
+    /// Telemetry (inert until [`GreyNoise::set_recorder`]).
+    m_received: ah_obs::Counter,
+    m_accepted: ah_obs::Counter,
+    m_ignored: ah_obs::Counter,
+    m_profiles_hwm: ah_obs::Gauge,
 }
 
 impl GreyNoise {
@@ -137,7 +142,20 @@ impl GreyNoise {
             profiles: HashMap::new(),
             benign_vetted,
             ingest: IngestStats::default(),
+            m_received: ah_obs::Counter::default(),
+            m_accepted: ah_obs::Counter::default(),
+            m_ignored: ah_obs::Counter::default(),
+            m_profiles_hwm: ah_obs::Gauge::default(),
         }
+    }
+
+    /// Attach live telemetry instruments (`ah_intel_greynoise_*`).
+    /// Observation-only: ingest and tagging semantics are unchanged.
+    pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        self.m_received = rec.counter("ah_intel_greynoise_packets_received_total");
+        self.m_accepted = rec.counter("ah_intel_greynoise_packets_accepted_total");
+        self.m_ignored = rec.counter("ah_intel_greynoise_packets_ignored_total");
+        self.m_profiles_hwm = rec.gauge("ah_intel_greynoise_profiles_hwm");
     }
 
     /// Ingest counters so far.
@@ -154,11 +172,14 @@ impl GreyNoise {
     /// true when the packet hit a sensor.
     pub fn observe(&mut self, pkt: &PacketMeta, hint: PayloadHint) -> bool {
         self.ingest.received += 1;
+        self.m_received.inc();
         if !self.sensors.contains(pkt.dst) {
             self.ingest.ignored += 1;
+            self.m_ignored.inc();
             return false;
         }
         self.ingest.accepted += 1;
+        self.m_accepted.inc();
         let p = self.profiles.entry(pkt.src).or_insert_with(|| SrcProfile {
             first_seen: pkt.ts,
             last_seen: pkt.ts,
@@ -195,6 +216,7 @@ impl GreyNoise {
         if hint != PayloadHint::None {
             p.payload_hints.insert(hint);
         }
+        self.m_profiles_hwm.set_max(self.profiles.len() as i64);
         true
     }
 

@@ -30,7 +30,9 @@ use std::sync::Arc;
 /// Scanning tool whose fingerprint a sweep stamps on its probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ToolKind {
+    /// ZMap (IP id 54321, fixed initial window).
     ZMap,
+    /// Masscan (IP id derived from dst/port, distinctive seq).
     Masscan,
     /// No distinctive fingerprint ("Other" in Figure 4).
     Plain,
@@ -39,7 +41,9 @@ pub enum ToolKind {
 /// Transport used for a probed port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanProto {
+    /// TCP SYN probing.
     Tcp,
+    /// UDP datagram probing.
     Udp,
     /// ICMP echo; the port field is ignored.
     Icmp,
@@ -48,19 +52,24 @@ pub enum ScanProto {
 /// One probed service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortSpec {
+    /// Destination port (ignored for ICMP).
     pub port: u16,
+    /// Transport the probe uses.
     pub proto: ScanProto,
 }
 
 impl PortSpec {
+    /// A TCP port.
     pub const fn tcp(port: u16) -> PortSpec {
         PortSpec { port, proto: ScanProto::Tcp }
     }
 
+    /// A UDP port.
     pub const fn udp(port: u16) -> PortSpec {
         PortSpec { port, proto: ScanProto::Udp }
     }
 
+    /// ICMP echo probing (portless).
     pub const fn icmp() -> PortSpec {
         PortSpec { port: 0, proto: ScanProto::Icmp }
     }
@@ -102,7 +111,9 @@ pub struct SweepScanner {
 
 /// Configuration for [`SweepScanner`].
 pub struct SweepConfig {
+    /// Source address probes are sent from.
     pub src: Ipv4Addr4,
+    /// Tool fingerprint stamped on the probes.
     pub tool: ToolKind,
     /// Ports rotated across sweeps (sweep *n* probes `ports[n % len]`).
     pub ports: Vec<PortSpec>,
@@ -112,15 +123,18 @@ pub struct SweepConfig {
     pub coverage: f64,
     /// SYNs sent to each target (>1 looks like credential probing).
     pub probes_per_target: u32,
+    /// First probe time.
     pub start: Ts,
     /// Re-sweep interval (`None` = a single sweep).
     pub repeat_every: Option<Dur>,
     /// Hard stop; no packets at or after this time.
     pub end: Ts,
+    /// Seed for the permutation and timing jitter.
     pub seed: u64,
 }
 
 impl SweepScanner {
+    /// A scanner from its config, probing targets drawn from `space`.
     pub fn new(cfg: SweepConfig, space: Arc<ObservableSpace>) -> SweepScanner {
         assert!(cfg.coverage > 0.0 && cfg.coverage <= 1.0);
         assert!(!cfg.ports.is_empty());
@@ -237,6 +251,7 @@ pub struct MiraiBot {
 }
 
 impl MiraiBot {
+    /// A bot probing from `src` at `rate_pps` between `start` and `end`.
     pub fn new(
         src: Ipv4Addr4,
         rate_pps: f64,
@@ -360,6 +375,7 @@ pub struct Backscatter {
 }
 
 impl Backscatter {
+    /// Backscatter from DoS `victims`, spread across the observable space.
     pub fn new(
         victims: Vec<Ipv4Addr4>,
         rate_pps: f64,
@@ -499,6 +515,7 @@ pub struct SpoofFlood {
 }
 
 impl SpoofFlood {
+    /// A spoofed-source flood at `rate_pps` between `start` and `end`.
     pub fn new(
         rate_pps: f64,
         start: Ts,
@@ -582,6 +599,8 @@ struct BenignSlot {
 }
 
 impl Benign {
+    /// Benign user sessions from `users` to `remotes`, a `cache_fraction`
+    /// of which are served from `caches` instead of crossing the border.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         users: Prefix,

@@ -201,6 +201,7 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
+    /// An injector executing `plan`, deterministically from its seed.
     pub fn new(plan: FaultPlan) -> FaultInjector {
         let outage_phase = if plan.outage_period.0 > 0 {
             hash64(plan.seed ^ 0x6f75_7461_6765) % plan.outage_period.0

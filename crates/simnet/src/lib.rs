@@ -29,6 +29,8 @@
 //!   (2022), the flow weeks, the 72-hour packet taps, the GreyNoise
 //!   month.
 
+#![warn(missing_docs)]
+
 pub mod actors;
 pub mod faults;
 pub mod mux;

@@ -49,6 +49,7 @@ pub struct TrafficMux {
 }
 
 impl TrafficMux {
+    /// An empty mux; add actors with [`TrafficMux::add`].
     pub fn new() -> TrafficMux {
         TrafficMux { actors: Vec::new(), heap: BinaryHeap::new(), emitted: 0 }
     }

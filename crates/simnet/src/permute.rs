@@ -44,6 +44,7 @@ impl Permutation {
         self.n
     }
 
+    /// Always false: the domain size is at least 1.
     pub fn is_empty(&self) -> bool {
         false // domain is always ≥ 1
     }

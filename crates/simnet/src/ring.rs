@@ -86,6 +86,9 @@ pub struct Producer<T> {
     published: usize,
     /// Stale copy of the consumer's head.
     cached_head: usize,
+    /// Highest producer-observed occupancy (see
+    /// [`Producer::high_water_mark`]).
+    hwm: usize,
 }
 
 /// The read half of a ring; see [`ring`].
@@ -111,7 +114,13 @@ pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         closed: AtomicBool::new(false),
     });
     (
-        Producer { shared: Arc::clone(&shared), local_tail: 0, published: 0, cached_head: 0 },
+        Producer {
+            shared: Arc::clone(&shared),
+            local_tail: 0,
+            published: 0,
+            cached_head: 0,
+            hwm: 0,
+        },
         Consumer { shared, head: 0, cached_tail: 0 },
     )
 }
@@ -120,6 +129,16 @@ impl<T: Send> Producer<T> {
     /// Ring capacity in items.
     pub fn capacity(&self) -> usize {
         self.shared.mask + 1
+    }
+
+    /// Highest occupancy the producer has observed after any push, in
+    /// items. Computed against the producer's *stale* head copy, so it
+    /// is an upper bound on true instantaneous occupancy — exactly the
+    /// conservative number wanted for "how close did this ring come to
+    /// back-pressuring the dispatcher". Plain field, no atomics: reading
+    /// it costs nothing and cannot perturb the SPSC protocol.
+    pub fn high_water_mark(&self) -> usize {
+        self.hwm
     }
 
     /// Publish every buffered write to the consumer (phase two of the
@@ -148,6 +167,7 @@ impl<T: Send> Producer<T> {
         // other thread writes it; publication below synchronizes the read.
         unsafe { (*slot).write(value) };
         self.local_tail += 1;
+        self.hwm = self.hwm.max(self.local_tail - self.cached_head);
         if self.local_tail - self.published >= PUBLISH_BATCH {
             self.flush();
         }
@@ -279,6 +299,24 @@ mod tests {
         tx.try_push(4).unwrap();
         tx.flush();
         assert_eq!((1..=4).map(|_| rx.pop().unwrap()).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_occupancy() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        assert_eq!(tx.high_water_mark(), 0);
+        for i in 0..8 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.high_water_mark(), 8, "filled to capacity");
+        assert!(tx.try_push(99).is_err(), "rejected push must not raise the mark");
+        for _ in 0..4 {
+            rx.pop();
+        }
+        // Refilling after a drain cannot exceed capacity and never
+        // lowers the recorded peak.
+        tx.try_push(8).unwrap();
+        assert_eq!(tx.high_water_mark(), 8);
     }
 
     #[test]

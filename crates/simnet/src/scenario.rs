@@ -244,23 +244,36 @@ fn bot_origins() -> Vec<(&'static str, f64)> {
 
 /// A fully-assembled scenario: world + time-ordered traffic.
 pub struct Scenario {
+    /// Address plan and org registry.
     pub world: World,
+    /// The time-ordered traffic source, ready to drain.
     pub mux: TrafficMux,
+    /// Scenario length in days.
     pub days: u64,
+    /// Measurement year (drives the actor mix).
     pub year: Year,
+    /// Human-readable name ("darknet-2021", ...).
     pub label: String,
+    /// Master seed everything was derived from.
     pub seed: u64,
 }
 
 #[derive(Clone)]
 /// Builder inputs for [`Scenario::build`].
 pub struct ScenarioConfig {
+    /// Human-readable name carried into [`Scenario::label`].
     pub label: String,
+    /// Measurement year (drives the actor mix).
     pub year: Year,
+    /// Scenario length in days.
     pub days: u64,
+    /// Address plan to build the world from.
     pub world: WorldConfig,
+    /// Scanner population scale.
     pub intensity: Intensity,
+    /// Benign-traffic volume.
     pub benign: BenignLevel,
+    /// Master seed; all actor seeds derive from it.
     pub seed: u64,
     /// Weekday of day 0 (0 = Monday .. 6 = Sunday). The paper's flow week
     /// starts Saturday 2022-01-15.

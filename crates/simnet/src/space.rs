@@ -48,6 +48,7 @@ impl ObservableSpace {
         self.total
     }
 
+    /// Whether the space contains no addresses.
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }

@@ -52,11 +52,17 @@ impl Region {
 /// One external organization (an AS).
 #[derive(Debug, Clone)]
 pub struct OrgDef {
+    /// Organization name (feeds rDNS and the acknowledged list).
     pub name: String,
+    /// Autonomous system number.
     pub asn: u32,
+    /// Business type (cloud, ISP, research, ...).
     pub as_type: AsType,
+    /// Registration country.
     pub country: CountryCode,
+    /// Geographic region the country rolls up to.
     pub region: Region,
+    /// Announced prefixes.
     pub prefixes: Vec<Prefix>,
     /// Some orgs disclose their scanning (Acknowledged Scanners). The
     /// keywords feed the reverse-DNS match stage.
@@ -125,8 +131,8 @@ impl Default for WorldConfig {
     }
 }
 
-/// Smaller world for unit/integration tests.
 impl WorldConfig {
+    /// Smaller world for unit/integration tests.
     pub fn tiny() -> WorldConfig {
         WorldConfig {
             dark: "20.0.0.0/22".parse().expect("static prefix"), // 1,024 dark IPs
@@ -141,7 +147,9 @@ impl WorldConfig {
 /// The assembled world.
 #[derive(Debug, Clone)]
 pub struct World {
+    /// The address plan the world was built from.
     pub config: WorldConfig,
+    /// External organizations, indexed by [`OrgId`].
     pub orgs: Vec<OrgDef>,
     observable: ObservableSpace,
 }

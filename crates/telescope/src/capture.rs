@@ -164,6 +164,10 @@ pub struct Telescope {
     source_filter: ah_net::prefix::PrefixSet,
     /// Packets dropped by the source filter.
     filtered_packets: u64,
+    /// Telemetry (inert until [`Telescope::set_recorder`]).
+    m_packets: ah_obs::Counter,
+    m_bytes: ah_obs::Counter,
+    m_filtered: ah_obs::Counter,
 }
 
 /// What happened to a packet offered to the telescope.
@@ -204,7 +208,20 @@ impl Telescope {
             aggregator: crate::event::EventAggregator::new(dark.size(), timeout),
             source_filter: filter,
             filtered_packets: 0,
+            m_packets: ah_obs::Counter::default(),
+            m_bytes: ah_obs::Counter::default(),
+            m_filtered: ah_obs::Counter::default(),
         }
+    }
+
+    /// Attach live telemetry instruments (`ah_telescope_capture_*`) to
+    /// this telescope and `ah_telescope_agg_*` to its event aggregator.
+    /// Observation-only: capture and event semantics are unchanged.
+    pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        self.m_packets = rec.counter("ah_telescope_capture_packets_total");
+        self.m_bytes = rec.counter("ah_telescope_capture_bytes_total");
+        self.m_filtered = rec.counter("ah_telescope_capture_filtered_total");
+        self.aggregator.set_recorder(rec);
     }
 
     /// Packets dropped by the source filter so far.
@@ -249,10 +266,13 @@ impl Telescope {
         };
         if self.source_filter.contains(pkt.src) {
             self.filtered_packets += 1;
+            self.m_filtered.inc();
             return CaptureOutcome::FilteredSource;
         }
         let class = pkt.scan_class();
         self.stats.record(pkt, class, idx);
+        self.m_packets.inc();
+        self.m_bytes.add(u64::from(pkt.wire_len));
         match class {
             Some(c) => {
                 match decision {
@@ -314,6 +334,9 @@ pub struct TelescopeDispatch {
     last_sweep: ah_net::time::Ts,
     sweep_every: ah_net::time::Dur,
     reorder_window: ah_net::time::Dur,
+    /// Telemetry (inert until [`TelescopeDispatch::set_recorder`]).
+    m_lag_us: ah_obs::Histogram,
+    m_sweeps_broadcast: ah_obs::Counter,
 }
 
 impl TelescopeDispatch {
@@ -331,7 +354,18 @@ impl TelescopeDispatch {
             last_sweep: ah_net::time::Ts::ZERO,
             sweep_every: ah_net::time::Dur(timeout.0 / 2),
             reorder_window: ah_net::time::Dur(timeout.0 / 2),
+            m_lag_us: ah_obs::Histogram::default(),
+            m_sweeps_broadcast: ah_obs::Counter::default(),
         }
+    }
+
+    /// Attach live telemetry instruments. The watermark-lag histogram
+    /// shares its name with the serial aggregator's so the metric is
+    /// populated exactly once per scanning packet in either engine.
+    pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        self.m_lag_us =
+            rec.histogram("ah_telescope_agg_watermark_lag_us", ah_obs::LATENCY_US_BUCKETS);
+        self.m_sweeps_broadcast = rec.counter("ah_telescope_dispatch_sweeps_broadcast_total");
     }
 
     /// Run the serial aggregator's clock logic for one packet.
@@ -351,12 +385,14 @@ impl TelescopeDispatch {
         }
         pkt.scan_class()?;
         let lateness = self.watermark.since(pkt.ts);
+        self.m_lag_us.observe(lateness.0);
         if lateness > self.reorder_window {
             return Some((crate::event::AggDecision::Quarantine, None));
         }
         self.watermark = self.watermark.max(pkt.ts);
         let sweep = if self.watermark.since(self.last_sweep) >= self.sweep_every {
             self.last_sweep = self.watermark;
+            self.m_sweeps_broadcast.inc();
             Some(self.watermark)
         } else {
             None

@@ -24,6 +24,7 @@ use ah_net::fingerprint::{classify, Tool};
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::{PacketMeta, ScanClass};
 use ah_net::time::{Dur, Ts};
+use ah_obs::{Counter, Gauge, Histogram, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -227,6 +228,15 @@ pub struct EventAggregator {
     /// merged into its event.
     reorder_window: Dur,
     stats: AggregatorStats,
+    /// Telemetry (inert until [`EventAggregator::set_recorder`]).
+    m_received: Counter,
+    m_accepted: Counter,
+    m_quarantined: Counter,
+    m_lag_us: Histogram,
+    m_active_hwm: Gauge,
+    m_events_total: Counter,
+    m_sweeps: Counter,
+    m_sweep_us: Histogram,
 }
 
 impl EventAggregator {
@@ -250,7 +260,32 @@ impl EventAggregator {
             watermark: Ts::ZERO,
             reorder_window: window,
             stats: AggregatorStats::default(),
+            m_received: Counter::default(),
+            m_accepted: Counter::default(),
+            m_quarantined: Counter::default(),
+            m_lag_us: Histogram::default(),
+            m_active_hwm: Gauge::default(),
+            m_events_total: Counter::default(),
+            m_sweeps: Counter::default(),
+            m_sweep_us: Histogram::default(),
         }
+    }
+
+    /// Attach live telemetry instruments (`ah_telescope_agg_*`).
+    ///
+    /// Observation-only: instruments mirror the accounting the
+    /// aggregator already does and never influence event semantics.
+    pub fn set_recorder(&mut self, rec: &Recorder) {
+        self.m_received = rec.counter("ah_telescope_agg_packets_received_total");
+        self.m_accepted = rec.counter("ah_telescope_agg_packets_accepted_total");
+        self.m_quarantined = rec.counter("ah_telescope_agg_packets_quarantined_total");
+        self.m_lag_us =
+            rec.histogram("ah_telescope_agg_watermark_lag_us", ah_obs::LATENCY_US_BUCKETS);
+        self.m_active_hwm = rec.gauge("ah_telescope_agg_active_events_hwm");
+        self.m_events_total = rec.counter("ah_telescope_agg_events_completed_total");
+        self.m_sweeps = rec.counter("ah_telescope_agg_sweeps_total");
+        self.m_sweep_us =
+            rec.histogram("ah_telescope_agg_sweep_duration_us", ah_obs::LATENCY_US_BUCKETS);
     }
 
     /// Number of currently active (unexpired) events.
@@ -272,6 +307,7 @@ impl EventAggregator {
     /// needed); anything older is quarantined, not merged.
     pub fn observe(&mut self, pkt: &PacketMeta, class: ScanClass, dst_index: u32) {
         let lateness = self.watermark.since(pkt.ts);
+        self.m_lag_us.observe(lateness.0);
         if lateness > self.reorder_window {
             self.observe_decided(pkt, class, dst_index, AggDecision::Quarantine);
             return;
@@ -303,9 +339,11 @@ impl EventAggregator {
         decision: AggDecision,
     ) {
         self.stats.received += 1;
+        self.m_received.inc();
         let late = match decision {
             AggDecision::Quarantine => {
                 self.stats.quarantined += 1;
+                self.m_quarantined.inc();
                 return;
             }
             AggDecision::Accept { late } => late,
@@ -314,6 +352,7 @@ impl EventAggregator {
             self.stats.late_accepted += 1;
         }
         self.stats.accepted += 1;
+        self.m_accepted.inc();
         let key = EventKey::of(pkt, class);
         let tool = classify(pkt);
         match self.active.entry(key) {
@@ -323,6 +362,7 @@ impl EventAggregator {
                     // Gap exceeded: close the old event and start fresh.
                     let done = Self::finish(key, e.remove(), self.dark_size);
                     self.completed.push(done);
+                    self.m_events_total.inc();
                     self.active.insert(key, Self::fresh(pkt, tool, dst_index, self.dark_size));
                 } else {
                     if pkt.ts < ev.start {
@@ -340,6 +380,7 @@ impl EventAggregator {
                 v.insert(Self::fresh(pkt, tool, dst_index, self.dark_size));
             }
         }
+        self.m_active_hwm.set_max(self.active.len() as i64);
     }
 
     fn fresh(pkt: &PacketMeta, tool: Tool, dst_index: u32, dark_size: u32) -> ActiveEvent {
@@ -372,6 +413,8 @@ impl EventAggregator {
 
     /// Expire all events idle past the timeout as of `now`.
     pub fn advance(&mut self, now: Ts) {
+        self.m_sweeps.inc();
+        let _span = self.m_sweep_us.time();
         self.last_sweep = now;
         self.watermark = self.watermark.max(now);
         let timeout = self.timeout;
@@ -385,6 +428,7 @@ impl EventAggregator {
         for key in expired {
             if let Some(ev) = self.active.remove(&key) {
                 self.completed.push(Self::finish(key, ev, dark_size));
+                self.m_events_total.inc();
             }
         }
     }
@@ -401,6 +445,7 @@ impl EventAggregator {
         let mut done = std::mem::take(&mut self.completed);
         for (key, ev) in self.active.drain() {
             done.push(Self::finish(key, ev, dark_size));
+            self.m_events_total.inc();
         }
         done
     }

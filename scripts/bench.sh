@@ -10,9 +10,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export BENCH_PIPELINE_OUT="${BENCH_PIPELINE_OUT:-$PWD/BENCH_pipeline.json}"
+# Stamp the summary with the measured revision; the bench falls back to
+# its own `git rev-parse` when this is unset.
+export GIT_COMMIT="${GIT_COMMIT:-$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)}"
 
-echo "==> pipeline throughput bench (summary -> $BENCH_PIPELINE_OUT)"
+echo "==> pipeline throughput bench (summary -> $BENCH_PIPELINE_OUT, commit $GIT_COMMIT)"
+start=$(date +%s)
 cargo bench -p ah-bench --bench pipeline
+echo "==> bench wall clock: $(( $(date +%s) - start ))s (also recorded as wall_seconds in the summary)"
 
 echo "==> summary"
 cat "$BENCH_PIPELINE_OUT"

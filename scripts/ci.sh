@@ -28,4 +28,40 @@ cargo build --release --workspace
 echo "==> tests"
 cargo test --workspace -q
 
+echo "==> telemetry determinism gate"
+# The full matrix (serial/8-shard x clean/faulted, metrics on vs off,
+# snapshot schemas, ledger cross-checks) lives in tests/telemetry.rs;
+# run it by name so a filtered `cargo test` invocation elsewhere can
+# never silently drop it.
+cargo test --release --test telemetry -q
+
+echo "==> metrics schema lint"
+# Emit a real snapshot from the release binary and lint every exported
+# metric name against the naming scheme `ah_<crate>_<subsystem>_<name>`
+# (>= 4 lowercase alnum segments, first segment "ah") — the same rule
+# ah_obs::valid_metric_name enforces, checked here on the file actually
+# written to disk.
+METRICS_DIR="$(mktemp -d)"
+trap 'rm -rf "$METRICS_DIR"' EXIT
+target/release/aggressive-scanners --metrics "$METRICS_DIR/metrics" \
+  --metrics-interval 100000 --days 1 --threads 4 >/dev/null
+for f in "$METRICS_DIR/metrics.jsonl" "$METRICS_DIR/metrics.prom"; do
+  [ -s "$f" ] || { echo "error: $f missing or empty"; exit 1; }
+done
+bad=$(grep -oE '"name":"[^"]+"' "$METRICS_DIR/metrics.jsonl" | sed 's/"name":"//;s/"//' \
+  | sort -u | grep -vE '^ah(_[a-z0-9]+){3,}$' || true)
+if [ -n "$bad" ]; then
+  echo "error: exported metric names violate ah_<crate>_<subsystem>_<name>:"
+  echo "$bad"
+  exit 1
+fi
+bad=$(awk '/^# TYPE /{print $3}' "$METRICS_DIR/metrics.prom" \
+  | grep -vE '^ah(_[a-z0-9]+){3,}$' || true)
+if [ -n "$bad" ]; then
+  echo "error: Prometheus TYPE names violate the scheme:"
+  echo "$bad"
+  exit 1
+fi
+echo "    $(grep -oE '"name":"[^"]+"' "$METRICS_DIR/metrics.jsonl" | sort -u | wc -l) metric names conform"
+
 echo "CI gate passed."

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# CPU flamegraph of one full-vantage pipeline run (the same workload the
+# throughput bench measures), for finding hot stages behind the telemetry
+# counters. Documented in EXPERIMENTS.md ("Profiling").
+#
+# Tool selection, in order of preference:
+#   1. cargo flamegraph (cargo-flamegraph installed) -> flamegraph.svg
+#   2. perf record + perf script                     -> perf-pipeline.data
+#      (+ flamegraph.svg when the FlameGraph scripts are on PATH)
+#   3. neither available -> explain and exit 0 so CI and air-gapped
+#      containers are not broken by a missing profiler.
+#
+# Usage: scripts/flamegraph.sh [extra args passed to the binary]
+#   e.g. scripts/flamegraph.sh --days 3 --threads 8
+# The binary defaults are a 3-day tiny world on 4 shards; release profiles
+# keep debug symbols (see [profile.release] in Cargo.toml), so stacks are
+# readable without extra flags.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN_ARGS=("$@")
+if [ ${#BIN_ARGS[@]} -eq 0 ]; then
+  BIN_ARGS=(--days 3 --threads 4)
+fi
+OUT_DIR="${FLAMEGRAPH_OUT:-out}"
+mkdir -p "$OUT_DIR"
+
+if command -v cargo-flamegraph >/dev/null 2>&1 || cargo flamegraph --help >/dev/null 2>&1; then
+  echo "==> cargo flamegraph -> $OUT_DIR/flamegraph.svg"
+  cargo flamegraph --output "$OUT_DIR/flamegraph.svg" --bin aggressive-scanners \
+    -- "${BIN_ARGS[@]}"
+  echo "==> wrote $OUT_DIR/flamegraph.svg"
+  exit 0
+fi
+
+if command -v perf >/dev/null 2>&1; then
+  echo "==> cargo-flamegraph not found; falling back to perf"
+  cargo build --release --bin aggressive-scanners
+  perf record -F 997 -g --call-graph dwarf -o "$OUT_DIR/perf-pipeline.data" \
+    target/release/aggressive-scanners "${BIN_ARGS[@]}"
+  echo "==> wrote $OUT_DIR/perf-pipeline.data (inspect with: perf report -i $OUT_DIR/perf-pipeline.data)"
+  if command -v stackcollapse-perf.pl >/dev/null 2>&1 && command -v flamegraph.pl >/dev/null 2>&1; then
+    perf script -i "$OUT_DIR/perf-pipeline.data" | stackcollapse-perf.pl \
+      | flamegraph.pl > "$OUT_DIR/flamegraph.svg"
+    echo "==> wrote $OUT_DIR/flamegraph.svg"
+  fi
+  exit 0
+fi
+
+echo "==> no profiler available (need cargo-flamegraph or perf); skipping."
+echo "    Install one of:"
+echo "      cargo install flamegraph   # cargo-flamegraph"
+echo "      apt/dnf install linux-perf # perf"
+echo "    This is a no-op, not a failure, so air-gapped hosts stay green."
+exit 0

@@ -16,6 +16,9 @@
 //!   proprietary traces (see `DESIGN.md` for the substitution table);
 //! * [`core`] — the paper's contribution: three aggressive-hitter
 //!   definitions, network-impact measurement, characterization;
+//! * [`obs`] — observation-only pipeline telemetry: atomic instruments
+//!   behind a cheap [`obs::Recorder`] handle plus JSONL/Prometheus
+//!   snapshot export (see `ARCHITECTURE.md` §Observability);
 //! * [`pipeline`] (this crate) — turnkey end-to-end runs used by the
 //!   examples, the integration tests, and the experiment harness.
 //!
@@ -36,6 +39,7 @@ pub use ah_core as core;
 pub use ah_flow as flow;
 pub use ah_intel as intel;
 pub use ah_net as net;
+pub use ah_obs as obs;
 pub use ah_simnet as simnet;
 pub use ah_telescope as telescope;
 

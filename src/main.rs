@@ -1,0 +1,141 @@
+//! Turnkey pipeline run with live telemetry — the smallest way to watch
+//! the measurement pipeline from the outside.
+//!
+//! ```text
+//! aggressive-scanners [--metrics PATH] [--metrics-interval N]
+//!                     [--threads N] [--days N] [--seed N] [--fault-rate F]
+//! ```
+//!
+//! Runs one full-vantage scenario (telescope + both ISPs + honeypots) on
+//! the sharded engine and prints the health ledger. With `--metrics PATH`
+//! every stage records instruments on a shared recorder and periodic
+//! snapshots are written to `PATH.jsonl` (one JSON object per line) and
+//! `PATH.prom` (Prometheus text exposition, latest snapshot). Telemetry
+//! is observation-only: the run's output fingerprint is identical with
+//! metrics on or off (see `tests/telemetry.rs`).
+//!
+//! For the paper's tables and figures use the `experiment` binary in
+//! `crates/bench`, which takes the same two metrics flags.
+
+use aggressive_scanners::pipeline::{self, RunOptions, Telemetry};
+use aggressive_scanners::simnet::faults::FaultPlan;
+use aggressive_scanners::simnet::scenario::ScenarioConfig;
+use ah_obs::{Exporter, Recorder};
+use std::path::PathBuf;
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    let Some(v) = args.get(i) else {
+        eprintln!("error: {flag} requires a value");
+        std::process::exit(2);
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag}: {v:?} is not valid");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics: Option<PathBuf> = None;
+    let mut interval = 10_000u64;
+    let mut threads = 4usize;
+    let mut days = 3u64;
+    let mut seed = 7u64;
+    let mut fault_rate = 0.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" => {
+                i += 1;
+                metrics =
+                    Some(PathBuf::from(args.get(i).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("error: --metrics requires a file-base (e.g. out/metrics)");
+                        std::process::exit(2);
+                    })));
+            }
+            "--metrics-interval" => {
+                i += 1;
+                interval = parse(&args, i, "--metrics-interval");
+            }
+            "--threads" => {
+                i += 1;
+                threads = parse(&args, i, "--threads");
+            }
+            "--days" => {
+                i += 1;
+                days = parse(&args, i, "--days");
+            }
+            "--seed" => {
+                i += 1;
+                seed = parse(&args, i, "--seed");
+            }
+            "--fault-rate" => {
+                i += 1;
+                fault_rate = parse(&args, i, "--fault-rate");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: aggressive-scanners [--metrics PATH] [--metrics-interval N] [--threads N] [--days N] [--seed N] [--fault-rate F]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut tel = match metrics {
+        Some(base) => {
+            if let Some(dir) = base.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).ok();
+            }
+            let rec = Recorder::new();
+            let exporter = Exporter::new(rec.clone(), base, interval);
+            eprintln!(
+                "[metrics] {} + {} every {interval} packets",
+                exporter.jsonl_path().display(),
+                exporter.prom_path().display()
+            );
+            Telemetry::with_exporter(rec, exporter)
+        }
+        None => Telemetry::disabled(),
+    };
+
+    let mut opts = RunOptions::full();
+    if fault_rate > 0.0 {
+        opts = opts.with_faults(FaultPlan::uniform(fault_rate, seed));
+    }
+    eprintln!("[run] tiny world, {days} days, seed {seed}, {threads} shard(s)...");
+    let t0 = std::time::Instant::now();
+    let out = pipeline::run_parallel_with_recorder(
+        ScenarioConfig::tiny(days, seed),
+        opts,
+        threads,
+        &mut tel,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+
+    println!("generated packets : {}", out.generated_packets);
+    println!("captured packets  : {}", out.capture.total_packets);
+    println!("scan packets      : {}", out.capture.scan_packets);
+    println!("output fingerprint: {:016x}", out.fingerprint());
+    println!("wall clock        : {secs:.1}s");
+    println!();
+    print!("{}", out.health.render());
+    if !out.health.conserves() {
+        eprintln!("error: conservation violated in {:?}", out.health.violations());
+        std::process::exit(1);
+    }
+    if let Some(ex) = tel.exporter.as_ref() {
+        println!();
+        println!(
+            "[metrics] {} snapshots -> {} ({} io errors)",
+            ex.snapshots_written(),
+            ex.jsonl_path().display(),
+            ex.io_errors()
+        );
+    }
+}

@@ -39,6 +39,7 @@ use ah_intel::greynoise::{GnEntry, GreyNoise, IngestStats, PayloadHint};
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::{PacketMeta, ScanClass};
 use ah_net::time::Ts;
+use ah_obs::{Exporter, Recorder};
 use ah_simnet::faults::{FaultInjector, FaultPlan, InjectorStats};
 use ah_simnet::ring::ring;
 use ah_simnet::rng::hash64;
@@ -104,6 +105,41 @@ impl RunOptions {
     pub fn with_thresholds(mut self, t: Thresholds) -> RunOptions {
         self.thresholds = t;
         self
+    }
+}
+
+/// Telemetry plumbing for one run: the [`Recorder`] handed to every
+/// pipeline stage plus an optional periodic snapshot [`Exporter`].
+///
+/// Telemetry is **observation-only**: nothing the pipeline computes ever
+/// reads an instrument back, and the exporter is ticked at deterministic
+/// *stream positions* (packets delivered), never wall-clock time — so a
+/// run with a live recorder produces a [`RunOutput`] bitwise identical
+/// to the same run with [`Telemetry::disabled`]. `tests/telemetry.rs`
+/// holds both engines to exactly this standard.
+pub struct Telemetry {
+    /// Recorder every stage registers its instruments on.
+    pub recorder: Recorder,
+    /// Periodic snapshot writer (JSONL + Prometheus text files); `None`
+    /// means metrics are kept in memory only.
+    pub exporter: Option<Exporter>,
+}
+
+impl Telemetry {
+    /// No-op telemetry: a noop recorder, no exporter. All instrument
+    /// operations compile to a null-check on this path.
+    pub fn disabled() -> Telemetry {
+        Telemetry { recorder: Recorder::noop(), exporter: None }
+    }
+
+    /// Record metrics on `recorder` without writing snapshot files.
+    pub fn new(recorder: Recorder) -> Telemetry {
+        Telemetry { recorder, exporter: None }
+    }
+
+    /// Record metrics and export periodic snapshots.
+    pub fn with_exporter(recorder: Recorder, exporter: Exporter) -> Telemetry {
+        Telemetry { recorder, exporter: Some(exporter) }
     }
 }
 
@@ -188,10 +224,11 @@ fn cache_stage(name: &str, s: CacheStats) -> StageHealth {
 /// format and ledger the result. The v9 path is a validation loopback:
 /// the in-memory dataset (µs resolution) stays authoritative, but every
 /// record must survive template-based encode/decode.
-fn v9_loopback(records: &[FlowRecord]) -> StageHealth {
+fn v9_loopback(records: &[FlowRecord], rec: &Recorder) -> StageHealth {
     let mut st = StageHealth::new("flow.v9_export");
     st.received = records.len() as u64;
     let mut dec = V9Decoder::default();
+    dec.set_recorder(rec);
     let mut decoded = 0u64;
     for (seq, chunk) in records.chunks(64).enumerate() {
         let wire = encode_v9(chunk, Ts::ZERO, seq as u32, 1, seq == 0);
@@ -261,14 +298,23 @@ struct ShardOut {
 }
 
 impl Vantage {
-    fn build(world: &World, opts: &RunOptions) -> Vantage {
-        let telescope = Telescope::with_source_filter(
+    fn build(world: &World, opts: &RunOptions, rec: &Recorder) -> Vantage {
+        let mut telescope = Telescope::with_source_filter(
             world.config.dark,
             ah_telescope::timeout::paper_default(),
             bogon_filter(),
         );
-        let merit = opts.merit_isp.then(|| merit_isp(world, opts.sampling_rate));
-        let cu = opts.cu_isp.then(|| cu_isp(world, opts.sampling_rate));
+        telescope.set_recorder(rec);
+        let merit = opts.merit_isp.then(|| {
+            let mut m = merit_isp(world, opts.sampling_rate);
+            m.set_recorder(rec);
+            m
+        });
+        let cu = opts.cu_isp.then(|| {
+            let mut c = cu_isp(world, opts.sampling_rate);
+            c.set_recorder(rec);
+            c
+        });
         let gn = opts.greynoise.then(|| {
             // GN's vetting knows the acknowledged orgs' addresses.
             let acked = world.acked_list(64);
@@ -282,7 +328,9 @@ impl Vantage {
                     }
                 }
             }
-            GreyNoise::new(world.sensor_set(), vetted)
+            let mut g = GreyNoise::new(world.sensor_set(), vetted);
+            g.set_recorder(rec);
+            g
         });
         Vantage { telescope, tracker: DailyTracker::new(), merit, cu, gn, not_dark: 0 }
     }
@@ -408,6 +456,7 @@ fn shard_of(src: Ipv4Addr4, threads: usize) -> usize {
 
 /// Merge shard outputs and finalize. The serial engine passes a single
 /// shard, so both engines share every line of finalization.
+#[allow(clippy::too_many_arguments)]
 fn finalize_run(
     world: World,
     days: u64,
@@ -416,7 +465,13 @@ fn finalize_run(
     injector: Option<InjectorStats>,
     shards: Vec<ShardOut>,
     opts: &RunOptions,
+    tel: &mut Telemetry,
 ) -> RunOutput {
+    // Merge + detection time, wall-clock. The span value flows only to
+    // telemetry output, never into RunOutput, so it cannot perturb
+    // determinism.
+    let merge_span =
+        tel.recorder.histogram("ah_pipeline_merge_duration_us", ah_obs::LATENCY_US_BUCKETS).time();
     let mut shards = shards.into_iter();
     let first = shards.next().expect("at least one shard");
     let mut capture_stats = first.capture;
@@ -504,7 +559,15 @@ fn finalize_run(
     };
     let merit_flows = merit.map(|(_, d)| d);
     if let Some(flows) = merit_flows.as_ref() {
-        health.push(v9_loopback(&flows.records));
+        health.push(v9_loopback(&flows.records, &tel.recorder));
+    }
+    drop(merge_span);
+    // Mirror the finished ledgers as `ah_core_health_*` gauges and flush
+    // one final snapshot at the end-of-stream position so the exported
+    // files always cover the completed run.
+    health.export_metrics(&tel.recorder);
+    if let Some(ex) = tel.exporter.as_mut() {
+        ex.export_now(delivered);
     }
     RunOutput {
         world,
@@ -558,18 +621,34 @@ fn merge_gn_parts(
 
 /// Run a scenario through every requested vantage point and detect.
 pub fn run(cfg: ScenarioConfig, opts: RunOptions) -> RunOutput {
+    run_with_recorder(cfg, opts, &mut Telemetry::disabled())
+}
+
+/// [`run`] with live telemetry: every stage registers its instruments on
+/// `tel.recorder`, and `tel.exporter` (if any) is ticked at deterministic
+/// stream positions. The returned [`RunOutput`] is bitwise identical to a
+/// [`run`] of the same inputs.
+pub fn run_with_recorder(cfg: ScenarioConfig, opts: RunOptions, tel: &mut Telemetry) -> RunOutput {
     let days = cfg.days;
     let mut sc = Scenario::build(cfg);
     let world = sc.world.clone();
-    let mut vantage = Vantage::build(&world, &opts);
+    let mut vantage = Vantage::build(&world, &opts, &tel.recorder);
+    let m_packets = tel.recorder.counter("ah_pipeline_mux_packets_delivered_total");
+    let m_bytes = tel.recorder.counter("ah_pipeline_mux_bytes_delivered_total");
 
     let mut generated = 0u64;
     let mut delivered = 0u64;
     let mut injector = opts.faults.map(FaultInjector::new);
     {
+        let exporter = &mut tel.exporter;
         let mut consume = |pkt: &PacketMeta| {
             delivered += 1;
+            m_packets.inc();
+            m_bytes.add(u64::from(pkt.wire_len));
             vantage.consume(pkt);
+            if let Some(ex) = exporter.as_mut() {
+                ex.maybe_export(delivered);
+            }
         };
         sc.mux.drive(|pkt| {
             generated += 1;
@@ -591,6 +670,7 @@ pub fn run(cfg: ScenarioConfig, opts: RunOptions) -> RunOutput {
         inj_stats,
         vec![vantage.into_shard_out()],
         &opts,
+        tel,
     )
 }
 
@@ -609,10 +689,26 @@ pub fn run(cfg: ScenarioConfig, opts: RunOptions) -> RunOutput {
 /// `threads == 0` or `1` still goes through the sharded path (with one
 /// worker), which is useful for isolating engine differences.
 pub fn run_parallel(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> RunOutput {
+    run_parallel_with_recorder(cfg, opts, threads, &mut Telemetry::disabled())
+}
+
+/// [`run_parallel`] with live telemetry. Dispatcher-side instruments add
+/// stall timing (how long the dispatcher blocked on a full shard ring)
+/// and per-shard ring-occupancy high-water marks on top of the stage
+/// instruments the shards register themselves. Message order on every
+/// ring is identical with telemetry on or off, so the output stays
+/// bitwise identical to [`run`] / [`run_parallel`].
+pub fn run_parallel_with_recorder(
+    cfg: ScenarioConfig,
+    opts: RunOptions,
+    threads: usize,
+    tel: &mut Telemetry,
+) -> RunOutput {
     let threads = threads.max(1);
     let days = cfg.days;
     let mut sc = Scenario::build(cfg);
     let world = sc.world.clone();
+    let rec = tel.recorder.clone();
 
     // Dispatcher-side clocks. The ISP models here are never observed —
     // they exist to answer the pure `disposition` routing query.
@@ -621,10 +717,25 @@ pub fn run_parallel(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> Ru
         ah_telescope::timeout::paper_default(),
         bogon_filter(),
     );
+    tele.set_recorder(&rec);
     let merit_model = opts.merit_isp.then(|| merit_isp(&world, opts.sampling_rate));
     let cu_model = opts.cu_isp.then(|| cu_isp(&world, opts.sampling_rate));
     let mut merit_dispatch = merit_model.as_ref().map(IspModel::dispatch);
     let mut cu_dispatch = cu_model.as_ref().map(IspModel::dispatch);
+    if let Some(d) = merit_dispatch.as_mut() {
+        d.set_recorder(&rec);
+    }
+    if let Some(d) = cu_dispatch.as_mut() {
+        d.set_recorder(&rec);
+    }
+    let m_packets = rec.counter("ah_pipeline_mux_packets_delivered_total");
+    let m_bytes = rec.counter("ah_pipeline_mux_bytes_delivered_total");
+    let m_stalls = rec.counter("ah_pipeline_dispatch_stalls_total");
+    let m_stall_us = rec.histogram("ah_pipeline_dispatch_stall_us", ah_obs::LATENCY_US_BUCKETS);
+    // Stall timing needs a try-push-then-spin sequence instead of a plain
+    // spinning push; both deliver the message at the same stream position,
+    // so the split is gated on the recorder rather than always paid.
+    let time_stalls = rec.is_enabled();
 
     let mut producers = Vec::with_capacity(threads);
     let mut consumers = Vec::with_capacity(threads);
@@ -641,11 +752,12 @@ pub fn run_parallel(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> Ru
     let (inj_stats, shards) = std::thread::scope(|s| {
         let world_ref = &world;
         let opts_ref = &opts;
+        let rec_ref = &rec;
         let handles: Vec<_> = consumers
             .into_iter()
             .map(|mut rx| {
                 s.spawn(move || {
-                    let mut v = Vantage::build(world_ref, opts_ref);
+                    let mut v = Vantage::build(world_ref, opts_ref, rec_ref);
                     while let Some(msg) = rx.pop_wait() {
                         v.apply(msg);
                     }
@@ -655,6 +767,7 @@ pub fn run_parallel(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> Ru
             .collect();
 
         {
+            let exporter = &mut tel.exporter;
             let mut consume = |pkt: &PacketMeta| {
                 let mut flags = 0u8;
                 if let Some((decision, sweep)) = tele.decide(pkt) {
@@ -703,7 +816,23 @@ pub fn run_parallel(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> Ru
                     }
                 }
                 delivered += 1;
-                producers[shard_of(pkt.src, threads)].push(PipeMsg::Pkt(*pkt, flags));
+                m_packets.inc();
+                m_bytes.add(u64::from(pkt.wire_len));
+                let shard = shard_of(pkt.src, threads);
+                let msg = PipeMsg::Pkt(*pkt, flags);
+                if time_stalls {
+                    if let Err(back) = producers[shard].try_push(msg) {
+                        let t0 = std::time::Instant::now();
+                        producers[shard].push(back);
+                        m_stalls.inc();
+                        m_stall_us.observe(t0.elapsed().as_micros() as u64);
+                    }
+                } else {
+                    producers[shard].push(msg);
+                }
+                if let Some(ex) = exporter.as_mut() {
+                    ex.maybe_export(delivered);
+                }
             };
             sc.mux.drive(|pkt| {
                 generated += 1;
@@ -716,14 +845,19 @@ pub fn run_parallel(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> Ru
                 inj.flush(&mut consume);
             }
         }
-        for p in producers {
+        for (i, p) in producers.into_iter().enumerate() {
+            // Read the peak occupancy before close() consumes the
+            // producer; one gauge per shard, labeled by shard index.
+            let shard = i.to_string();
+            rec.gauge_with("ah_pipeline_ring_occupancy_hwm", &[("shard", shard.as_str())])
+                .set(p.high_water_mark() as i64);
             p.close();
         }
         let shards: Vec<ShardOut> =
             handles.into_iter().map(|h| h.join().expect("pipeline shard thread")).collect();
         (injector.as_ref().map(|i| i.stats()), shards)
     });
-    finalize_run(world, days, generated, delivered, inj_stats, shards, &opts)
+    finalize_run(world, days, generated, delivered, inj_stats, shards, &opts, tel)
 }
 
 // --- Output fingerprinting ---------------------------------------------

@@ -1,0 +1,470 @@
+//! Telemetry determinism, snapshot-file schema, and ledger cross-checks.
+//!
+//! The contract under test (`ARCHITECTURE.md` §Observability): telemetry
+//! is observation-only. Attaching a live recorder — and even writing
+//! periodic snapshot files — must leave [`RunOutput::fingerprint`]
+//! bitwise identical on both engines, clean or faulted. On top of that,
+//! the exported files must follow their documented schemas, every metric
+//! name must follow the `ah_<crate>_<subsystem>_<name>` scheme, and the
+//! exported `ah_core_health_*` gauges must mirror the run's
+//! `PipelineHealth` ledger field by field.
+
+use aggressive_scanners::pipeline::{self, RunOptions, RunOutput, Telemetry};
+use aggressive_scanners::simnet::faults::FaultPlan;
+use aggressive_scanners::simnet::scenario::ScenarioConfig;
+use ah_obs::{valid_metric_name, Exporter, Recorder, Value};
+
+// --- A tiny JSON reader -------------------------------------------------
+//
+// The workspace's serde_json is a typecheck-only interface stub (the
+// build environment is air-gapped), so the schema check parses the
+// exporter's JSONL output with a minimal recursive-descent reader
+// instead. Strict enough for the exporter's own output: objects, arrays,
+// strings with basic escapes, integer/float numbers, true/false/null.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Reader<'a> {
+        Reader { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied().ok_or("bad escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(
+                                self.bytes.get(self.pos..self.pos + 4).ok_or("bad \\u")?,
+                            )
+                            .map_err(|_| "bad \\u")?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                b => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let ch_len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.bytes.get(self.pos..self.pos + ch_len).ok_or("bad utf8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad utf8")?);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse_json(line: &str) -> Json {
+    let mut r = Reader::new(line);
+    let v = r.value().unwrap_or_else(|e| panic!("invalid JSON ({e}): {line}"));
+    r.skip_ws();
+    assert_eq!(r.pos, r.bytes.len(), "trailing garbage after JSON value: {line}");
+    v
+}
+
+// --- Shared run helpers -------------------------------------------------
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::tiny(1, 31)
+}
+
+fn opts(faulted: bool) -> RunOptions {
+    let o = RunOptions::full();
+    if faulted {
+        o.with_faults(FaultPlan::uniform(0.01, 31))
+    } else {
+        o
+    }
+}
+
+fn run_with(tel: &mut Telemetry, threads: usize, faulted: bool) -> RunOutput {
+    if threads <= 1 {
+        pipeline::run_with_recorder(scenario(), opts(faulted), tel)
+    } else {
+        pipeline::run_parallel_with_recorder(scenario(), opts(faulted), threads, tel)
+    }
+}
+
+/// An 8-shard faulted run recording to `rec`, exporting to `base`.
+fn instrumented_run(base: &std::path::Path, interval: u64) -> (RunOutput, Recorder, Exporter) {
+    let rec = Recorder::new();
+    let exporter = Exporter::new(rec.clone(), base, interval);
+    let mut tel = Telemetry::with_exporter(rec.clone(), exporter);
+    let out = run_with(&mut tel, 8, true);
+    let ex = tel.exporter.take().expect("exporter still attached");
+    assert_eq!(ex.io_errors(), 0, "exporter hit IO errors");
+    (out, rec, ex)
+}
+
+fn temp_base(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-telemetry-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join("metrics")
+}
+
+// --- Determinism --------------------------------------------------------
+
+#[test]
+fn metrics_do_not_perturb_output() {
+    let base = temp_base("det");
+    for (threads, faulted) in [(1, false), (1, true), (8, false), (8, true)] {
+        let baseline = run_with(&mut Telemetry::disabled(), threads, faulted).fingerprint();
+        let rec = Recorder::new();
+        // Tight interval so the exporter runs often mid-stream.
+        let exporter = Exporter::new(rec.clone(), &base, 2_000);
+        let mut tel = Telemetry::with_exporter(rec, exporter);
+        let instrumented = run_with(&mut tel, threads, faulted).fingerprint();
+        assert_eq!(
+            baseline, instrumented,
+            "metrics changed the output at threads={threads} faulted={faulted}"
+        );
+    }
+}
+
+// --- Snapshot-file schema ------------------------------------------------
+
+#[test]
+fn jsonl_snapshots_follow_schema() {
+    let base = temp_base("jsonl");
+    let (_out, _rec, ex) = instrumented_run(&base, 5_000);
+    let text = std::fs::read_to_string(ex.jsonl_path()).expect("read jsonl");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2, "expected multiple snapshots, got {}", lines.len());
+    assert_eq!(lines.len() as u64, ex.snapshots_written());
+    let mut prev_seq = None;
+    let mut prev_pos = 0u64;
+    let last = lines.len() - 1;
+    for (idx, line) in lines.into_iter().enumerate() {
+        let snap = parse_json(line);
+        let seq = snap.get("seq").and_then(Json::as_num).expect("seq") as u64;
+        let pos = snap.get("pos").and_then(Json::as_num).expect("pos") as u64;
+        snap.get("ts_ms").and_then(Json::as_num).expect("ts_ms");
+        if let Some(p) = prev_seq {
+            assert_eq!(seq, p + 1, "snapshot seq must increase by one");
+        }
+        assert!(pos >= prev_pos, "snapshot pos must be monotone");
+        (prev_seq, prev_pos) = (Some(seq), pos);
+        let samples = snap.get("samples").and_then(Json::as_arr).expect("samples array");
+        assert!(!samples.is_empty());
+        for s in samples {
+            let name = s.get("name").and_then(Json::as_str).expect("sample name");
+            assert!(valid_metric_name(name), "bad metric name in JSONL: {name}");
+            assert!(matches!(s.get("labels"), Some(Json::Obj(_))), "labels must be an object");
+            match s.get("type").and_then(Json::as_str).expect("sample type") {
+                "counter" | "gauge" => {
+                    s.get("value").and_then(Json::as_num).expect("numeric value");
+                }
+                "histogram" => {
+                    let bounds = s.get("bounds").and_then(Json::as_arr).expect("bounds");
+                    let buckets = s.get("buckets").and_then(Json::as_arr).expect("buckets");
+                    assert_eq!(buckets.len(), bounds.len() + 1, "+Inf bucket missing: {name}");
+                    let count = s.get("count").and_then(Json::as_num).expect("count") as u64;
+                    s.get("sum").and_then(Json::as_num).expect("sum");
+                    // Buckets and count are separate atomics, so a
+                    // mid-run snapshot taken while shard threads are
+                    // observing need not be internally consistent; the
+                    // identity must hold exactly on the final snapshot,
+                    // written after every shard has joined.
+                    if idx == last {
+                        let total: f64 =
+                            buckets.iter().map(|b| b.as_num().expect("bucket count")).sum();
+                        assert_eq!(
+                            total as u64, count,
+                            "bucket counts disagree with count: {name}"
+                        );
+                    }
+                }
+                other => panic!("unknown sample type {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn prometheus_file_follows_text_exposition_format() {
+    let base = temp_base("prom");
+    let (_out, _rec, ex) = instrumented_run(&base, 50_000);
+    let text = std::fs::read_to_string(ex.prom_path()).expect("read prom");
+    let mut typed: Vec<String> = Vec::new();
+    let mut series = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name");
+            let kind = it.next().expect("TYPE kind");
+            assert!(valid_metric_name(name), "bad metric name in TYPE line: {name}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE kind {kind:?}"
+            );
+            typed.push(name.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "only TYPE comments expected: {line}");
+        // `name{labels} value` or `name value`.
+        let name_end = line.find(['{', ' ']).unwrap_or_else(|| panic!("malformed line: {line}"));
+        let name = &line[..name_end];
+        // Histogram series append _bucket/_sum/_count to the base name.
+        let bare = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| typed.contains(&b.to_string()))
+            .unwrap_or(name);
+        assert!(typed.contains(&bare.to_string()), "sample line for undeclared metric: {line}");
+        let value = line.rsplit(' ').next().expect("value field");
+        assert!(value.parse::<f64>().is_ok(), "sample value must be numeric: {line}");
+        series += 1;
+    }
+    assert!(series >= typed.len(), "every declared metric should have samples");
+}
+
+// --- Ledger cross-check and layer coverage -------------------------------
+
+#[test]
+fn health_gauges_mirror_the_pipeline_ledger() {
+    let rec = Recorder::new();
+    let mut tel = Telemetry::new(rec.clone());
+    let out = run_with(&mut tel, 8, true);
+    assert!(out.health.conserves());
+    let snap = rec.snapshot();
+    let gauge = |name: &str, stage: &str| -> i64 {
+        snap.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.iter().any(|(k, v)| k == "stage" && v == stage))
+            .map(|s| match s.value {
+                Value::Gauge(v) => v,
+                _ => panic!("{name} is not a gauge"),
+            })
+            .unwrap_or_else(|| panic!("no exported {name} for stage {stage}"))
+    };
+    for st in &out.health.stages {
+        assert_eq!(gauge("ah_core_health_received_count", &st.stage), st.received as i64);
+        assert_eq!(gauge("ah_core_health_accepted_count", &st.stage), st.accepted as i64);
+        assert_eq!(gauge("ah_core_health_repaired_count", &st.stage), st.repaired as i64);
+        assert_eq!(gauge("ah_core_health_quarantined_count", &st.stage), st.quarantined as i64);
+        assert_eq!(gauge("ah_core_health_discarded_count", &st.stage), st.discarded_total() as i64);
+        // The exported conservation identity balances exactly like the
+        // in-memory ledger's.
+        assert_eq!(
+            gauge("ah_core_health_received_count", &st.stage),
+            gauge("ah_core_health_accepted_count", &st.stage)
+                + gauge("ah_core_health_quarantined_count", &st.stage)
+                + gauge("ah_core_health_discarded_count", &st.stage),
+            "exported ledger does not balance for {}",
+            st.stage
+        );
+    }
+}
+
+#[test]
+fn exported_metrics_cover_every_layer() {
+    let rec = Recorder::new();
+    let mut tel = Telemetry::new(rec.clone());
+    let out = run_with(&mut tel, 8, false);
+    let snap = rec.snapshot();
+    let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+    for prefix in ["ah_telescope_", "ah_flow_", "ah_intel_", "ah_core_health_", "ah_pipeline_"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no metrics exported for layer {prefix}"
+        );
+    }
+    for name in &names {
+        assert!(valid_metric_name(name), "bad metric name registered: {name}");
+    }
+    // Ring occupancy: one gauge per shard on the 8-thread run.
+    let rings = snap.samples.iter().filter(|s| s.name == "ah_pipeline_ring_occupancy_hwm").count();
+    assert_eq!(rings, 8, "expected one ring-occupancy gauge per shard");
+    // Cross-check the mux throughput counter against the run itself: a
+    // clean run delivers every generated packet.
+    let mux = snap
+        .samples
+        .iter()
+        .find(|s| s.name == "ah_pipeline_mux_packets_delivered_total")
+        .expect("mux packet counter");
+    match mux.value {
+        Value::Counter(v) => assert_eq!(v, out.generated_packets),
+        _ => panic!("mux packet metric is not a counter"),
+    }
+    // The telescope's watermark-lag histogram observes exactly the
+    // packets the aggregator accepted or quarantined past the filter.
+    let lag = snap
+        .samples
+        .iter()
+        .find(|s| s.name == "ah_telescope_agg_watermark_lag_us")
+        .expect("watermark lag histogram");
+    match &lag.value {
+        Value::Histogram(h) => assert!(h.count > 0, "lag histogram never observed"),
+        _ => panic!("watermark lag metric is not a histogram"),
+    }
+}
