@@ -147,8 +147,24 @@ fn write_summary(generated: u64) {
         if serial_pps > 0.0 { metrics_pps / serial_pps } else { 1.0 }
     ));
     let ring_json: Vec<String> = ring_hwm.iter().map(|v| v.to_string()).collect();
+    // An undersized host cannot produce a meaningful parallel speedup
+    // curve, only dispatch/ring overhead; label the summary so a
+    // single-core sanity run is never mistaken for a perf baseline.
+    let (kind, note) = if host_cpus >= widest {
+        ("perf-baseline", format!("host has {host_cpus} CPU(s); speedups are meaningful"))
+    } else {
+        (
+            "undersized-host-sanity",
+            format!(
+                "host has {host_cpus} CPU(s) for up to {widest} threads; every configuration \
+                 timeshares the same cores, so speedup_vs_serial only measures engine overhead \
+                 — re-run on a host with >= {widest} CPUs for a perf baseline"
+            ),
+        )
+    };
     let json = format!(
-        "{{\n  \"bench\": \"pipeline\",\n  \"git_commit\": \"{}\",\n  \
+        "{{\n  \"bench\": \"pipeline\",\n  \"baseline_kind\": \"{kind}\",\n  \
+         \"note\": \"{note}\",\n  \"git_commit\": \"{}\",\n  \
          \"scenario\": \"tiny({DAYS} days, seed {SEED})\",\n  \
          \"generated_packets\": {generated},\n  \"host_cpus\": {host_cpus},\n  \
          \"wall_seconds\": {:.3},\n  \

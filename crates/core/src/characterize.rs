@@ -13,11 +13,10 @@ use ah_intel::asn::AsnDb;
 use ah_intel::rdns::RdnsTable;
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::ScanClass;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One row of the origins table (Table 5).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OriginRow {
     /// "Cloud (US)"-style label; the paper anonymizes org names.
     pub label: String,
@@ -37,7 +36,7 @@ pub struct OriginRow {
 
 /// Totals row of Table 5: top-N sums and their share of the whole
 /// population.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OriginTotals {
     /// Hitter IPs covered by the top-N origins.
     pub top_ips: u64,
@@ -133,7 +132,7 @@ fn ratio(a: u64, b: u64) -> f64 {
 }
 
 /// One targeted service in Figure 4.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortRow {
     /// Traffic type of the service.
     pub class: ScanClass,
@@ -245,7 +244,7 @@ fn to_pct(counts: [u64; 3]) -> ProtocolMix {
 }
 
 /// One day of the Figure 3 time series.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TrendDay {
     /// Day index within the run.
     pub day: u64,

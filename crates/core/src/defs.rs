@@ -1,9 +1,7 @@
 //! The three aggressive-hitter definitions (Section 3 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// A hitter definition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Definition {
     /// Definition 1: an event touches ≥ 10% of the dark address space.
     AddressDispersion,
@@ -49,7 +47,7 @@ impl Definition {
 }
 
 /// Tunable parameters of the three definitions.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Thresholds {
     /// Definition 1 dispersion fraction (paper: 0.10, following the
     /// "large scans" cut of Durumeric et al.).

@@ -20,12 +20,11 @@ use crate::ecdf::Ecdf;
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::ScanClass;
 use ah_telescope::event::DarknetEvent;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// Compact summary of one darknet event (32 bytes + padding) — the
 /// detector's working set for multi-month runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventRecord {
     /// Scanning source address.
     pub src: Ipv4Addr4,

@@ -4,10 +4,8 @@
 //! (packets per event, distinct ports per day) exceeds the empirical
 //! (1 − α)-quantile of that statistic's distribution, with α = 10⁻⁴.
 
-use serde::{Deserialize, Serialize};
-
 /// An ECDF over `u64` samples.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Ecdf {
     /// Sorted samples.
     sorted: Vec<u64>,

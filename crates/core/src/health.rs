@@ -15,12 +15,11 @@
 //! (e.g. an event start moved earlier by a late packet) and is a subset
 //! of `accepted`, not a separate fate.
 
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Input-fate counters for one pipeline stage.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageHealth {
     /// Stage name, e.g. `"telescope.capture"` or `"flow.merit"`.
     pub stage: String,
@@ -64,7 +63,7 @@ impl StageHealth {
 }
 
 /// Health records for every stage of one pipeline run, in pipeline order.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelineHealth {
     /// Stage ledgers, in pipeline order.
     pub stages: Vec<StageHealth>,

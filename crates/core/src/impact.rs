@@ -6,11 +6,10 @@ use ah_flow::router::{FlowDataset, RouterId};
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::PacketMeta;
 use ah_net::time::Ts;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// Impact of a hitter population at one router on one day.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouterDayImpact {
     /// The border router measured.
     pub router: RouterId,
@@ -66,7 +65,7 @@ pub fn flow_impact(
 
 /// Table 8: what share of a day's hitter population is *seen* (as a flow
 /// source) at each router.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PresenceRow {
     /// Day index within the run.
     pub day: u64,
@@ -160,7 +159,7 @@ impl TapAnalyzer {
 }
 
 /// Per-second tap series with the paper's three views.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TapSeries {
     /// (total, hitter) packets per elapsed second.
     pub bins: Vec<(u64, u64)>,

@@ -6,7 +6,6 @@
 
 use ah_intel::asn::AsnDb;
 use ah_net::ipv4::Ipv4Addr4;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Jaccard similarity |A∩B| / |A∪B| (1.0 for two empty sets).
@@ -34,7 +33,7 @@ pub fn intersect3(
 }
 
 /// A population counted at the four granularities of Table 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelCounts {
     /// Distinct source IPs.
     pub ips: u64,

@@ -8,11 +8,10 @@ use ah_intel::acked::AckedScanners;
 use ah_intel::greynoise::{GnClassification, GnEntry};
 use ah_intel::rdns::RdnsTable;
 use ah_net::ipv4::Ipv4Addr4;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Table 6 column: acknowledged-scanner validation for one definition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AckedValidation {
     /// Hitters matched by exact IP.
     pub ip_matches: u64,
@@ -76,7 +75,7 @@ pub fn acked_validation(
 }
 
 /// Figure 6 (left): GreyNoise-based breakdown of a hitter population.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct GnBreakdown {
     /// Hitters GreyNoise classifies as benign (vetted researchers).
     pub benign: u64,

@@ -4,10 +4,9 @@ use ah_net::error::{NetError, Result};
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::PacketMeta;
 use ah_net::time::Ts;
-use serde::{Deserialize, Serialize};
 
 /// The 5-tuple keying a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
     /// Source address.
     pub src: Ipv4Addr4,
@@ -38,7 +37,7 @@ impl FlowKey {
 ///
 /// `packets`/`bytes` count *sampled* packets; multiply by the sampling
 /// rate (or use [`crate::sampler::Sampler::estimate`]) for wire totals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowRecord {
     /// The flow's 5-tuple.
     pub key: FlowKey,

@@ -20,14 +20,13 @@ use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::PacketMeta;
 use ah_net::prefix::{Prefix, PrefixMap, PrefixSet};
 use ah_net::time::Ts;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a border router (1-based, as in the paper's tables).
 pub type RouterId = u8;
 
 /// Which way a packet crosses the ISP border.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// From the Internet into the ISP.
     Ingress,
@@ -38,7 +37,7 @@ pub enum Direction {
 /// Per-day ground-truth counters for one router (the "all routed packets"
 /// denominator of Tables 2 and 4 — what an unsampled line-card counter
 /// would report).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouterDayCounter {
     /// Packets routed that day.
     pub packets: u64,
@@ -505,7 +504,7 @@ impl FlowDispatch {
 
 /// A completed flow-measurement campaign: every exported record plus the
 /// ground-truth per-router-day totals.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlowDataset {
     /// Every record exported by any router, in export order.
     pub records: Vec<FlowRecord>,

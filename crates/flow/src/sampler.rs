@@ -7,10 +7,8 @@
 //! source of the small-flow quantization the paper validates against
 //! unsampled taps (our `sampling_ablation` bench measures exactly this).
 
-use serde::{Deserialize, Serialize};
-
 /// Systematic 1:N sampler.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sampler {
     rate: u64,
     counter: u64,

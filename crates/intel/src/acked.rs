@@ -9,11 +9,10 @@
 
 use crate::rdns::{matches_keyword, RdnsTable};
 use ah_net::ipv4::Ipv4Addr4;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One acknowledged organization.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AckedOrg {
     pub name: String,
     /// Source IPs the org discloses.
@@ -23,7 +22,7 @@ pub struct AckedOrg {
 }
 
 /// How a hitter matched the acknowledged list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AckedMatch {
     /// The IP is on the published list.
     IpList { org: String },

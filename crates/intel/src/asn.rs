@@ -2,11 +2,10 @@
 
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::prefix::{Prefix, PrefixMap};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Coarse AS categories, following the paper's Table 5 labels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AsType {
     Cloud,
     Isp,
@@ -29,7 +28,7 @@ impl AsType {
 }
 
 /// ISO-3166-alpha-2-style country code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CountryCode(pub [u8; 2]);
 
 impl CountryCode {
@@ -49,7 +48,7 @@ impl fmt::Display for CountryCode {
 }
 
 /// Metadata for one autonomous system.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsInfo {
     pub asn: u32,
     pub org: String,

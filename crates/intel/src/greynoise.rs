@@ -18,11 +18,10 @@ use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::{PacketMeta, Transport};
 use ah_net::prefix::PrefixSet;
 use ah_net::time::Ts;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// GreyNoise's three-way IP classification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GnClassification {
     Benign,
     Malicious,
@@ -30,7 +29,7 @@ pub enum GnClassification {
 }
 
 /// Application-payload evidence the wire model does not carry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PayloadHint {
     None,
     GoHttp,
@@ -78,7 +77,7 @@ const MALICIOUS_TAGS: &[&str] = &[
 ];
 
 /// The finalized record for one observed source.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GnEntry {
     pub classification: GnClassification,
     pub tags: Vec<String>,

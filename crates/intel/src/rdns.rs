@@ -6,11 +6,10 @@
 //! one.
 
 use ah_net::ipv4::Ipv4Addr4;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A PTR-record table.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RdnsTable {
     records: HashMap<Ipv4Addr4, String>,
 }

@@ -4,7 +4,6 @@
 //! telescope and flow pipelines strip this layer before the IPv4 parser.
 
 use crate::error::{NetError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Ethernet II header length.
@@ -18,7 +17,7 @@ pub const ETHERTYPE_ARP: u16 = 0x0806;
 pub const ETHERTYPE_IPV6: u16 = 0x86dd;
 
 /// A 48-bit MAC address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {

@@ -13,13 +13,12 @@
 //! Anything else is classified `Other`.
 
 use crate::packet::{PacketMeta, Transport};
-use serde::{Deserialize, Serialize};
 
 /// The IP-ID constant stamped by ZMap.
 pub const ZMAP_IP_ID: u16 = 54321;
 
 /// Tool attribution for a single probe packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Tool {
     ZMap,
     Masscan,

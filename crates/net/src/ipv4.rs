@@ -2,7 +2,6 @@
 
 use crate::checksum;
 use crate::error::{NetError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -12,8 +11,7 @@ use std::str::FromStr;
 /// the pipeline keeps hundreds of millions of these in hash maps and
 /// arrays: a transparent `u32` gives free ordering, masking and dense
 /// indexing into the dark space.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ipv4Addr4(pub u32);
 
 impl Ipv4Addr4 {

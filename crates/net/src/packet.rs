@@ -13,11 +13,10 @@ use crate::ipv4::{Ipv4Addr4, Ipv4Header, PROTO_ICMP, PROTO_TCP, PROTO_UDP};
 use crate::tcp::{TcpFlags, TcpHeader};
 use crate::time::Ts;
 use crate::udp::UdpHeader;
-use serde::{Deserialize, Serialize};
 
 /// The three telescope "traffic types" that count as scanning packets
 /// (Section 2.A of the paper), plus their display names.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ScanClass {
     /// A TCP packet with SYN set and ACK clear.
     TcpSyn,
@@ -42,7 +41,7 @@ impl ScanClass {
 }
 
 /// Decoded transport layer of a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transport {
     Tcp {
         src_port: u16,
@@ -65,7 +64,7 @@ pub enum Transport {
 }
 
 /// One decoded IPv4 packet with capture timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketMeta {
     /// Capture timestamp.
     pub ts: Ts,

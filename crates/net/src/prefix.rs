@@ -9,13 +9,12 @@
 
 use crate::error::{NetError, Result};
 use crate::ipv4::Ipv4Addr4;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 
 /// An IPv4 CIDR prefix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Prefix {
     /// Network address, host bits zeroed.
     pub network: Ipv4Addr4,
@@ -100,7 +99,7 @@ impl FromStr for Prefix {
 /// A set of prefixes supporting O(log n) membership.
 ///
 /// Internally: disjoint sorted inclusive ranges, merged on build.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrefixSet {
     ranges: Vec<(u32, u32)>,
 }

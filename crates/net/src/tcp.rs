@@ -3,14 +3,12 @@
 use crate::checksum::{self, Sum16};
 use crate::error::{NetError, Result};
 use crate::ipv4::Ipv4Addr4;
-use serde::{Deserialize, Serialize};
 
 /// Minimum TCP header length (no options).
 pub const HEADER_LEN: usize = 20;
 
 /// TCP flag bits, as a transparent wrapper over the low 8 flag bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TcpFlags(pub u8);
 
 impl TcpFlags {

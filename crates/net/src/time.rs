@@ -4,7 +4,6 @@
 //! microseconds since the epoch of the experiment (not wall-clock UNIX
 //! time — experiments map "day 0" onto a paper date when rendering).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -16,9 +15,7 @@ pub const SECS_PER_DAY: u64 = 86_400;
 pub const MICROS_PER_DAY: u64 = SECS_PER_DAY * MICROS_PER_SEC;
 
 /// A timestamp with microsecond resolution.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ts(pub u64);
 
 impl Ts {
@@ -88,9 +85,7 @@ impl fmt::Display for Ts {
 }
 
 /// A span of time with microsecond resolution.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Dur(pub u64);
 
 impl Dur {

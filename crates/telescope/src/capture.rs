@@ -4,7 +4,6 @@ use crate::dstset::DstSet;
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::{PacketMeta, ScanClass};
 use ah_net::prefix::Prefix;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// The monitored dark address block.
@@ -126,7 +125,7 @@ impl CaptureStats {
 }
 
 /// Compact summary of capture statistics for reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CaptureSummary {
     /// All packets that arrived at the dark space.
     pub total_packets: u64,

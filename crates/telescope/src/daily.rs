@@ -7,11 +7,10 @@
 use crate::event::DarknetEvent;
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::PacketMeta;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// Aggregates for one day of capture.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DayStats {
     /// Scanning packets captured this day.
     pub scan_packets: u64,

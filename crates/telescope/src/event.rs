@@ -25,14 +25,13 @@ use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::{PacketMeta, ScanClass};
 use ah_net::time::{Dur, Ts};
 use ah_obs::{Counter, Gauge, Histogram, Recorder};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Key identifying a logical scan.
 ///
 /// ICMP has no ports; its events use port 0, mirroring how the darknet
 /// events dataset encodes them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventKey {
     /// Scanning source address.
     pub src: Ipv4Addr4,
@@ -50,7 +49,7 @@ impl EventKey {
 }
 
 /// Per-tool packet counters, indexed by [`Tool`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ToolCounts {
     /// Packets carrying the ZMap fingerprint.
     pub zmap: u64,
@@ -107,7 +106,7 @@ impl ToolCounts {
 }
 
 /// A completed darknet event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DarknetEvent {
     /// The (source, port, type) identity of the logical scan.
     pub key: EventKey,

@@ -15,12 +15,10 @@ use aggressive_scanners::core::defs::Definition;
 use aggressive_scanners::net::pcap::{PcapWriter, DEFAULT_SNAPLEN, LINKTYPE_RAW};
 use aggressive_scanners::pipeline::{self, RunOptions};
 use aggressive_scanners::simnet::scenario::{ScenarioConfig, Year};
-use serde::Serialize;
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 
-#[derive(Serialize)]
 struct Blocklist {
     day: u64,
     definition: &'static str,
@@ -29,6 +27,44 @@ struct Blocklist {
     unacknowledged: Vec<String>,
     /// Acknowledged research scanners — review before blocking.
     acknowledged: Vec<String>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String], indent: &str) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let body: Vec<String> =
+        items.iter().map(|s| format!("{indent}  \"{}\"", json_escape(s))).collect();
+    format!("[\n{}\n{indent}]", body.join(",\n"))
+}
+
+impl Blocklist {
+    /// Pretty-printed JSON; serialization in this workspace is
+    /// hand-rolled (see vendor/README.md).
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"day\": {},\n  \"definition\": \"{}\",\n  \"threshold_note\": \"{}\",\n  \
+             \"unacknowledged\": {},\n  \"acknowledged\": {}\n}}\n",
+            self.day,
+            json_escape(self.definition),
+            json_escape(&self.threshold_note),
+            json_string_array(&self.unacknowledged, "  "),
+            json_string_array(&self.acknowledged, "  "),
+        )
+    }
 }
 
 fn main() -> std::io::Result<()> {
@@ -72,7 +108,7 @@ fn main() -> std::io::Result<()> {
                 acknowledged: acknowledged.into_iter().collect(),
             };
             let path = out_dir.join(format!("day{day}-{}.json", def.short().to_lowercase()));
-            fs::write(&path, serde_json::to_string_pretty(&list)?)?;
+            fs::write(&path, list.to_json())?;
             written += 1;
         }
     }

@@ -16,11 +16,12 @@ use ah_obs::{valid_metric_name, Exporter, Recorder, Value};
 
 // --- A tiny JSON reader -------------------------------------------------
 //
-// The workspace's serde_json is a typecheck-only interface stub (the
-// build environment is air-gapped), so the schema check parses the
-// exporter's JSONL output with a minimal recursive-descent reader
-// instead. Strict enough for the exporter's own output: objects, arrays,
-// strings with basic escapes, integer/float numbers, true/false/null.
+// The workspace deliberately has no serde_json dependency (all JSON in
+// this repo is hand-rolled; see vendor/README.md), so the schema check
+// parses the exporter's JSONL output with a minimal recursive-descent
+// reader instead. Strict enough for the exporter's own output: objects,
+// arrays, strings with basic escapes, integer/float numbers,
+// true/false/null.
 
 #[derive(Debug, Clone, PartialEq)]
 enum Json {

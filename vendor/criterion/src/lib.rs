@@ -1,0 +1,132 @@
+//! Minimal stand-in for the `criterion` bench-harness API.
+//!
+//! Vendored as a first-party crate so the workspace's benches compile
+//! and run without crates.io access (see `vendor/README.md`). Unlike
+//! upstream criterion this harness does **no** statistical sampling:
+//! `Bencher::iter` executes the bench body exactly once through
+//! [`black_box`]. The repository's benches do their own wall-clock
+//! measurement and emit machine-readable summaries (for example
+//! `crates/bench/benches/pipeline.rs` writing `BENCH_pipeline.json`),
+//! so this crate only has to provide the structural API: groups, ids,
+//! throughput tags, and the `criterion_group!`/`criterion_main!`
+//! entry points.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Opaque value barrier, forwarding to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (accepted, not used).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level harness handle passed to bench functions.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup {
+        BenchmarkGroup
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _name: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    /// Accept command-line configuration (no-op).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(_name: &str, _param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(_param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup;
+
+impl BenchmarkGroup {
+    /// Run a benchmark that closes over an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher, input);
+        self
+    }
+
+    /// Set the sample count (accepted, not used).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the group's throughput annotation (accepted, not used).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a single named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _name: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Handle that runs the timed body of a benchmark.
+pub struct Bencher;
+
+impl Bencher {
+    /// Execute the bench body once through [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+}
+
+/// Bundle bench functions into a group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
