@@ -4,6 +4,9 @@
 //! provides the run cache the `experiment` binary uses so that multiple
 //! tables regenerated in one invocation share simulation output.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use aggressive_scanners::pipeline::{self, RunOptions, RunOutput, TapRun, Telemetry};
 use aggressive_scanners::simnet::scenario::{BenignLevel, ScenarioConfig, Year};
 use ah_core::defs::Definition;
@@ -14,11 +17,15 @@ use ah_obs::Recorder;
 /// regenerates every artifact in minutes. Scale with `--days-scale`.
 #[derive(Debug, Clone, Copy)]
 pub struct Spans {
+    /// Darknet-1 (2021) characterization span.
     pub darknet1_days: u64,
+    /// Darknet-2 (2022) characterization span.
     pub darknet2_days: u64,
+    /// Flow-measurement week (excluding the warm-up day).
     pub flow_days: u64,
     /// Tap runs: 1 detection day + 3 tap days.
     pub tap_days: u64,
+    /// Honeypot-validation month.
     pub gn_days: u64,
 }
 
@@ -67,7 +74,9 @@ pub fn execute_with(
 
 /// Lazily-computed, shared simulation runs.
 pub struct Runs {
+    /// Spans used for every run.
     pub spans: Spans,
+    /// Base RNG seed; each run derives its own by XOR.
     pub seed: u64,
     /// Worker shards for the parallel engine (`0`/`1` = serial).
     pub threads: usize,
@@ -80,6 +89,7 @@ pub struct Runs {
 }
 
 impl Runs {
+    /// An empty cache; runs execute on first access.
     pub fn new(spans: Spans, seed: u64) -> Runs {
         Runs {
             spans,
@@ -122,58 +132,49 @@ impl Runs {
 
     /// Darknet-1 (2021) characterization run.
     pub fn darknet1(&mut self) -> &RunOutput {
-        if self.darknet1.is_none() {
-            eprintln!("[run] darknet-1 ({} days)...", self.spans.darknet1_days);
-            let cfg =
-                ScenarioConfig::darknet(Year::Y2021, self.spans.darknet1_days, self.seed ^ 0x2021);
-            let out =
-                execute_with(cfg, RunOptions::darknet_only(), self.threads, &mut self.telemetry);
-            self.darknet1 = Some(out);
-        }
-        self.darknet1.as_ref().expect("just inserted")
+        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
+        let tel = &mut self.telemetry;
+        self.darknet1.get_or_insert_with(|| {
+            eprintln!("[run] darknet-1 ({} days)...", spans.darknet1_days);
+            let cfg = ScenarioConfig::darknet(Year::Y2021, spans.darknet1_days, seed ^ 0x2021);
+            execute_with(cfg, RunOptions::darknet_only(), threads, tel)
+        })
     }
 
     /// Darknet-2 (2022) characterization run.
     pub fn darknet2(&mut self) -> &RunOutput {
-        if self.darknet2.is_none() {
-            eprintln!("[run] darknet-2 ({} days)...", self.spans.darknet2_days);
-            let cfg =
-                ScenarioConfig::darknet(Year::Y2022, self.spans.darknet2_days, self.seed ^ 0x2022);
-            let out =
-                execute_with(cfg, RunOptions::darknet_only(), self.threads, &mut self.telemetry);
-            self.darknet2 = Some(out);
-        }
-        self.darknet2.as_ref().expect("just inserted")
+        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
+        let tel = &mut self.telemetry;
+        self.darknet2.get_or_insert_with(|| {
+            eprintln!("[run] darknet-2 ({} days)...", spans.darknet2_days);
+            let cfg = ScenarioConfig::darknet(Year::Y2022, spans.darknet2_days, seed ^ 0x2022);
+            execute_with(cfg, RunOptions::darknet_only(), threads, tel)
+        })
     }
 
     /// The flow-measurement week (Merit benign + 3 border routers).
     pub fn flows(&mut self) -> &RunOutput {
-        if self.flows.is_none() {
-            eprintln!(
-                "[run] flow week (1 warm-up + {} days, Merit benign)...",
-                self.spans.flow_days
-            );
-            let cfg = ScenarioConfig::flows(self.spans.flow_days + 1, self.seed ^ 0xf10f);
-            let out =
-                execute_with(cfg, RunOptions::with_flows(), self.threads, &mut self.telemetry);
-            self.flows = Some(out);
-        }
-        self.flows.as_ref().expect("just inserted")
+        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
+        let tel = &mut self.telemetry;
+        self.flows.get_or_insert_with(|| {
+            eprintln!("[run] flow week (1 warm-up + {} days, Merit benign)...", spans.flow_days);
+            let cfg = ScenarioConfig::flows(spans.flow_days + 1, seed ^ 0xf10f);
+            execute_with(cfg, RunOptions::with_flows(), threads, tel)
+        })
     }
 
     /// The honeypot-validation month (telescope + GreyNoise).
     pub fn gn(&mut self) -> &RunOutput {
-        if self.gn.is_none() {
-            eprintln!("[run] greynoise month ({} days)...", self.spans.gn_days);
-            let mut cfg =
-                ScenarioConfig::darknet(Year::Y2022, self.spans.gn_days, self.seed ^ 0x60e5);
+        let (spans, seed, threads) = (self.spans, self.seed, self.threads);
+        let tel = &mut self.telemetry;
+        self.gn.get_or_insert_with(|| {
+            eprintln!("[run] greynoise month ({} days)...", spans.gn_days);
+            let mut cfg = ScenarioConfig::darknet(Year::Y2022, spans.gn_days, seed ^ 0x60e5);
             cfg.label = "gn-month".into();
             cfg.benign = BenignLevel::Off;
             let opts = RunOptions { greynoise: true, ..RunOptions::darknet_only() };
-            let out = execute_with(cfg, opts, self.threads, &mut self.telemetry);
-            self.gn = Some(out);
-        }
-        self.gn.as_ref().expect("just inserted")
+            execute_with(cfg, opts, threads, tel)
+        })
     }
 
     /// The 72-hour packet-tap experiment (two-phase).

@@ -26,6 +26,7 @@
 //! * [`validate`] — acknowledged-scanner and honeypot cross-validation;
 //! * [`report`] — text-table and CSV rendering for the experiment runner.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod characterize;

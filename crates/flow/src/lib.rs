@@ -17,6 +17,7 @@
 //!   router-3), ingress/egress classification, and the content-cache
 //!   bypass that explains the Merit-vs-CU impact gap.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

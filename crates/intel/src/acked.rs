@@ -14,6 +14,7 @@ use std::collections::HashMap;
 /// One acknowledged organization.
 #[derive(Debug, Clone)]
 pub struct AckedOrg {
+    /// Organization name as published on the list.
     pub name: String,
     /// Source IPs the org discloses.
     pub ips: Vec<Ipv4Addr4>,
@@ -25,9 +26,17 @@ pub struct AckedOrg {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AckedMatch {
     /// The IP is on the published list.
-    IpList { org: String },
+    IpList {
+        /// Matched organization name.
+        org: String,
+    },
     /// The IP's PTR record contains an org keyword.
-    Domain { org: String, keyword: String },
+    Domain {
+        /// Matched organization name.
+        org: String,
+        /// The keyword that hit.
+        keyword: String,
+    },
 }
 
 impl AckedMatch {
@@ -94,12 +103,10 @@ impl AckedScanners {
         let name = rdns.lookup(ip)?;
         let kw_strings: Vec<String> = self.keywords.iter().map(|(k, _)| k.clone()).collect();
         let hit = matches_keyword(name, &kw_strings)?;
-        let org_idx = self
-            .keywords
-            .iter()
-            .find(|(k, _)| k == hit)
-            .map(|(_, i)| *i)
-            .expect("keyword came from this table");
+        // The hit came from this table, so the lookup always succeeds;
+        // `?` (rather than a panic path) keeps the impossible branch a
+        // graceful no-match.
+        let org_idx = self.keywords.iter().find(|(k, _)| k == hit).map(|(_, i)| *i)?;
         Some(AckedMatch::Domain { org: self.orgs[org_idx].name.clone(), keyword: hit.to_string() })
     }
 

@@ -7,10 +7,15 @@ use std::fmt;
 /// Coarse AS categories, following the paper's Table 5 labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AsType {
+    /// Public cloud providers.
     Cloud,
+    /// Access and transit networks.
     Isp,
+    /// Dedicated/colocation hosting.
     Hosting,
+    /// Universities and research networks.
     Education,
+    /// Everything else with its own AS.
     Enterprise,
 }
 
@@ -32,10 +37,12 @@ impl AsType {
 pub struct CountryCode(pub [u8; 2]);
 
 impl CountryCode {
+    /// Wrap a two-letter code.
     pub const fn new(code: &[u8; 2]) -> CountryCode {
         CountryCode(*code)
     }
 
+    /// The code as a string ("??" if not valid UTF-8).
     pub fn as_str(&self) -> &str {
         std::str::from_utf8(&self.0).unwrap_or("??")
     }
@@ -50,9 +57,13 @@ impl fmt::Display for CountryCode {
 /// Metadata for one autonomous system.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsInfo {
+    /// Autonomous-system number.
     pub asn: u32,
+    /// Organization name, as registries print it.
     pub org: String,
+    /// Coarse category (Table 5 labels).
     pub as_type: AsType,
+    /// Registration country.
     pub country: CountryCode,
 }
 
@@ -63,6 +74,7 @@ pub struct AsnDb {
 }
 
 impl AsnDb {
+    /// An empty registry.
     pub fn new() -> AsnDb {
         AsnDb::default()
     }

@@ -23,42 +23,70 @@ use std::collections::{HashMap, HashSet};
 /// GreyNoise's three-way IP classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GnClassification {
+    /// Known-good actor (research scanners, search engines).
     Benign,
+    /// Observed malicious behavior (exploits, bruteforcing).
     Malicious,
+    /// Seen scanning, intent not established.
     Unknown,
 }
 
 /// Application-payload evidence the wire model does not carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PayloadHint {
+    /// No application payload observed.
     None,
+    /// Go's default HTTP client user-agent.
     GoHttp,
+    /// Python `requests` library user-agent.
     PythonRequests,
+    /// Request carried an HTTP Referer header.
     HttpReferer,
 }
 
 /// Tags the paper's Table 9 vocabulary uses, plus Masscan.
 pub mod tags {
+    /// ZMap probe fingerprint.
     pub const ZMAP: &str = "ZMap Client";
+    /// Masscan probe fingerprint.
     pub const MASSCAN: &str = "Masscan Client";
+    /// Generic web crawler behavior.
     pub const WEB_CRAWLER: &str = "Web Crawler";
+    /// Mirai-botnet TCP fingerprint.
     pub const MIRAI: &str = "Mirai";
+    /// Docker API scanning.
     pub const DOCKER: &str = "Docker Scanner";
+    /// Kubernetes API scanning.
     pub const KUBERNETES: &str = "Kubernetes Crawler";
+    /// SSH credential bruteforcing.
     pub const SSH_BRUTE: &str = "SSH Bruteforcer";
+    /// TLS/SSL certificate harvesting.
     pub const TLS_CRAWLER: &str = "TLS/SSL Crawler";
+    /// Self-propagating SSH malware.
     pub const SSH_WORM: &str = "SSH Worm";
+    /// Shenzhen TVT DVR bruteforcing.
     pub const TVT_BRUTE: &str = "Shenzhen TVT Bruteforcer";
+    /// Go default HTTP client payload.
     pub const GO_HTTP: &str = "Go HTTP Client";
+    /// Python requests client payload.
     pub const PY_REQUESTS: &str = "Python Requests Client";
+    /// Telnet credential bruteforcing.
     pub const TELNET_BRUTE: &str = "Telnet Bruteforcer";
+    /// JAWS webserver exploit attempts.
     pub const JAWS_RCE: &str = "JAWS Webserver RCE";
+    /// ICMP echo sweeping.
     pub const PING: &str = "Ping Scanner";
+    /// SIP scanner toolkit.
     pub const SIPVICIOUS: &str = "Sipvicious";
+    /// RDP worm-like propagation.
     pub const RDP_WORM: &str = "Looks Like RDP Worm";
+    /// Requests carry an HTTP Referer.
     pub const HTTP_REFERER: &str = "Carries HTTP Referer";
+    /// SMBv1 endpoint scanning.
     pub const SMB_CRAWLER: &str = "SMBv1 Crawler";
+    /// Hadoop YARN exploit propagation.
     pub const HADOOP_WORM: &str = "Hadoop Yarn Worm";
+    /// Realtek miniigd UPnP exploit (CVE-2014-8361).
     pub const UPNP_WORM: &str = "Miniigd UPnP Worm CVE-2014-8361";
 }
 
@@ -79,10 +107,15 @@ const MALICIOUS_TAGS: &[&str] = &[
 /// The finalized record for one observed source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GnEntry {
+    /// Three-way intent classification.
     pub classification: GnClassification,
+    /// Behavior tags (Table 9 vocabulary).
     pub tags: Vec<String>,
+    /// First packet timestamp across all sensors.
     pub first_seen: Ts,
+    /// Last packet timestamp across all sensors.
     pub last_seen: Ts,
+    /// Total packets this source sent to the sensor fleet.
     pub packets: u64,
 }
 
@@ -106,8 +139,11 @@ struct SrcProfile {
 /// Conservation: `received == accepted + ignored`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IngestStats {
+    /// Packets offered to the honeypot fleet.
     pub received: u64,
+    /// Packets that hit a sensor and were profiled.
     pub accepted: u64,
+    /// Packets whose destination is not a sensor.
     pub ignored: u64,
 }
 

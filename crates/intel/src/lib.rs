@@ -14,6 +14,9 @@
 //!   rule-based tagger emitting the paper's tag vocabulary (Table 9),
 //!   and benign/malicious/unknown classification (Figure 6 left).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod acked;
 pub mod asn;
 pub mod greynoise;

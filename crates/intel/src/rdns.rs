@@ -15,6 +15,7 @@ pub struct RdnsTable {
 }
 
 impl RdnsTable {
+    /// An empty table.
     pub fn new() -> RdnsTable {
         RdnsTable::default()
     }
@@ -35,6 +36,7 @@ impl RdnsTable {
         self.records.len()
     }
 
+    /// Whether the table holds no records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }

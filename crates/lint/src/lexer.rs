@@ -1,0 +1,374 @@
+//! A small token-level lexer for Rust source.
+//!
+//! This is deliberately *not* a parser: the lints in this crate are
+//! token-pattern checks, so all the lexer must get right is the hard
+//! part of tokenization — knowing what is code and what is not.
+//! Comments (line, nested block, doc), string literals (cooked, raw,
+//! byte, raw byte), char literals versus lifetimes, and raw
+//! identifiers are all recognized exactly, so an `unwrap` inside a
+//! string or a `panic!` inside a comment can never trip a lint.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers are unescaped: `r#type`
+    /// lexes as `type`).
+    Ident(String),
+    /// Single punctuation character.
+    Punct(char),
+    /// String literal (cooked, raw, byte, or raw byte); the content
+    /// between the quotes, escapes left as written.
+    Str(String),
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`) or the placeholder lifetime (`'_`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Non-doc comment (`//` or `/* */`); the text without delimiters.
+    Comment(String),
+    /// Doc comment (`///`, `//!`, `/** */`, `/*! */`); text without
+    /// delimiters.
+    DocComment(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. The lexer is total: any byte sequence produces a
+/// token stream (unterminated literals run to end of file), because a
+/// linter must keep going where a compiler would stop.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { b: src.as_bytes(), src, i: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let line = self.line;
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => {
+                    let s = self.cooked_string();
+                    self.push(Tok::Str(s), line);
+                }
+                b'\'' => self.char_or_lifetime(line),
+                b'r' | b'b' if self.literal_prefix() => self.prefixed_literal(line),
+                _ if is_ident_start(c) => {
+                    let id = self.ident();
+                    self.push(Tok::Ident(id), line);
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(Tok::Num, line);
+                }
+                _ => {
+                    self.push(Tok::Punct(c as char), line);
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, n: usize) -> Option<u8> {
+        self.b.get(self.i + n).copied()
+    }
+
+    fn push(&mut self, kind: Tok, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn bump_line_counter(&mut self, from: usize, to: usize) {
+        self.line += self.b[from..to].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = &self.src[start..self.i];
+        // `////…` separators count as plain comments, like rustdoc does.
+        let kind =
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                Tok::DocComment(text[3..].to_string())
+            } else {
+                Tok::Comment(text.trim_start_matches('/').to_string())
+            };
+        self.push(kind, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.i;
+        self.i += 2;
+        let doc =
+            matches!(self.b.get(self.i), Some(&b'*') | Some(&b'!')) && self.peek(1) != Some(b'/'); // `/**/` is not a doc comment
+        let mut depth = 1u32;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        let text = self.src[start..self.i]
+            .trim_start_matches("/*")
+            .trim_start_matches(['*', '!'])
+            .trim_end_matches("*/")
+            .to_string();
+        self.bump_line_counter(start, self.i);
+        self.push(if doc { Tok::DocComment(text) } else { Tok::Comment(text) }, line);
+    }
+
+    /// Cooked string starting at the opening quote; returns the content.
+    fn cooked_string(&mut self) -> String {
+        let start = self.i + 1;
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => break,
+                _ => self.i += 1,
+            }
+        }
+        let end = self.i.min(self.b.len());
+        let content = self.src[start..end].to_string();
+        self.bump_line_counter(start, end);
+        self.i = (end + 1).min(self.b.len());
+        content
+    }
+
+    /// True when the `r`/`b` at the cursor starts a literal rather than
+    /// an identifier: `r"`, `r#"`, `b"`, `b'`, `br`, `rb` forms.
+    fn literal_prefix(&self) -> bool {
+        let mut j = self.i;
+        // Up to two prefix letters (b, r, br, rb — rb isn't real Rust
+        // but accepting it is harmless).
+        let mut letters = 0;
+        while letters < 2 && matches!(self.b.get(j), Some(&b'r') | Some(&b'b')) {
+            j += 1;
+            letters += 1;
+        }
+        let mut hashes = false;
+        while self.b.get(j) == Some(&b'#') {
+            j += 1;
+            hashes = true;
+        }
+        match self.b.get(j) {
+            Some(&b'"') => true,
+            // b'x' byte literal; a raw identifier like r#type has no quote.
+            Some(&b'\'') => !hashes && self.b[self.i] == b'b',
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self, line: u32) {
+        let mut raw = false;
+        while matches!(self.b.get(self.i), Some(&b'r') | Some(&b'b')) {
+            raw |= self.b[self.i] == b'r';
+            self.i += 1;
+        }
+        if !raw {
+            // b"…" cooked byte string or b'…' byte char.
+            if self.b.get(self.i) == Some(&b'"') {
+                let s = self.cooked_string();
+                self.push(Tok::Str(s), line);
+            } else {
+                self.byte_char();
+                self.push(Tok::Char, line);
+            }
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.b.get(self.i) == Some(&b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        // Opening quote.
+        self.i += 1;
+        let start = self.i;
+        let closer: Vec<u8> =
+            std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+        while self.i < self.b.len() && !self.b[self.i..].starts_with(&closer) {
+            self.i += 1;
+        }
+        let end = self.i.min(self.b.len());
+        let content = self.src[start..end].to_string();
+        self.bump_line_counter(start, end);
+        self.i = (end + closer.len()).min(self.b.len());
+        self.push(Tok::Str(content), line);
+    }
+
+    /// Byte char `b'x'` starting at the quote.
+    fn byte_char(&mut self) {
+        self.i += 1; // opening '
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // 'a' is a char; 'a (no closing quote after the ident) is a
+        // lifetime; '\n' and '\u{…}' are chars.
+        if self.peek(1) == Some(b'\\') {
+            self.byte_char();
+            self.push(Tok::Char, line);
+            return;
+        }
+        if let Some(c1) = self.peek(1) {
+            if is_ident_continue(c1) {
+                let mut j = self.i + 2;
+                while self.b.get(j).is_some_and(|&b| is_ident_continue(b)) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    self.i = j + 1;
+                    self.push(Tok::Char, line);
+                } else {
+                    self.i = j;
+                    self.push(Tok::Lifetime, line);
+                }
+                return;
+            }
+        }
+        // ''' or stray quote: treat as a char-ish token, consume quote.
+        self.byte_char();
+        self.push(Tok::Char, line);
+    }
+
+    fn ident(&mut self) -> String {
+        let mut start = self.i;
+        // Raw identifier r#name.
+        if self.b[self.i] == b'r' && self.peek(1) == Some(b'#') {
+            self.i += 2;
+            start = self.i;
+        }
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.src[start..self.i].to_string()
+    }
+
+    fn number(&mut self) {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.i += 1;
+            } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // 1.5 continues the number; 1..5 and 1.method() do not.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_code() {
+        let src = r##"
+            // calls unwrap() in a comment
+            /* panic! in /* nested */ block */
+            let s = "x.unwrap()";
+            let r = r#"panic!("hi")"#;
+            let b = b"expect";
+            real_ident();
+        "##;
+        assert_eq!(idents(src), vec!["let", "s", "let", "r", "let", "b", "real_ident"]);
+    }
+
+    #[test]
+    fn chars_lifetimes_and_raw_idents() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let t = r#type; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"type".to_string()), "raw ident unescapes");
+        let kinds: Vec<_> = lex(src).into_iter().map(|t| t.kind).collect();
+        assert_eq!(kinds.iter().filter(|k| matches!(k, Tok::Lifetime)).count(), 2);
+        assert_eq!(kinds.iter().filter(|k| matches!(k, Tok::Char)).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n\"two\nline\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4, "line counter must advance past multi-line strings");
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let toks = lex("/// doc\n//! inner\n// plain\n//// separator\n/** block */\n/*!inner*/");
+        let docs = toks.iter().filter(|t| matches!(t.kind, Tok::DocComment(_))).count();
+        let plain = toks.iter().filter(|t| matches!(t.kind, Tok::Comment(_))).count();
+        assert_eq!((docs, plain), (4, 2));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("0..10 1.max(2) 3.5_f64");
+        let puncts: Vec<char> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!['.', '.', '.', '(', ')']);
+    }
+}

@@ -1,0 +1,123 @@
+//! `ah-lint` — the workspace's first-party invariant checker.
+//!
+//! Clippy and rustc enforce the general-purpose rules; this tool
+//! enforces the *house* rules that no off-the-shelf linter knows:
+//!
+//! * [`panic-path`](lints::LINTS): library code does not
+//!   `unwrap`/`expect`/`panic!` — fallible paths return `Result`, and
+//!   the few genuinely-impossible cases carry an audited suppression
+//!   with a written reason;
+//! * `atomic-ordering`: `SeqCst` and `Relaxed` appear only at sites a
+//!   comment justifies — everything else uses the acquire/release
+//!   vocabulary the model checker (see `vendor/interleave`) verifies;
+//! * `metric-name`: every metric registered through `ah_obs` is named
+//!   by a string literal this tool can check against
+//!   [`ah_obs::valid_metric_name`] *before* the code ever runs;
+//! * `unsafe-safety-comment`, `doc-header`, `unsafe-forbid`:
+//!   unsafe hygiene and documentation posture, mechanically held.
+//!
+//! The analysis is token-level on a first-party lexer ([`lexer`]) —
+//! no syntax tree, no proc macros, no external parser crate. That is a
+//! deliberate trade: the lints gain immunity to code inside strings
+//! and comments (the failure mode of grep-based CI checks, which this
+//! tool replaces) without taking on a parser dependency, at the cost
+//! of not seeing through macro expansions. House rules are about
+//! source text discipline, so token-level is the right altitude.
+//!
+//! Suppressions are in-band and audited:
+//! `// ah-lint: allow(<id>, reason = "…")` for a line,
+//! `// ah-lint: allow-file(<id>, reason = "…")` for a file; a missing
+//! or empty reason is itself a finding (`bad-suppression`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use lints::{Diagnostic, LINTS};
+
+/// Lint one in-memory source file.
+///
+/// `path` is only used for display; `crate_root` turns on the
+/// whole-file posture lints (`doc-header`, `unsafe-forbid`);
+/// `enabled` selects lints by id.
+pub fn lint_source(
+    path: &str,
+    src: &str,
+    crate_root: bool,
+    enabled: &dyn Fn(&str) -> bool,
+) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(src);
+    let test_ranges = lints::test_ranges(&tokens);
+    let ctx = lints::FileCtx { path, crate_root, tokens: &tokens, test_ranges };
+    lints::run_lints(&ctx, enabled)
+}
+
+/// The library source files of the workspace rooted at `root`: every
+/// `.rs` under `src/`, `crates/*/src/`, and `vendor/*/src/`.
+/// Integration tests, benches, and fixtures are intentionally out of
+/// scope — the house rules govern shipped library code.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut src_dirs = vec![root.join("src")];
+    for parent in ["crates", "vendor"] {
+        let dir = root.join(parent);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut members: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().join("src"))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        src_dirs.append(&mut members);
+    }
+    let mut files = Vec::new();
+    for dir in src_dirs {
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a workspace run: findings plus how much was scanned.
+pub struct RunReport {
+    /// All findings, ordered by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint every library source file of the workspace at `root`.
+pub fn run_workspace(root: &Path, enabled: &dyn Fn(&str) -> bool) -> Result<RunReport, String> {
+    let files = workspace_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let display = path.strip_prefix(root).unwrap_or(path).display().to_string();
+        let crate_root = path.file_name().is_some_and(|n| n == "lib.rs")
+            && path.parent().and_then(|p| p.file_name()).is_some_and(|n| n == "src");
+        diagnostics.extend(lint_source(&display, &src, crate_root, enabled));
+    }
+    Ok(RunReport { diagnostics, files_scanned: files.len() })
+}

@@ -1,0 +1,103 @@
+//! Command-line front end for the `ah-lint` workspace invariant
+//! checker; see the library crate docs for what the lints enforce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ah_lint::{run_workspace, LINTS};
+
+const USAGE: &str = "\
+ah-lint — workspace invariant checker
+
+USAGE: ah-lint [--root DIR] [--lint ID]... [--json] [--deny-warnings] [--list]
+
+  --root DIR        workspace root to scan (default: current directory)
+  --lint ID         run only the named lint (repeatable; default: all)
+  --json            emit one JSON object per finding instead of text
+  --deny-warnings   exit nonzero when any finding is reported
+  --list            list the known lints and exit
+";
+
+struct Opts {
+    root: PathBuf,
+    only: Vec<String>,
+    json: bool,
+    deny: bool,
+    list: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts =
+        Opts { root: PathBuf::from("."), only: Vec::new(), json: false, deny: false, list: false };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root =
+                    PathBuf::from(it.next().ok_or_else(|| "--root needs a value".to_string())?);
+            }
+            "--lint" => {
+                let id = it.next().ok_or_else(|| "--lint needs a value".to_string())?;
+                if !ah_lint::lints::known_lint(id) {
+                    return Err(format!("unknown lint `{id}` (see --list)"));
+                }
+                opts.only.push(id.clone());
+            }
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("ah-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        for (id, desc) in LINTS {
+            println!("{id:<22} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let only = opts.only;
+    let enabled = move |id: &str| only.is_empty() || only.iter().any(|o| o == id);
+    let report = match run_workspace(&opts.root, &enabled) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("ah-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        if opts.json {
+            println!("{}", d.json());
+        } else {
+            println!("{}", d.human());
+        }
+    }
+    eprintln!(
+        "ah-lint: {} finding(s) across {} file(s)",
+        report.diagnostics.len(),
+        report.files_scanned
+    );
+    if opts.deny && !report.diagnostics.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,15 @@
+//! Fixture: a file-scope suppression silences every site in the file.
+
+// ah-lint: allow-file(panic-path, reason = "fixture: file-scope scoping check")
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn second(v: Option<u32>) -> u32 {
+    v.expect("covered by the allow-file above")
+}
+
+pub fn far_from_the_directive() {
+    panic!("still covered");
+}

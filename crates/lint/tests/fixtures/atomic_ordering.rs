@@ -1,0 +1,38 @@
+//! Fixture: atomic-ordering positives and negatives.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bad_relaxed(x: &AtomicUsize) -> usize {
+    x.load(Ordering::Relaxed) //~ atomic-ordering
+}
+
+pub fn bad_seqcst(x: &AtomicUsize) {
+    x.store(1, Ordering::SeqCst); //~ atomic-ordering
+}
+
+pub fn justified_relaxed(x: &AtomicUsize) -> usize {
+    // ORDERING: plain counter read only at snapshot time; no ordering
+    // beyond the atomicity of the load itself is required.
+    x.load(Ordering::Relaxed)
+}
+
+pub fn safety_comment_also_justifies(x: &AtomicUsize) {
+    // SAFETY: the flag is a pure latch; publication order is irrelevant.
+    x.store(2, Ordering::Relaxed);
+}
+
+pub fn acquire_release_vocabulary_is_free(x: &AtomicUsize) -> usize {
+    x.store(3, Ordering::Release);
+    x.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let x = AtomicUsize::new(0);
+        assert_eq!(x.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,3 @@
+// Fixture: a crate root missing both posture attributes. //~ doc-header, unsafe-forbid
+
+pub fn item() {}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying both posture attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A documented item.
+pub fn item() {}

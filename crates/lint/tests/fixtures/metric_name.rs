@@ -1,0 +1,22 @@
+//! Fixture: metric-name positives and negatives.
+
+use ah_obs::Recorder;
+
+pub fn register(rec: &Recorder) {
+    rec.counter("ah_net_parse_errors_total");
+    rec.counter("bad_name"); //~ metric-name
+    rec.gauge("ah_pipeline_ring_Occupancy"); //~ metric-name
+    rec.histogram_with("ah_x"); //~ metric-name
+    rec.gauge_with("ah_flow_cache_occupancy", &[("router", "r1")]);
+}
+
+pub fn non_literal_names_are_out_of_scope(rec: &Recorder, suffix: &str) {
+    // Only string literals are statically checkable; dynamic names are
+    // covered by the runtime JSONL check in scripts/ci.sh.
+    let name = format!("ah_net_dynamic_{suffix}");
+    rec.counter(&name);
+}
+
+pub fn unrelated_counter_fn(counter: impl Fn(u64)) {
+    counter(7);
+}

@@ -1,0 +1,45 @@
+//! Fixture: panic-path positives and negatives.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() //~ panic-path
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("always") //~ panic-path
+}
+
+pub fn bad_panic() {
+    panic!("boom"); //~ panic-path
+}
+
+pub fn bad_todo() {
+    todo!() //~ panic-path
+}
+
+pub fn bad_unimplemented() {
+    unimplemented!() //~ panic-path
+}
+
+pub fn bad_unreachable() {
+    unreachable!() //~ panic-path
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // ah-lint: allow(panic-path, reason = "fixture: audited impossible case")
+    v.unwrap()
+}
+
+pub fn panic_in_string_is_fine(s: &str) -> &str {
+    // A grep would flag the literal below; the token-level lint must not.
+    s.trim_start_matches(".unwrap() panic!")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        assert_eq!(v.expect("test"), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: suppression hygiene. A suppression that cannot be audited
+//! (no reason, unknown lint, unknown directive) is itself a finding and
+//! does NOT silence anything.
+
+pub fn reasonless(v: Option<u32>) -> u32 {
+    // ah-lint: allow(panic-path)
+    //~^ bad-suppression
+    v.unwrap() //~ panic-path
+}
+
+pub fn empty_reason(v: Option<u32>) -> u32 {
+    // ah-lint: allow(panic-path, reason = "")
+    //~^ bad-suppression
+    v.unwrap() //~ panic-path
+}
+
+pub fn unknown_lint(v: Option<u32>) -> u32 {
+    // ah-lint: allow(no-such-lint, reason = "typo'd lint id")
+    //~^ bad-suppression
+    v.unwrap() //~ panic-path
+}
+
+pub fn unknown_directive(v: Option<u32>) -> u32 {
+    // ah-lint: deny(panic-path)
+    //~^ bad-suppression
+    v.unwrap() //~ panic-path
+}
+
+pub fn good_line_scope(v: Option<u32>) -> u32 {
+    // ah-lint: allow(panic-path, reason = "fixture: line-scope check")
+    v.unwrap()
+}
+
+pub fn scope_is_two_lines_only(v: Option<u32>) -> u32 {
+    // ah-lint: allow(panic-path, reason = "fixture: does not reach line +2")
+    let w = v;
+    w.unwrap() //~ panic-path
+}

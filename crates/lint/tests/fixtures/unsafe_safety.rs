@@ -1,0 +1,37 @@
+//! Fixture: unsafe-safety-comment positives and negatives.
+//!
+//! Bad sites come first: the lint's proximity windows (4 lines above,
+//! 3 below for `unsafe fn`) mean a SAFETY comment for one site could
+//! otherwise be misattributed to a later undocumented one.
+
+pub fn bad_block(p: *const u32) -> u32 {
+    unsafe { *p } //~ unsafe-safety-comment
+}
+
+pub unsafe fn bad_fn(p: *const u32) -> u32 { //~ unsafe-safety-comment
+    *p
+}
+
+pub struct Bare(*const u32);
+
+unsafe impl Send for Bare {} //~ unsafe-safety-comment
+
+pub fn good_block(p: *const u32) -> u32 {
+    // SAFETY: fixture — the caller hands us a valid, aligned pointer.
+    unsafe { *p }
+}
+
+/// Reads through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be non-null, aligned, and point to initialized memory.
+pub unsafe fn good_fn_with_safety_doc(p: *const u32) -> u32 {
+    // SAFETY: contract documented on the function above.
+    unsafe { *p }
+}
+
+pub struct Wrapper(*const u32);
+
+// SAFETY: fixture — the pointer is never dereferenced off-thread.
+unsafe impl Send for Wrapper {}

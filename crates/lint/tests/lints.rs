@@ -1,0 +1,132 @@
+//! Fixture-driven self-tests for ah-lint.
+//!
+//! Each fixture under `tests/fixtures/` carries rustc-UI-style markers:
+//! `//~ <id>` expects a diagnostic of lint `<id>` on the same line,
+//! `//~^ <id>` on the line above (one `^` per line up), and several ids
+//! may be comma-separated. A test fails on any missed or spurious
+//! diagnostic, so the fixtures pin both positives and negatives.
+
+use ah_lint::lint_source;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// Parse the `//~` expectation markers out of a fixture.
+fn expected(src: &str) -> BTreeSet<(u32, String)> {
+    let mut want = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        let Some(pos) = line.find("//~") else { continue };
+        let rest = &line[pos + 3..];
+        let carets = rest.chars().take_while(|&c| c == '^').count() as u32;
+        for id in rest[carets as usize..].split(',') {
+            let id = id.trim();
+            if !id.is_empty() {
+                want.insert((lineno - carets, id.to_string()));
+            }
+        }
+    }
+    want
+}
+
+fn check_fixture(name: &str, crate_root: bool) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"));
+    let got: BTreeSet<(u32, String)> = lint_source(name, &src, crate_root, &|_| true)
+        .into_iter()
+        .map(|d| (d.line, d.lint.to_string()))
+        .collect();
+    let want = expected(&src);
+    let missed: Vec<_> = want.difference(&got).collect();
+    let spurious: Vec<_> = got.difference(&want).collect();
+    assert!(
+        missed.is_empty() && spurious.is_empty(),
+        "fixture {name}: missed {missed:?}, spurious {spurious:?}"
+    );
+}
+
+#[test]
+fn fixture_panic_path() {
+    check_fixture("panic_path.rs", false);
+}
+
+#[test]
+fn fixture_atomic_ordering() {
+    check_fixture("atomic_ordering.rs", false);
+}
+
+#[test]
+fn fixture_metric_name() {
+    check_fixture("metric_name.rs", false);
+}
+
+#[test]
+fn fixture_unsafe_safety() {
+    check_fixture("unsafe_safety.rs", false);
+}
+
+#[test]
+fn fixture_suppressions() {
+    check_fixture("suppressions.rs", false);
+}
+
+#[test]
+fn fixture_allow_file() {
+    check_fixture("allow_file.rs", false);
+}
+
+#[test]
+fn fixture_crate_root_bad() {
+    check_fixture("crate_root_bad.rs", true);
+}
+
+#[test]
+fn fixture_crate_root_good() {
+    check_fixture("crate_root_good.rs", true);
+}
+
+#[test]
+fn posture_lints_only_apply_to_crate_roots() {
+    let src = fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/crate_root_bad.rs"),
+    )
+    .unwrap();
+    // The same source linted as a non-root module yields nothing.
+    assert!(lint_source("module.rs", &src, false, &|_| true).is_empty());
+}
+
+#[test]
+fn lint_selection_filters_by_id() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let all = lint_source("x.rs", src, false, &|_| true);
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].lint, "panic-path");
+    let none = lint_source("x.rs", src, false, &|id| id == "metric-name");
+    assert!(none.is_empty());
+}
+
+#[test]
+fn diagnostic_formats() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let d = &lint_source("dir/x.rs", src, false, &|_| true)[0];
+    assert_eq!(d.file, "dir/x.rs");
+    assert_eq!(d.line, 1);
+    assert!(d.human().starts_with("dir/x.rs:1: [panic-path]"), "{}", d.human());
+    let json = d.json();
+    assert!(json.contains("\"file\":\"dir/x.rs\""), "{json}");
+    assert!(json.contains("\"line\":1"), "{json}");
+    assert!(json.contains("\"lint\":\"panic-path\""), "{json}");
+}
+
+/// The workspace itself must stay lint-clean: the house rules hold on
+/// every shipped library file. scripts/ci.sh gates the same invariant
+/// via `ah-lint --deny-warnings`; this test makes plain `cargo test`
+/// catch violations too.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = ah_lint::run_workspace(&root, &|_| true).expect("workspace walk");
+    assert!(report.files_scanned > 50, "scanned only {} files", report.files_scanned);
+    let findings: Vec<String> = report.diagnostics.iter().map(|d| d.human()).collect();
+    assert!(findings.is_empty(), "workspace lint findings:\n{}", findings.join("\n"));
+}

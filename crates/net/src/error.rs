@@ -23,14 +23,25 @@ pub enum NetError {
     },
     /// A length field points outside the buffer or below the header size.
     BadLength {
+        /// Protocol layer that rejected the value.
         layer: &'static str,
         /// The offending length value.
         value: usize,
     },
     /// A version/type field has an unsupported value.
-    Unsupported { layer: &'static str, field: &'static str, value: u64 },
+    Unsupported {
+        /// Protocol layer that rejected the value.
+        layer: &'static str,
+        /// Name of the offending field.
+        field: &'static str,
+        /// The unsupported value.
+        value: u64,
+    },
     /// The checksum did not verify.
-    BadChecksum { layer: &'static str },
+    BadChecksum {
+        /// Protocol layer whose checksum failed.
+        layer: &'static str,
+    },
     /// A pcap file had an unknown magic number.
     BadMagic(u32),
     /// CIDR prefix length out of range (IPv4: 0..=32).

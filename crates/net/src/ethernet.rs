@@ -21,6 +21,7 @@ pub const ETHERTYPE_IPV6: u16 = 0x86dd;
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {
+    /// The all-ones broadcast address.
     pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
 
     /// Locally administered unicast address derived from a small id —
@@ -41,8 +42,11 @@ impl fmt::Display for MacAddr {
 /// An owned Ethernet II header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EthernetHeader {
+    /// Destination MAC.
     pub dst: MacAddr,
+    /// Source MAC.
     pub src: MacAddr,
+    /// EtherType (0x0800 for IPv4).
     pub ethertype: u16,
 }
 

@@ -20,9 +20,13 @@ pub const ZMAP_IP_ID: u16 = 54321;
 /// Tool attribution for a single probe packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Tool {
+    /// ZMap (fixed IP-ID 54321).
     ZMap,
+    /// Masscan (IP-ID = dst xor port xor seq).
     Masscan,
+    /// Mirai-style bots (seq = destination address).
     Mirai,
+    /// No recognized fingerprint.
     Other,
 }
 

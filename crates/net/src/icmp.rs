@@ -11,16 +11,21 @@ use crate::error::{NetError, Result};
 /// ICMP header length in bytes (type, code, checksum, rest-of-header).
 pub const HEADER_LEN: usize = 8;
 
-/// ICMP message type numbers we model.
+/// ICMP type number: echo reply.
 pub const TYPE_ECHO_REPLY: u8 = 0;
+/// ICMP type number: destination unreachable.
 pub const TYPE_DEST_UNREACHABLE: u8 = 3;
+/// ICMP type number: echo request.
 pub const TYPE_ECHO_REQUEST: u8 = 8;
+/// ICMP type number: time exceeded.
 pub const TYPE_TIME_EXCEEDED: u8 = 11;
 
 /// An owned ICMP message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IcmpMessage {
+    /// Message type number.
     pub icmp_type: u8,
+    /// Type-specific code.
     pub code: u8,
     /// For echo messages: identifier (first half of rest-of-header).
     pub ident: u16,

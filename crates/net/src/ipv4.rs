@@ -15,7 +15,9 @@ use std::str::FromStr;
 pub struct Ipv4Addr4(pub u32);
 
 impl Ipv4Addr4 {
+    /// 0.0.0.0.
     pub const UNSPECIFIED: Ipv4Addr4 = Ipv4Addr4(0);
+    /// 255.255.255.255.
     pub const BROADCAST: Ipv4Addr4 = Ipv4Addr4(u32::MAX);
 
     /// From dotted-quad octets.
@@ -86,9 +88,11 @@ impl FromStr for Ipv4Addr4 {
     }
 }
 
-/// IP protocol numbers we care about.
+/// IP protocol number: ICMP.
 pub const PROTO_ICMP: u8 = 1;
+/// IP protocol number: TCP.
 pub const PROTO_TCP: u8 = 6;
+/// IP protocol number: UDP.
 pub const PROTO_UDP: u8 = 17;
 
 /// Minimum IPv4 header length in bytes (no options).
@@ -100,6 +104,7 @@ pub const HEADER_LEN: usize = 20;
 /// the emitter re-emits options verbatim, so roundtrips are lossless.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ipv4Header {
+    /// DSCP and ECN bits, as one byte.
     pub dscp_ecn: u8,
     /// Total length of the IP datagram (header + payload).
     pub total_len: u16,
@@ -111,9 +116,13 @@ pub struct Ipv4Header {
     pub more_frags: bool,
     /// Fragment offset in 8-byte units.
     pub frag_offset: u16,
+    /// Time to live.
     pub ttl: u8,
+    /// Payload protocol number.
     pub protocol: u8,
+    /// Source address.
     pub src: Ipv4Addr4,
+    /// Destination address.
     pub dst: Ipv4Addr4,
     /// Raw options bytes (empty when IHL = 5).
     pub options: Vec<u8>,

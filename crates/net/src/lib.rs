@@ -33,6 +33,9 @@
 //! assert!(matches!(parsed.transport, Transport::Tcp { .. }));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod checksum;
 pub mod error;
 pub mod ethernet;

@@ -43,22 +43,34 @@ impl ScanClass {
 /// Decoded transport layer of a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transport {
+    /// TCP segment header fields.
     Tcp {
+        /// Source port.
         src_port: u16,
+        /// Destination port.
         dst_port: u16,
+        /// Sequence number (Mirai fingerprint site).
         seq: u32,
+        /// Header flags.
         flags: TcpFlags,
     },
+    /// UDP datagram header fields.
     Udp {
+        /// Source port.
         src_port: u16,
+        /// Destination port.
         dst_port: u16,
     },
+    /// ICMP message type and code.
     Icmp {
+        /// ICMP type field.
         icmp_type: u8,
+        /// ICMP code field.
         code: u8,
     },
     /// Any other IP protocol, carried for completeness.
     Other {
+        /// IP protocol number.
         protocol: u8,
     },
 }
@@ -68,13 +80,17 @@ pub enum Transport {
 pub struct PacketMeta {
     /// Capture timestamp.
     pub ts: Ts,
+    /// Source address.
     pub src: Ipv4Addr4,
+    /// Destination address.
     pub dst: Ipv4Addr4,
     /// IPv4 identification field (ZMap fingerprint site).
     pub ip_id: u16,
+    /// IP time-to-live at capture.
     pub ttl: u8,
     /// IP total length on the wire in bytes.
     pub wire_len: u16,
+    /// Decoded transport layer.
     pub transport: Transport,
 }
 

@@ -31,7 +31,9 @@ pub const DEFAULT_SNAPLEN: u32 = 65_535;
 /// Global header of a pcap file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PcapHeader {
+    /// Snapshot length: captured bytes per packet are capped here.
     pub snaplen: u32,
+    /// Link-layer type (1 = Ethernet).
     pub linktype: u32,
     /// True if the file's byte order is opposite to big-endian parse
     /// (i.e. records must be read little-endian).
@@ -41,10 +43,12 @@ pub struct PcapHeader {
 /// One captured record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PcapRecord {
+    /// Capture timestamp.
     pub ts: Ts,
     /// Original length on the wire (may exceed `data.len()` if truncated
     /// by the snapshot length).
     pub orig_len: u32,
+    /// Captured bytes.
     pub data: Vec<u8>,
 }
 

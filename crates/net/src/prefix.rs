@@ -71,6 +71,14 @@ impl Prefix {
         (u64::from(index) < self.size()).then(|| Ipv4Addr4(self.network.to_u32() + index))
     }
 
+    /// The `index % size`-th address: infallible cycling indexing, for
+    /// callers that draw an index from an arbitrary range and want an
+    /// address unconditionally. A prefix is never empty (size ≥ 1), so
+    /// no failure case exists.
+    pub fn addr_mod(&self, index: u32) -> Ipv4Addr4 {
+        Ipv4Addr4(self.network.to_u32() + (u64::from(index) % self.size()) as u32)
+    }
+
     /// Iterate over every address in the prefix (careful with short lengths).
     pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr4> {
         let base = self.network.to_u32();
@@ -175,6 +183,7 @@ pub fn standard_bogons() -> PrefixSet {
             "240.0.0.0/4",     // reserved
         ]
         .iter()
+        // ah-lint: allow(panic-path, reason = "static RFC bogon literals above; a typo fails the standard_bogons unit test immediately")
         .map(|s| s.parse().expect("static bogon prefix")),
     )
 }
@@ -197,6 +206,7 @@ impl<T> Default for PrefixMap<T> {
 }
 
 impl<T> PrefixMap<T> {
+    /// An empty map.
     pub fn new() -> Self {
         Self::default()
     }
@@ -238,10 +248,12 @@ impl<T> PrefixMap<T> {
     }
 
     /// Number of entries.
+    /// Number of prefix → value mappings.
     pub fn len(&self) -> usize {
         self.by_len.iter().map(|(_, m)| m.len()).sum()
     }
 
+    /// Whether the map holds no mappings.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -12,19 +12,27 @@ pub const HEADER_LEN: usize = 20;
 pub struct TcpFlags(pub u8);
 
 impl TcpFlags {
+    /// Connection teardown.
     pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// Connection open (the scanning probe flag).
     pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// Connection reset.
     pub const RST: TcpFlags = TcpFlags(0x04);
+    /// Push.
     pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// Acknowledgment.
     pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// Urgent pointer significant.
     pub const URG: TcpFlags = TcpFlags(0x20);
     /// SYN|ACK, the shape of DoS backscatter.
     pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
 
+    /// True when every bit of `other` is set in `self`.
     pub const fn contains(self, other: TcpFlags) -> bool {
         self.0 & other.0 == other.0
     }
 
+    /// Bitwise union of two flag sets.
     pub const fn union(self, other: TcpFlags) -> TcpFlags {
         TcpFlags(self.0 | other.0)
     }
@@ -39,13 +47,19 @@ impl TcpFlags {
 /// An owned TCP header. Options are carried verbatim.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TcpHeader {
+    /// Source port.
     pub src_port: u16,
+    /// Destination port.
     pub dst_port: u16,
     /// Sequence number. Scanner fingerprints live here (Masscan, Mirai).
     pub seq: u32,
+    /// Acknowledgment number.
     pub ack: u32,
+    /// Header flags.
     pub flags: TcpFlags,
+    /// Receive window.
     pub window: u16,
+    /// Urgent pointer.
     pub urgent: u16,
     /// Raw options bytes, length must be a multiple of 4 and ≤ 40.
     pub options: Vec<u8>,

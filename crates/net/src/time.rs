@@ -89,28 +89,35 @@ impl fmt::Display for Ts {
 pub struct Dur(pub u64);
 
 impl Dur {
+    /// The zero-length duration.
     pub const ZERO: Dur = Dur(0);
 
+    /// From whole seconds.
     pub const fn from_secs(s: u64) -> Dur {
         Dur(s * MICROS_PER_SEC)
     }
 
+    /// From whole milliseconds.
     pub const fn from_millis(ms: u64) -> Dur {
         Dur(ms * 1_000)
     }
 
+    /// From microseconds (the native unit).
     pub const fn from_micros(us: u64) -> Dur {
         Dur(us)
     }
 
+    /// From whole minutes.
     pub const fn from_mins(m: u64) -> Dur {
         Dur(m * 60 * MICROS_PER_SEC)
     }
 
+    /// The duration in microseconds.
     pub const fn micros(self) -> u64 {
         self.0
     }
 
+    /// The duration in whole seconds, truncating.
     pub const fn secs(self) -> u64 {
         self.0 / MICROS_PER_SEC
     }

@@ -10,7 +10,9 @@ pub const HEADER_LEN: usize = 8;
 /// An owned UDP header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UdpHeader {
+    /// Source port.
     pub src_port: u16,
+    /// Destination port.
     pub dst_port: u16,
     /// Length of header + payload.
     pub length: u16,

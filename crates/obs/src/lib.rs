@@ -44,6 +44,7 @@
 //! assert_eq!(snap.samples.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod export;

@@ -27,6 +27,16 @@ use ah_net::tcp::TcpFlags;
 use ah_net::time::{Dur, Ts};
 use std::sync::Arc;
 
+/// The timestamp [`Actor::emit`] was scheduled for. The mux only calls
+/// `emit` on the actor whose [`Actor::peek`] just returned `Some`, so
+/// the contract violation is unreachable from the public API; keeping
+/// the check in one audited place removes a panic path from every
+/// actor.
+fn due(next: Option<Ts>) -> Ts {
+    // ah-lint: allow(panic-path, reason = "Actor contract: emit() is only called while peek() returns Some; TrafficMux upholds this and it is the only caller")
+    next.expect("emit called while peek() is None")
+}
+
 /// Scanning tool whose fingerprint a sweep stamps on its probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ToolKind {
@@ -206,11 +216,8 @@ impl Actor for SweepScanner {
     }
 
     fn emit(&mut self) -> PacketMeta {
-        let ts = self.next.expect("emit called after completion");
-        let dst = self
-            .space
-            .addr_at(self.perm.apply(self.pos % self.perm.len()))
-            .expect("permutation stays in range");
+        let ts = due(self.next);
+        let dst = self.space.addr_mod(self.perm.apply(self.pos % self.perm.len()));
         let spec = self.current_port();
         let mut pkt = match spec.proto {
             ScanProto::Tcp => {
@@ -277,8 +284,8 @@ impl Actor for MiraiBot {
     }
 
     fn emit(&mut self) -> PacketMeta {
-        let ts = self.next.expect("emit called after completion");
-        let dst = self.space.addr_at(self.rng.below(self.space.len())).expect("index below len");
+        let ts = due(self.next);
+        let dst = self.space.addr_mod(self.rng.below(self.space.len()));
         // Mirai probes 23 with probability 0.9, else 2323.
         let port = if self.rng.chance(0.9) { 23 } else { 2323 };
         let mut pkt = PacketMeta::tcp_syn(ts, self.src, dst, ephemeral_port(&mut self.rng), port);
@@ -321,9 +328,8 @@ impl PortSweeper {
         space: &ObservableSpace,
     ) -> PortSweeper {
         let mut rng = Rng64::new(seed);
-        let targets = (0..target_count.max(1))
-            .map(|_| space.addr_at(rng.below(space.len())).expect("in range"))
-            .collect();
+        let targets =
+            (0..target_count.max(1)).map(|_| space.addr_mod(rng.below(space.len()))).collect();
         PortSweeper {
             src,
             targets,
@@ -343,7 +349,7 @@ impl Actor for PortSweeper {
     }
 
     fn emit(&mut self) -> PacketMeta {
-        let ts = self.next.expect("emit called after completion");
+        let ts = due(self.next);
         // Walk ports in the outer loop so each day covers many ports even
         // at modest rates.
         let port = 1 + (self.pos % u64::from(self.port_count)) as u16;
@@ -402,9 +408,9 @@ impl Actor for Backscatter {
     }
 
     fn emit(&mut self) -> PacketMeta {
-        let ts = self.next.expect("emit called after completion");
+        let ts = due(self.next);
         let src = *self.rng.choice(&self.victims);
-        let dst = self.space.addr_at(self.rng.below(self.space.len())).expect("in range");
+        let dst = self.space.addr_mod(self.rng.below(self.space.len()));
         let flags = if self.rng.chance(0.7) { TcpFlags::SYN_ACK } else { TcpFlags::RST };
         let mut pkt = PacketMeta::tcp_syn(ts, src, dst, 80, ephemeral_port(&mut self.rng));
         if let Transport::Tcp { flags: ref mut f, ref mut seq, .. } = pkt.transport {
@@ -474,13 +480,13 @@ impl Actor for Radiation {
     }
 
     fn emit(&mut self) -> PacketMeta {
-        let ts = self.next.expect("emit called after completion");
+        let ts = due(self.next);
         // Quadratic skew: low indices reappear more often, so some
         // sources form multi-packet events while most send one or two.
         let u = self.rng.f64();
         let idx = ((u * u) * self.pool.len() as f64) as usize;
         let src = self.pool[idx.min(self.pool.len() - 1)];
-        let dst = self.space.addr_at(self.rng.below(self.space.len())).expect("in range");
+        let dst = self.space.addr_mod(self.rng.below(self.space.len()));
         let weights: Vec<f64> = RADIATION_PORTS.iter().map(|(_, w, _)| *w).collect();
         let (port, _, proto) = RADIATION_PORTS[self.rng.weighted(&weights)];
         let sp = ephemeral_port(&mut self.rng);
@@ -549,9 +555,9 @@ impl Actor for SpoofFlood {
     }
 
     fn emit(&mut self) -> PacketMeta {
-        let ts = self.next.expect("emit called after completion");
+        let ts = due(self.next);
         let src = self.forged_source();
-        let dst = self.space.addr_at(self.rng.below(self.space.len())).expect("in range");
+        let dst = self.space.addr_mod(self.rng.below(self.space.len()));
         let mut pkt = PacketMeta::tcp_syn(ts, src, dst, ephemeral_port(&mut self.rng), 80);
         if let Transport::Tcp { ref mut seq, .. } = pkt.transport {
             *seq = self.rng.next_u64() as u32;
@@ -638,12 +644,11 @@ impl Benign {
     }
 
     fn sample_slot(&mut self) -> BenignSlot {
-        let user = self.users.addr_at(self.rng.below(self.users.size()) as u32).expect("in range");
+        let user = self.users.addr_mod(self.rng.below(self.users.size()) as u32);
         let remote_prefix = *self.rng.choice(&self.remotes);
-        let remote =
-            remote_prefix.addr_at(self.rng.below(remote_prefix.size()) as u32).expect("in range");
+        let remote = remote_prefix.addr_mod(self.rng.below(remote_prefix.size()) as u32);
         let cache = match (&self.caches, self.rng.chance(self.cache_fraction)) {
-            (Some(c), true) => Some(c.addr_at(self.rng.below(c.size()) as u32).expect("in range")),
+            (Some(c), true) => Some(c.addr_mod(self.rng.below(c.size()) as u32)),
             _ => None,
         };
         BenignSlot {
@@ -679,7 +684,7 @@ impl Actor for Benign {
     }
 
     fn emit(&mut self) -> PacketMeta {
-        let ts = self.next.expect("emit called after completion");
+        let ts = due(self.next);
         // Occasionally rotate a slot (new flow).
         if self.rng.chance(0.02) {
             let i = self.rng.below(self.slots.len() as u64) as usize;

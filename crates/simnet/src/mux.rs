@@ -97,11 +97,12 @@ impl TrafficMux {
     /// Emit packets with timestamps strictly before `end`, passing each
     /// to `f`; packets at or after `end` stay queued.
     pub fn drive_until(&mut self, end: Ts, mut f: impl FnMut(&PacketMeta)) {
-        while let Some(top) = self.heap.peek() {
-            if top.ts.0 >= end {
-                break;
+        loop {
+            match self.heap.peek() {
+                Some(top) if top.ts.0 < end => {}
+                _ => break,
             }
-            let pkt = self.next_packet().expect("heap non-empty");
+            let Some(pkt) = self.next_packet() else { break };
             f(&pkt);
         }
     }

@@ -34,6 +34,23 @@
 //! producer: `closed` is set with `Release` *after* the final flush, so
 //! a consumer that observes `closed` with `Acquire` and then finds the
 //! ring empty has seen every item.
+//!
+//! # Machine-checked, not just argued
+//!
+//! The contract above is *proved*, not just asserted: the entire
+//! protocol is generic over the [`RingSync`] facade, whose associated
+//! `Ordering` constants pin each synchronizing access. Production code
+//! uses [`StdSync`] (real `std::sync::atomic`, the orderings above,
+//! zero overhead — every facade call is a monomorphized inline
+//! passthrough). The model-check suite
+//! (`crates/simnet/tests/model_check.rs`) instantiates the *same*
+//! generic code over the `interleave` checker's shadow atomics and
+//! exhaustively explores every interleaving and every
+//! memory-model-permitted stale read at small capacities — and proves
+//! the mutation coverage too: demoting any single `Release`/`Acquire`
+//! in the facade to `Relaxed` yields a counterexample (data race, lost
+//! item, or deadlock) with a replayable schedule. See
+//! `ARCHITECTURE.md` §9.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -43,57 +60,240 @@ use std::sync::Arc;
 /// Producer publishes its tail after at most this many buffered writes.
 pub const PUBLISH_BATCH: usize = 32;
 
+/// Facade over the synchronization primitives the ring uses, so the
+/// identical protocol code runs on real atomics ([`StdSync`]) or on a
+/// model checker's shadow atomics (the model-check suite). The
+/// associated `Ordering` constants *are* the memory-ordering contract;
+/// the defaults are the proven values, and overriding one in a test
+/// facade creates a seeded mutant the checker must catch.
+pub trait RingSync: 'static {
+    /// Atomic usize (head/tail cursors).
+    type AtomicUsize: RingAtomicUsize;
+    /// Atomic bool (closed flag).
+    type AtomicBool: RingAtomicBool;
+    /// One item slot: plain (non-atomic) storage whose cross-thread
+    /// ordering is provided entirely by the cursor publications.
+    type Slot<T: Send>: RingSlot<T>;
+
+    /// Producer publishes `tail` with this ordering (contract: `Release`
+    /// — makes all preceding slot writes visible to the consumer).
+    const TAIL_PUBLISH: Ordering = Ordering::Release;
+    /// Consumer observes `tail` with this ordering (contract: `Acquire`).
+    const TAIL_OBSERVE: Ordering = Ordering::Acquire;
+    /// Consumer publishes `head` with this ordering (contract: `Release`
+    /// — makes the slot read happen-before reuse of the slot).
+    const HEAD_PUBLISH: Ordering = Ordering::Release;
+    /// Producer observes `head` with this ordering (contract: `Acquire`).
+    const HEAD_OBSERVE: Ordering = Ordering::Acquire;
+    /// Producer publishes `closed` with this ordering (contract:
+    /// `Release` — ordered after the final flush).
+    const CLOSED_PUBLISH: Ordering = Ordering::Release;
+    /// Consumer observes `closed` with this ordering (contract:
+    /// `Acquire` — the post-close re-check must see the final flush).
+    const CLOSED_OBSERVE: Ordering = Ordering::Acquire;
+
+    /// Busy-wait hint (maps to a scheduler park under a model checker).
+    fn spin_loop();
+    /// Yield to the OS scheduler (park under a model checker).
+    fn yield_now();
+}
+
+/// Operations the ring needs from an atomic `usize`.
+pub trait RingAtomicUsize: Send + Sync {
+    /// New atomic with initial value.
+    fn new(v: usize) -> Self;
+    /// Atomic load.
+    fn load(&self, ord: Ordering) -> usize;
+    /// Atomic store.
+    fn store(&self, v: usize, ord: Ordering);
+    /// Non-synchronizing read for exclusively-owned teardown
+    /// (`get_mut` equivalent).
+    fn unsync_load(&mut self) -> usize;
+}
+
+/// Operations the ring needs from an atomic `bool`.
+pub trait RingAtomicBool: Send + Sync {
+    /// New atomic with initial value.
+    fn new(v: bool) -> Self;
+    /// Atomic load.
+    fn load(&self, ord: Ordering) -> bool;
+    /// Atomic store.
+    fn store(&self, v: bool, ord: Ordering);
+}
+
+/// One plain-memory item slot. All methods are unsafe because the slot
+/// itself enforces nothing: the ring's cursor protocol is what makes a
+/// given call exclusive, and the model checker verifies exactly that.
+pub trait RingSlot<T>: Send + Sync {
+    /// A vacant slot.
+    fn vacant() -> Self;
+    /// Move `v` into the slot.
+    ///
+    /// # Safety
+    /// The slot must be vacant and the caller must be the only thread
+    /// accessing it (producer side, `local_tail - head < capacity`).
+    unsafe fn write(&self, v: T);
+    /// Move the value out, leaving the slot vacant.
+    ///
+    /// # Safety
+    /// The slot must be occupied and the caller must be the only
+    /// thread accessing it (consumer side, `head < published tail`).
+    unsafe fn take(&self) -> T;
+    /// Drop the value in place (teardown of occupied slots).
+    ///
+    /// # Safety
+    /// The slot must be occupied and the caller must have exclusive
+    /// ownership of the ring (sole remaining handle).
+    unsafe fn drop_in_place(&self);
+}
+
+/// Production facade: real `std::sync::atomic` primitives and the
+/// contract orderings. Every method is an inlineable passthrough, so
+/// the generic ring compiles to exactly the code it was before the
+/// facade existed.
+pub struct StdSync;
+
+impl RingSync for StdSync {
+    type AtomicUsize = AtomicUsize;
+    type AtomicBool = AtomicBool;
+    type Slot<T: Send> = StdSlot<T>;
+
+    #[inline]
+    fn spin_loop() {
+        std::hint::spin_loop();
+    }
+
+    #[inline]
+    fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+impl RingAtomicUsize for AtomicUsize {
+    #[inline]
+    fn new(v: usize) -> AtomicUsize {
+        AtomicUsize::new(v)
+    }
+
+    #[inline]
+    fn load(&self, ord: Ordering) -> usize {
+        AtomicUsize::load(self, ord)
+    }
+
+    #[inline]
+    fn store(&self, v: usize, ord: Ordering) {
+        AtomicUsize::store(self, v, ord);
+    }
+
+    #[inline]
+    fn unsync_load(&mut self) -> usize {
+        *self.get_mut()
+    }
+}
+
+impl RingAtomicBool for AtomicBool {
+    #[inline]
+    fn new(v: bool) -> AtomicBool {
+        AtomicBool::new(v)
+    }
+
+    #[inline]
+    fn load(&self, ord: Ordering) -> bool {
+        AtomicBool::load(self, ord)
+    }
+
+    #[inline]
+    fn store(&self, v: bool, ord: Ordering) {
+        AtomicBool::store(self, v, ord);
+    }
+}
+
+/// [`RingSlot`] over a plain `UnsafeCell<MaybeUninit<T>>`.
+pub struct StdSlot<T>(UnsafeCell<MaybeUninit<T>>);
+
+// SAFETY: the slot transfers owned `T` values between exactly two
+// threads; the ring's cursor protocol (machine-checked in the
+// model-check suite) guarantees each slot is accessed by one side at a
+// time, so sharing references across threads is sound for any T: Send.
+unsafe impl<T: Send> Sync for StdSlot<T> {}
+// SAFETY: an owned slot owns at most one T; moving it moves the value.
+unsafe impl<T: Send> Send for StdSlot<T> {}
+
+impl<T: Send> RingSlot<T> for StdSlot<T> {
+    #[inline]
+    fn vacant() -> StdSlot<T> {
+        StdSlot(UnsafeCell::new(MaybeUninit::uninit()))
+    }
+
+    #[inline]
+    unsafe fn write(&self, v: T) {
+        // SAFETY: per the trait contract the caller is the only thread
+        // accessing this vacant slot.
+        unsafe { (*self.0.get()).write(v) };
+    }
+
+    #[inline]
+    unsafe fn take(&self) -> T {
+        // SAFETY: per the trait contract the slot is occupied and the
+        // caller is the only thread accessing it.
+        unsafe { (*self.0.get()).assume_init_read() }
+    }
+
+    #[inline]
+    unsafe fn drop_in_place(&self) {
+        // SAFETY: per the trait contract the slot is occupied and the
+        // caller has exclusive ownership.
+        unsafe { (*self.0.get()).assume_init_drop() };
+    }
+}
+
 /// A 128-byte-aligned wrapper that keeps its contents on a private cache
 /// line (two 64-byte lines, covering adjacent-line prefetching).
 #[repr(align(128))]
 struct CachePadded<T>(T);
 
-struct Shared<T> {
+struct Shared<T: Send, S: RingSync> {
     mask: usize,
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    slots: Box<[S::Slot<T>]>,
     /// Next index the consumer will pop (published).
-    head: CachePadded<AtomicUsize>,
+    head: CachePadded<S::AtomicUsize>,
     /// One past the last index the producer has published.
-    tail: CachePadded<AtomicUsize>,
-    closed: AtomicBool,
+    tail: CachePadded<S::AtomicUsize>,
+    closed: S::AtomicBool,
 }
 
-// Safety: the ring transfers owned `T` values between exactly two
-// threads; each slot is accessed by one side at a time per the
-// memory-ordering contract above.
-unsafe impl<T: Send> Sync for Shared<T> {}
-unsafe impl<T: Send> Send for Shared<T> {}
-
-impl<T> Drop for Shared<T> {
+impl<T: Send, S: RingSync> Drop for Shared<T, S> {
     fn drop(&mut self) {
         // Sole owner at this point: drop every published-but-unpopped item.
-        let head = *self.head.0.get_mut();
-        let tail = *self.tail.0.get_mut();
+        let head = self.head.0.unsync_load();
+        let tail = self.tail.0.unsync_load();
         for i in head..tail {
-            let slot = self.slots[i & self.mask].get();
-            // Safety: items in head..tail are initialized and owned by us.
-            unsafe { (*slot).assume_init_drop() };
+            // SAFETY: items in head..tail are initialized and owned by
+            // us — we hold the last reference to the ring.
+            unsafe { self.slots[i & self.mask].drop_in_place() };
         }
     }
 }
 
 /// The write half of a ring; see [`ring`].
-pub struct Producer<T> {
-    shared: Arc<Shared<T>>,
+pub struct Producer<T: Send, S: RingSync = StdSync> {
+    shared: Arc<Shared<T, S>>,
     /// Next index to write (may run ahead of the published tail).
     local_tail: usize,
     /// Last published tail value.
     published: usize,
     /// Stale copy of the consumer's head.
     cached_head: usize,
+    /// Publish the tail after this many buffered writes.
+    batch: usize,
     /// Highest producer-observed occupancy (see
     /// [`Producer::high_water_mark`]).
     hwm: usize,
 }
 
 /// The read half of a ring; see [`ring`].
-pub struct Consumer<T> {
-    shared: Arc<Shared<T>>,
+pub struct Consumer<T: Send, S: RingSync = StdSync> {
+    shared: Arc<Shared<T, S>>,
     /// Next index to pop.
     head: usize,
     /// Stale copy of the producer's published tail.
@@ -103,15 +303,25 @@ pub struct Consumer<T> {
 /// Create a bounded SPSC ring holding at least `capacity` items
 /// (rounded up to a power of two, minimum 2).
 pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    ring_with::<StdSync, T>(capacity, PUBLISH_BATCH)
+}
+
+/// Create a ring over an explicit [`RingSync`] facade with an explicit
+/// publish batch — the entry point the model-check suite uses to run
+/// the production protocol on shadow atomics at tiny capacities and
+/// batches. `batch` is clamped to at least 1.
+pub fn ring_with<S: RingSync, T: Send>(
+    capacity: usize,
+    batch: usize,
+) -> (Producer<T, S>, Consumer<T, S>) {
     let cap = capacity.max(2).next_power_of_two();
-    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
-        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
-    let shared = Arc::new(Shared {
+    let slots: Box<[S::Slot<T>]> = (0..cap).map(|_| S::Slot::vacant()).collect();
+    let shared = Arc::new(Shared::<T, S> {
         mask: cap - 1,
         slots,
-        head: CachePadded(AtomicUsize::new(0)),
-        tail: CachePadded(AtomicUsize::new(0)),
-        closed: AtomicBool::new(false),
+        head: CachePadded(S::AtomicUsize::new(0)),
+        tail: CachePadded(S::AtomicUsize::new(0)),
+        closed: S::AtomicBool::new(false),
     });
     (
         Producer {
@@ -119,13 +329,14 @@ pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
             local_tail: 0,
             published: 0,
             cached_head: 0,
+            batch: batch.max(1),
             hwm: 0,
         },
         Consumer { shared, head: 0, cached_tail: 0 },
     )
 }
 
-impl<T: Send> Producer<T> {
+impl<T: Send, S: RingSync> Producer<T, S> {
     /// Ring capacity in items.
     pub fn capacity(&self) -> usize {
         self.shared.mask + 1
@@ -145,7 +356,7 @@ impl<T: Send> Producer<T> {
     /// two-phase write).
     pub fn flush(&mut self) {
         if self.published != self.local_tail {
-            self.shared.tail.0.store(self.local_tail, Ordering::Release);
+            self.shared.tail.0.store(self.local_tail, S::TAIL_PUBLISH);
             self.published = self.local_tail;
         }
     }
@@ -155,20 +366,19 @@ impl<T: Send> Producer<T> {
     pub fn try_push(&mut self, value: T) -> Result<(), T> {
         let cap = self.shared.mask + 1;
         if self.local_tail - self.cached_head >= cap {
-            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            self.cached_head = self.shared.head.0.load(S::HEAD_OBSERVE);
             if self.local_tail - self.cached_head >= cap {
                 // Make buffered items visible so the consumer can drain.
                 self.flush();
                 return Err(value);
             }
         }
-        let slot = self.shared.slots[self.local_tail & self.shared.mask].get();
-        // Safety: the slot is free (local_tail - head < capacity) and no
+        // SAFETY: the slot is free (local_tail - head < capacity) and no
         // other thread writes it; publication below synchronizes the read.
-        unsafe { (*slot).write(value) };
+        unsafe { self.shared.slots[self.local_tail & self.shared.mask].write(value) };
         self.local_tail += 1;
         self.hwm = self.hwm.max(self.local_tail - self.cached_head);
-        if self.local_tail - self.published >= PUBLISH_BATCH {
+        if self.local_tail - self.published >= self.batch {
             self.flush();
         }
         Ok(())
@@ -185,9 +395,9 @@ impl<T: Send> Producer<T> {
             }
             spins += 1;
             if spins < 64 {
-                std::hint::spin_loop();
+                S::spin_loop();
             } else {
-                std::thread::yield_now();
+                S::yield_now();
             }
         }
     }
@@ -196,36 +406,35 @@ impl<T: Send> Producer<T> {
     /// [`Consumer::pop_wait`] returns `None` once the ring drains.
     pub fn close(mut self) {
         self.flush();
-        self.shared.closed.store(true, Ordering::Release);
+        self.shared.closed.store(true, S::CLOSED_PUBLISH);
     }
 }
 
-impl<T> Drop for Producer<T> {
+impl<T: Send, S: RingSync> Drop for Producer<T, S> {
     fn drop(&mut self) {
         // A dropped producer behaves like close(): publish and finish.
         if self.published != self.local_tail {
-            self.shared.tail.0.store(self.local_tail, Ordering::Release);
+            self.shared.tail.0.store(self.local_tail, S::TAIL_PUBLISH);
             self.published = self.local_tail;
         }
-        self.shared.closed.store(true, Ordering::Release);
+        self.shared.closed.store(true, S::CLOSED_PUBLISH);
     }
 }
 
-impl<T: Send> Consumer<T> {
+impl<T: Send, S: RingSync> Consumer<T, S> {
     /// Dequeue without blocking; `None` when no published item is ready.
     pub fn pop(&mut self) -> Option<T> {
         if self.head == self.cached_tail {
-            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            self.cached_tail = self.shared.tail.0.load(S::TAIL_OBSERVE);
             if self.head == self.cached_tail {
                 return None;
             }
         }
-        let slot = self.shared.slots[self.head & self.shared.mask].get();
-        // Safety: head < published tail, so the slot is initialized and
+        // SAFETY: head < published tail, so the slot is initialized and
         // the producer will not touch it until we advance head.
-        let value = unsafe { (*slot).assume_init_read() };
+        let value = unsafe { self.shared.slots[self.head & self.shared.mask].take() };
         self.head += 1;
-        self.shared.head.0.store(self.head, Ordering::Release);
+        self.shared.head.0.store(self.head, S::HEAD_PUBLISH);
         Some(value)
     }
 
@@ -237,22 +446,22 @@ impl<T: Send> Consumer<T> {
             if let Some(v) = self.pop() {
                 return Some(v);
             }
-            if self.shared.closed.load(Ordering::Acquire) {
+            if self.shared.closed.load(S::CLOSED_OBSERVE) {
                 // Re-check: the final flush happens-before `closed`.
                 return self.pop();
             }
             spins += 1;
             if spins < 64 {
-                std::hint::spin_loop();
+                S::spin_loop();
             } else {
-                std::thread::yield_now();
+                S::yield_now();
             }
         }
     }
 
     /// True when the producer has closed the stream (items may remain).
     pub fn is_closed(&self) -> bool {
-        self.shared.closed.load(Ordering::Acquire)
+        self.shared.closed.load(S::CLOSED_OBSERVE)
     }
 }
 
@@ -286,6 +495,15 @@ mod tests {
             tx.try_push(i).unwrap();
         }
         assert_eq!(rx.pop(), Some(0));
+    }
+
+    #[test]
+    fn custom_publish_batch_is_respected() {
+        let (mut tx, mut rx) = ring_with::<StdSync, u32>(8, 2);
+        tx.try_push(1).unwrap();
+        assert_eq!(rx.pop(), None, "below batch: invisible");
+        tx.try_push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1), "batch of 2 self-publishes");
     }
 
     #[test]

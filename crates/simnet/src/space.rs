@@ -71,6 +71,13 @@ impl ObservableSpace {
         self.prefixes[i].addr_at((index - self.cum[i]) as u32)
     }
 
+    /// Address at `index % len`: cycling lookup for actors that draw
+    /// random in-range indices and want an address unconditionally.
+    pub fn addr_mod(&self, index: u64) -> Ipv4Addr4 {
+        // ah-lint: allow(panic-path, reason = "index is reduced modulo the space size and every scenario monitors at least one prefix, so the space is non-empty")
+        self.addr_at(index % self.total.max(1)).expect("non-empty observable space")
+    }
+
     /// Dense index of an observable address.
     pub fn index_of(&self, addr: Ipv4Addr4) -> Option<u64> {
         self.prefixes

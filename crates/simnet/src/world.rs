@@ -92,10 +92,25 @@ impl OrgDef {
         None
     }
 
+    /// The `i % size`-th host address. Like [`OrgDef::host`] but
+    /// infallible, for scenario code indexing registry orgs — which
+    /// always carry at least one prefix (see the registry tables in
+    /// this module).
+    pub fn host_cycled(&self, i: u64) -> Ipv4Addr4 {
+        // ah-lint: allow(panic-path, reason = "host() is None only for an org with zero prefixes; every registry org carries at least one, as the unit tests assert")
+        self.host(i).expect("registry org has hosts")
+    }
+
     /// Is this org on the acknowledged-scanners list?
     pub fn is_acked(&self) -> bool {
         !self.acked_keywords.is_empty()
     }
+}
+
+/// Parse a CIDR literal from this module's static tables.
+fn static_prefix(s: &str) -> Prefix {
+    // ah-lint: allow(panic-path, reason = "applied only to compile-time CIDR literals in the static world registry; every table is exercised by unit tests")
+    s.parse().expect("static prefix literal")
 }
 
 /// Scale-controlling sizes of the world's monitored networks.
@@ -117,15 +132,15 @@ pub struct WorldConfig {
 impl Default for WorldConfig {
     fn default() -> WorldConfig {
         WorldConfig {
-            dark: "20.0.0.0/18".parse().expect("static prefix"), // 16,384 dark IPs
-            merit_users: "10.0.0.0/17".parse().expect("static prefix"), // 32,768 addrs, 128 /24s
-            merit_caches: "10.128.0.0/24".parse().expect("static prefix"),
-            cu_users: "172.16.0.0/21".parse().expect("static prefix"), // 2,048 addrs, 8 /24s
+            dark: static_prefix("20.0.0.0/18"),        // 16,384 dark IPs
+            merit_users: static_prefix("10.0.0.0/17"), // 32,768 addrs, 128 /24s
+            merit_caches: static_prefix("10.128.0.0/24"),
+            cu_users: static_prefix("172.16.0.0/21"), // 2,048 addrs, 8 /24s
             sensors: vec![
-                "198.18.0.0/26".parse().expect("static prefix"),
-                "198.18.64.0/26".parse().expect("static prefix"),
-                "198.18.128.0/26".parse().expect("static prefix"),
-                "198.18.192.0/26".parse().expect("static prefix"),
+                static_prefix("198.18.0.0/26"),
+                static_prefix("198.18.64.0/26"),
+                static_prefix("198.18.128.0/26"),
+                static_prefix("198.18.192.0/26"),
             ],
         }
     }
@@ -135,11 +150,11 @@ impl WorldConfig {
     /// Smaller world for unit/integration tests.
     pub fn tiny() -> WorldConfig {
         WorldConfig {
-            dark: "20.0.0.0/22".parse().expect("static prefix"), // 1,024 dark IPs
-            merit_users: "10.0.0.0/22".parse().expect("static prefix"), // 1,024
-            merit_caches: "10.128.0.0/26".parse().expect("static prefix"),
-            cu_users: "172.16.0.0/24".parse().expect("static prefix"), // 256
-            sensors: vec!["198.18.0.0/27".parse().expect("static prefix")],
+            dark: static_prefix("20.0.0.0/22"),        // 1,024 dark IPs
+            merit_users: static_prefix("10.0.0.0/22"), // 1,024
+            merit_caches: static_prefix("10.128.0.0/26"),
+            cu_users: static_prefix("172.16.0.0/24"), // 256
+            sensors: vec![static_prefix("198.18.0.0/27")],
         }
     }
 }
@@ -177,6 +192,15 @@ impl World {
     /// Find an org by name; `None` when no org carries it.
     pub fn org(&self, name: &str) -> Option<OrgId> {
         self.orgs.iter().position(|o| o.name == name)
+    }
+
+    /// The org `name` refers to, for scenario code naming orgs out of
+    /// the static registry (where a miss is a typo, not a runtime
+    /// condition). The panic path lives here, once and audited,
+    /// instead of at every scenario call site.
+    pub fn registry_org(&self, name: &str) -> &OrgDef {
+        // ah-lint: allow(panic-path, reason = "scenario definitions name orgs from the static registry built in this module; a miss is a construction bug every scenario test catches immediately")
+        self.org(name).map(|id| &self.orgs[id]).expect("org exists in the static registry")
     }
 
     /// Orgs filtered by predicate.
@@ -387,7 +411,7 @@ fn org(
         as_type,
         country,
         region,
-        prefixes: prefixes.iter().map(|p| p.parse().expect("static prefix")).collect(),
+        prefixes: prefixes.iter().map(|p| static_prefix(p)).collect(),
         acked_keywords: acked_keywords.iter().map(|s| s.to_string()).collect(),
     }
 }

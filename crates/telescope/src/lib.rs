@@ -17,6 +17,7 @@
 //! * [`hll`] — a HyperLogLog sketch, the constant-memory alternative
 //!   for much larger dark spaces (ablated in the bench suite).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capture;

@@ -16,6 +16,20 @@ cargo clippy --workspace --lib --bins -- -D warnings -D clippy::unwrap_used
 echo "==> clippy (tests, benches, examples)"
 cargo clippy --workspace --tests --benches --examples -- -D warnings
 
+echo "==> ah-lint (house rules, warnings denied)"
+# First-party static analysis (crates/lint): panic-path, atomic-ordering,
+# unsafe-safety-comment, doc-header, unsafe-forbid, metric-name — see
+# ARCHITECTURE.md §9. Suppressions require written reasons; an unknown
+# or reasonless suppression is itself a finding.
+cargo run -q --release -p ah-lint -- --deny-warnings
+
+echo "==> ah-lint (static metric-name check)"
+# Every metric name passed as a string literal to ah_obs registration
+# functions is validated against ah_obs::valid_metric_name before the
+# code ever runs. (This replaces the old source grep; the runtime JSONL
+# check below still covers dynamically-built names.)
+cargo run -q --release -p ah-lint -- --lint metric-name --deny-warnings
+
 echo "==> rustdoc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
@@ -34,6 +48,14 @@ echo "==> telemetry determinism gate"
 # run it by name so a filtered `cargo test` invocation elsewhere can
 # never silently drop it.
 cargo test --release --test telemetry -q
+
+echo "==> SPSC ring model check (exhaustive, release)"
+# vendor/interleave explores every interleaving of the producer/consumer
+# lifecycle within the configured bounds: the real ring must be clean and
+# every seeded ordering mutant must be caught with a replayable
+# counterexample. The two heavy clean-ring tests are ignored in debug
+# builds and only run here, in release.
+cargo test --release -p ah-simnet --test model_check -q
 
 echo "==> metrics schema lint"
 # Emit a real snapshot from the release binary and lint every exported

@@ -35,6 +35,9 @@
 //! println!("{} aggressive hitters detected", hitters.len());
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use ah_core as core;
 pub use ah_flow as flow;
 pub use ah_intel as intel;

@@ -145,15 +145,23 @@ impl Telemetry {
 
 /// Output of a single-pass run.
 pub struct RunOutput {
+    /// The synthetic internet the scenario ran over.
     pub world: World,
+    /// Aggressive-hitter detection output.
     pub report: AhReport,
+    /// Whole-run darknet capture statistics.
     pub capture: CaptureSummary,
     /// Per-day darknet capture statistics.
     pub daily: BTreeMap<u64, DayStats>,
+    /// Merit flow dataset, when flows were enabled.
     pub merit_flows: Option<FlowDataset>,
+    /// CU flow dataset, when flows were enabled.
     pub cu_flows: Option<FlowDataset>,
+    /// GreyNoise-style honeypot profiles, when enabled.
     pub gn_entries: Option<HashMap<Ipv4Addr4, GnEntry>>,
+    /// Sources the honeypot fleet saw at all, when enabled.
     pub gn_seen: Option<HashSet<Ipv4Addr4>>,
+    /// Simulated span in days.
     pub days: u64,
     /// Total packets generated by the scenario.
     pub generated_packets: u64,
@@ -191,6 +199,7 @@ fn bogon_filter() -> ah_net::prefix::PrefixSet {
     ah_net::prefix::PrefixSet::from_prefixes(
         ["0.0.0.0/8", "127.0.0.0/8", "169.254.0.0/16", "224.0.0.0/4", "240.0.0.0/4"]
             .iter()
+            // ah-lint: allow(panic-path, reason = "static prefix literals above; a typo fails every pipeline test at startup")
             .map(|p| p.parse().expect("static prefix")),
     )
 }
@@ -473,6 +482,7 @@ fn finalize_run(
     let merge_span =
         tel.recorder.histogram("ah_pipeline_merge_duration_us", ah_obs::LATENCY_US_BUCKETS).time();
     let mut shards = shards.into_iter();
+    // ah-lint: allow(panic-path, reason = "shard count is clamped to at least 1 in run_parallel, so the shard list is never empty")
     let first = shards.next().expect("at least one shard");
     let mut capture_stats = first.capture;
     let mut agg = first.agg;
@@ -854,6 +864,7 @@ pub fn run_parallel_with_recorder(
             p.close();
         }
         let shards: Vec<ShardOut> =
+            // ah-lint: allow(panic-path, reason = "a panicking shard thread must propagate the panic rather than silently drop a shard's output")
             handles.into_iter().map(|h| h.join().expect("pipeline shard thread")).collect();
         (injector.as_ref().map(|i| i.stats()), shards)
     });
@@ -1027,6 +1038,7 @@ impl RunOutput {
 
 /// Output of a two-phase tap run (Figures 1 and 2).
 pub struct TapRun {
+    /// The synthetic internet the scenario ran over.
     pub world: World,
     /// Detection output of the first pass.
     pub report: AhReport,
@@ -1037,6 +1049,7 @@ pub struct TapRun {
     pub merit_tap: TapSeries,
     /// Per-second series of all CU border traffic.
     pub cu_tap: TapSeries,
+    /// Span of the tap phase in days.
     pub tap_days: u64,
 }
 

@@ -1,0 +1,79 @@
+//! Vector clocks: the happens-before backbone of the checker.
+//!
+//! Every virtual thread carries a [`VClock`]; every shadow operation
+//! ticks the thread's own component. Release-class stores snapshot the
+//! storer's clock into the store record, acquire-class loads join that
+//! snapshot back in — the standard message-passing construction of the
+//! happens-before partial order.
+
+/// A grow-on-demand vector clock indexed by virtual-thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The all-zero clock (happens-before everything).
+    pub fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// Component for thread `tid` (zero if never ticked).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component by one; returns the new tick.
+    pub fn tick(&mut self, tid: usize) -> u64 {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    /// Pointwise maximum (`self ⊔= other`): after a join, everything
+    /// `other` has observed happens-before this thread's next step.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Set this thread's component to `tick` (used by the plain-cell
+    /// access clocks, which track the last access per thread).
+    pub fn record(&mut self, tid: usize, tick: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = self.0[tid].max(tick);
+    }
+
+    /// True when every component of `self` is `<=` the matching
+    /// component of `other` — i.e. all events recorded here are visible
+    /// to a thread whose clock is `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(tid, &tick)| tick <= other.get(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_le() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        assert_eq!(a.tick(0), 1);
+        assert_eq!(a.tick(0), 2);
+        assert_eq!(b.tick(3), 1);
+        assert!(!a.le(&b));
+        b.join(&a);
+        assert!(a.le(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(3), 1);
+        assert_eq!(b.get(9), 0);
+    }
+}

@@ -1,0 +1,926 @@
+//! Execution engine: virtual threads, the shadow memory model, and the
+//! cooperative scheduler that serializes them.
+//!
+//! One *execution* runs the model closure from scratch under a fully
+//! controlled schedule. Virtual threads are real OS threads from a
+//! per-[`World`] worker pool, but only one ever runs at a time: every
+//! shadow operation blocks until the controller grants it the token, so
+//! the interleaving — and therefore the entire execution — is decided
+//! by the trace being explored, never by the host scheduler.
+//!
+//! # Memory model
+//!
+//! Atomic locations keep their full **store history**. A load does not
+//! simply see "the" current value: the set of stores it may observe is
+//! every store not yet superseded by one that happens-before the load
+//! (per-location coherence is enforced through a per-thread `seen`
+//! index). When more than one store is readable the choice becomes an
+//! explored decision point, bounded by the per-(thread, location)
+//! stale-read budget ([`Config::stale_depth`]) — the model's analogue
+//! of a finite store buffer. Release-class stores snapshot the
+//! storer's vector clock; acquire-class loads join the snapshot of the
+//! store they read, which is exactly the C11 release/acquire
+//! synchronizes-with edge. `SeqCst` additionally joins through a
+//! global clock (a sound approximation of the single total order; the
+//! workspace lint forbids `SeqCst` anyway). Plain [`cell`] accesses are
+//! not synchronization: they carry FastTrack-style read/write clocks
+//! and any pair of unordered conflicting accesses is reported as a
+//! data race.
+//!
+//! [`cell`]: crate::shadow::Cell
+
+// ah-lint: allow-file(panic-path, reason = "test-support crate: executor invariant violations (poisoned channels, missing trace nodes) are checker bugs and must abort the run loudly")
+// ah-lint: allow-file(atomic-ordering, reason = "the handful of real atomics here coordinate the token handoff between controller and virtual threads; SeqCst keeps the checker itself trivially correct while the code under test carries the interesting orderings")
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+use crate::{Config, Failure, FailureKind};
+
+/// Sentinel "thread id" for the initialization store of an atomic
+/// location (happens-before everything, like a `static` initializer).
+const INIT_TID: usize = usize::MAX;
+
+/// Panic payload used to unwind virtual threads of an aborted
+/// execution; the chained panic hook prints nothing for it.
+pub(crate) struct AbortExec;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One store in an atomic location's history.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreRec {
+    pub val: u64,
+    /// Virtual thread that performed the store ([`INIT_TID`] for the
+    /// initial value).
+    pub by: usize,
+    /// The storer's own clock component at store time; `clock.get(by)
+    /// >= tick` means the store happens-before the observer.
+    pub tick: u64,
+    /// Clock snapshot joined by acquire-class loads that read this
+    /// store (empty for relaxed-class stores: observing one yields no
+    /// synchronizes-with edge).
+    pub sync: VClock,
+}
+
+/// An atomic location: label for traces plus the full store history.
+pub(crate) struct AtomicLoc {
+    pub label: String,
+    pub stores: Vec<StoreRec>,
+}
+
+/// A plain (non-atomic) location tracked only for race detection.
+pub(crate) struct CellLoc {
+    pub label: String,
+    pub write_clock: VClock,
+    pub read_clock: VClock,
+}
+
+/// What a virtual thread intends to do at its next scheduling point.
+#[derive(Clone, Debug)]
+pub(crate) enum OpDesc {
+    Load { loc: usize, ord: Ordering },
+    Store { loc: usize, ord: Ordering },
+    Rmw { loc: usize, ord: Ordering },
+    Yield,
+    Spawn,
+    Join { target: usize },
+}
+
+impl OpDesc {
+    fn describe(&self, inner: &Inner) -> String {
+        match self {
+            OpDesc::Load { loc, ord } => format!("{}.load({ord:?})", inner.atomics[*loc].label),
+            OpDesc::Store { loc, ord } => format!("{}.store({ord:?})", inner.atomics[*loc].label),
+            OpDesc::Rmw { loc, ord } => format!("{}.rmw({ord:?})", inner.atomics[*loc].label),
+            OpDesc::Yield => "yield".into(),
+            OpDesc::Spawn => "spawn".into(),
+            OpDesc::Join { target } => format!("join(t{target})"),
+        }
+    }
+}
+
+/// Scheduler-visible state of a virtual thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RunSt {
+    /// Spawned but has not yet reached its first scheduling point.
+    Starting,
+    /// Blocked at a scheduling point, waiting for the token.
+    Waiting,
+    /// Holds the token (or is executing model code between points).
+    Running,
+    /// Parked in `yield`; woken by the next store or a rescue pass.
+    Parked,
+    /// Model closure returned (or unwound).
+    Finished,
+}
+
+pub(crate) struct ThreadSt {
+    pub name: String,
+    pub st: RunSt,
+    pub intent: Option<OpDesc>,
+    pub clock: VClock,
+    /// Per-location minimum readable store index (coherence).
+    pub seen: HashMap<usize, usize>,
+    /// Remaining stale (non-latest) read choices per location.
+    pub budget: HashMap<usize, u32>,
+    /// Clock at finish, joined by `join()`ers.
+    pub final_clock: Option<VClock>,
+}
+
+impl ThreadSt {
+    fn new(name: String, clock: VClock) -> ThreadSt {
+        ThreadSt {
+            name,
+            st: RunSt::Starting,
+            intent: None,
+            clock,
+            seen: HashMap::new(),
+            budget: HashMap::new(),
+            final_clock: None,
+        }
+    }
+}
+
+/// One decision point in a trace: the choice taken plus the
+/// alternatives still pending for depth-first backtracking.
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub chosen: Choice,
+    pub pending: Vec<Choice>,
+}
+
+/// A single explored decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Choice {
+    /// Grant the token to this virtual thread.
+    Sched(usize),
+    /// Make the pending load read this store index.
+    Read(usize),
+}
+
+pub(crate) struct Inner {
+    pub cfg: Config,
+    pub threads: Vec<ThreadSt>,
+    pub atomics: Vec<AtomicLoc>,
+    pub cells: Vec<CellLoc>,
+    /// Thread currently granted the token (None while the controller
+    /// is deciding).
+    pub active: Option<usize>,
+    pub last_sched: usize,
+    pub preemptions: u32,
+    pub steps: u64,
+    /// Bumped on every store and every consumed stale-read budget —
+    /// two rescue passes at the same epoch mean a genuine deadlock.
+    pub progress_epoch: u64,
+    pub rescue_epoch: Option<u64>,
+    /// `SeqCst` total-order approximation clock.
+    pub sc_clock: VClock,
+    pub abort: bool,
+    pub failure: Option<Failure>,
+    /// DFS trace: replayed prefix + nodes appended this execution.
+    pub trace: Vec<Node>,
+    pub cursor: usize,
+    pub oplog: Option<Vec<String>>,
+    /// Names requested for the next spawned thread, if any.
+    pub next_name: Option<String>,
+}
+
+pub(crate) struct World {
+    pub inner: Mutex<Inner>,
+    pub cv: Condvar,
+    pool: Mutex<Pool>,
+}
+
+#[derive(Default)]
+struct Pool {
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<World>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the calling OS thread's virtual-thread context;
+/// panics if called outside a model execution.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<World>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let (world, tid) = b
+            .as_ref()
+            .expect("interleave shadow primitives may only be used inside Checker::check");
+        f(world, *tid)
+    })
+}
+
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    // Virtual threads unwind (by design) while holding no invariants
+    // the lock protects mid-update, so a poisoned mutex is still sound
+    // to reuse.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl World {
+    pub fn new(cfg: Config) -> World {
+        World {
+            inner: Mutex::new(Inner {
+                cfg,
+                threads: Vec::new(),
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                active: None,
+                last_sched: 0,
+                preemptions: 0,
+                steps: 0,
+                progress_epoch: 0,
+                rescue_epoch: None,
+                sc_clock: VClock::new(),
+                abort: false,
+                failure: None,
+                trace: Vec::new(),
+                cursor: 0,
+                oplog: None,
+                next_name: None,
+            }),
+            cv: Condvar::new(),
+            pool: Mutex::new(Pool::default()),
+        }
+    }
+
+    /// Dispatch `job` to the pooled worker for virtual thread `tid`,
+    /// spawning the worker on first use.
+    fn dispatch(self: &Arc<Self>, tid: usize, job: Job) {
+        let mut pool = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while pool.senders.len() <= tid {
+            let (tx, rx) = mpsc::channel::<Job>();
+            pool.senders.push(tx);
+            let worker_no = pool.handles.len();
+            pool.handles.push(
+                std::thread::Builder::new()
+                    .name(format!("interleave-w{worker_no}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn interleave worker"),
+            );
+        }
+        pool.senders[tid].send(job).expect("interleave worker alive");
+    }
+
+    pub fn shutdown_pool(&self) {
+        let mut pool = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        pool.senders.clear();
+        for h in pool.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Inner {
+    fn log(&mut self, line: String) {
+        if let Some(log) = &mut self.oplog {
+            log.push(line);
+        }
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                message,
+                schedule: render_schedule(&self.trace[..self.cursor.min(self.trace.len())]),
+                oplog: self.oplog.clone().unwrap_or_default(),
+            });
+        }
+        self.abort = true;
+    }
+
+    /// Threads that could be granted the token right now.
+    fn enabled(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.st == RunSt::Waiting
+                    && match t.intent {
+                        Some(OpDesc::Join { target }) => self.threads[target].st == RunSt::Finished,
+                        _ => true,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Lowest store index thread `tid` may still read at `loc`:
+    /// everything below the newest store that happens-before it (or
+    /// that it has already observed) is gone for good.
+    fn readable_floor(&self, tid: usize, loc: usize) -> usize {
+        let th = &self.threads[tid];
+        let mut floor = th.seen.get(&loc).copied().unwrap_or(0);
+        let stores = &self.atomics[loc].stores;
+        for (idx, s) in stores.iter().enumerate().rev() {
+            if idx <= floor {
+                break;
+            }
+            if s.by == INIT_TID || th.clock.get(s.by) >= s.tick {
+                floor = idx;
+                break;
+            }
+        }
+        floor
+    }
+
+    /// Resolve the store a load reads, creating a decision point when
+    /// the memory model permits more than one and budget remains.
+    fn decide_read(&mut self, tid: usize, loc: usize) -> usize {
+        let floor = self.readable_floor(tid, loc);
+        let latest = self.atomics[loc].stores.len() - 1;
+        if floor == latest {
+            // Only one readable store: not a decision point at all.
+            return latest;
+        }
+        let depth = self.cfg.stale_depth;
+        let chosen = if self.cursor < self.trace.len() {
+            let c = self.trace[self.cursor].chosen;
+            self.cursor += 1;
+            match c {
+                Choice::Read(idx) if idx <= latest => idx,
+                _ => {
+                    // The model diverged from the recorded trace; the
+                    // model closure must be deterministic.
+                    self.fail(
+                        FailureKind::NonDeterminism,
+                        format!("replay diverged: recorded read choice {c:?} is invalid"),
+                    );
+                    latest
+                }
+            }
+        } else {
+            let budget = *self.threads[tid].budget.entry(loc).or_insert(depth);
+            let mut pending = Vec::new();
+            if budget > 0 {
+                pending.extend((floor..latest).map(Choice::Read));
+            }
+            self.trace.push(Node { chosen: Choice::Read(latest), pending });
+            self.cursor += 1;
+            latest
+        };
+        if chosen < latest {
+            let b = self.threads[tid].budget.entry(loc).or_insert(depth);
+            *b = b.saturating_sub(1);
+            self.progress_epoch += 1;
+        }
+        chosen
+    }
+
+    fn unpark_all(&mut self) {
+        for t in &mut self.threads {
+            if t.st == RunSt::Parked {
+                t.st = RunSt::Waiting;
+            }
+        }
+    }
+}
+
+/// Register intent and block until the controller grants the token.
+/// Returns with the world lock held and the token consumed.
+fn await_grant<'a>(
+    world: &'a World,
+    me: usize,
+    op: OpDesc,
+    mut g: MutexGuard<'a, Inner>,
+) -> MutexGuard<'a, Inner> {
+    g.threads[me].intent = Some(op);
+    g.threads[me].st = RunSt::Waiting;
+    world.cv.notify_all();
+    loop {
+        if g.abort && !std::thread::panicking() {
+            drop(g);
+            std::panic::panic_any(AbortExec);
+        }
+        if g.active == Some(me) {
+            break;
+        }
+        g = world.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    g.active = None;
+    g.steps += 1;
+    g.threads[me].st = RunSt::Running;
+    if g.steps > g.cfg.max_steps {
+        let cap = g.cfg.max_steps;
+        g.fail(
+            FailureKind::StepLimit,
+            format!("execution exceeded max_steps = {cap} scheduling points"),
+        );
+        world.cv.notify_all();
+        drop(g);
+        std::panic::panic_any(AbortExec);
+    }
+    g
+}
+
+/// True when this operation should run in degraded "free-run" mode:
+/// the thread is unwinding (drop handlers of an aborted or panicked
+/// execution still run real code), so perform the memory effect with
+/// default choices and no scheduling, branching, or race reporting.
+fn free_running(g: &Inner) -> bool {
+    std::thread::panicking() || (g.abort && g.failure.is_some())
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Allocate a new atomic location (not a scheduling point: creation is
+/// deterministic because only one virtual thread runs at a time).
+pub(crate) fn alloc_atomic(init: u64) -> usize {
+    with_ctx(|world, _| {
+        let mut g = lock(&world.inner);
+        let id = g.atomics.len();
+        g.atomics.push(AtomicLoc {
+            label: format!("a{id}"),
+            stores: vec![StoreRec { val: init, by: INIT_TID, tick: 0, sync: VClock::new() }],
+        });
+        id
+    })
+}
+
+pub(crate) fn alloc_cell() -> usize {
+    with_ctx(|world, _| {
+        let mut g = lock(&world.inner);
+        let id = g.cells.len();
+        g.cells.push(CellLoc {
+            label: format!("c{id}"),
+            write_clock: VClock::new(),
+            read_clock: VClock::new(),
+        });
+        id
+    })
+}
+
+pub(crate) fn op_load(loc: usize, ord: Ordering) -> u64 {
+    with_ctx(|world, me| {
+        let g = lock(&world.inner);
+        if free_running(&g) {
+            let v = g.atomics[loc].stores.last().map_or(0, |s| s.val);
+            return v;
+        }
+        let mut g = await_grant(world, me, OpDesc::Load { loc, ord }, g);
+        g.threads[me].clock.tick(me);
+        let idx = g.decide_read(me, loc);
+        let latest = g.atomics[loc].stores.len() - 1;
+        let store = g.atomics[loc].stores[idx].clone();
+        g.threads[me].seen.insert(loc, idx);
+        if is_acquire(ord) {
+            let sync = store.sync.clone();
+            g.threads[me].clock.join(&sync);
+            if ord == Ordering::SeqCst {
+                let sc = g.sc_clock.clone();
+                g.threads[me].clock.join(&sc);
+                let clk = g.threads[me].clock.clone();
+                g.sc_clock.join(&clk);
+            }
+        }
+        let line = format!(
+            "[t{me} {}] {}.load({ord:?}) -> {} (store #{idx}{} by {})",
+            g.threads[me].name,
+            g.atomics[loc].label,
+            store.val,
+            if idx < latest { format!(", stale: latest is #{latest}") } else { String::new() },
+            if store.by == INIT_TID { "init".into() } else { format!("t{}", store.by) },
+        );
+        g.log(line);
+        finish_op(world, g, me);
+        store.val
+    })
+}
+
+pub(crate) fn op_store(loc: usize, ord: Ordering, val: u64) {
+    with_ctx(|world, me| {
+        let g = lock(&world.inner);
+        if free_running(&g) {
+            let mut g = g;
+            let tick = g.threads[me].clock.get(me);
+            g.atomics[loc].stores.push(StoreRec { val, by: me, tick, sync: VClock::new() });
+            return;
+        }
+        let mut g = await_grant(world, me, OpDesc::Store { loc, ord }, g);
+        g.threads[me].clock.tick(me);
+        if ord == Ordering::SeqCst {
+            let sc = g.sc_clock.clone();
+            g.threads[me].clock.join(&sc);
+        }
+        let sync = if is_release(ord) { g.threads[me].clock.clone() } else { VClock::new() };
+        if ord == Ordering::SeqCst {
+            let clk = g.threads[me].clock.clone();
+            g.sc_clock.join(&clk);
+        }
+        let tick = g.threads[me].clock.get(me);
+        let idx = g.atomics[loc].stores.len();
+        g.atomics[loc].stores.push(StoreRec { val, by: me, tick, sync });
+        g.threads[me].seen.insert(loc, idx);
+        g.progress_epoch += 1;
+        g.unpark_all();
+        let line = format!(
+            "[t{me} {}] {}.store({val}, {ord:?}) -> store #{idx}",
+            g.threads[me].name, g.atomics[loc].label
+        );
+        g.log(line);
+        finish_op(world, g, me);
+    })
+}
+
+/// Atomic read-modify-write: always reads the latest store (C11 RMW
+/// atomicity), applies `f`, appends the result.
+pub(crate) fn op_rmw(loc: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    with_ctx(|world, me| {
+        let g = lock(&world.inner);
+        if free_running(&g) {
+            let mut g = g;
+            let old = g.atomics[loc].stores.last().map_or(0, |s| s.val);
+            let tick = g.threads[me].clock.get(me);
+            g.atomics[loc].stores.push(StoreRec { val: f(old), by: me, tick, sync: VClock::new() });
+            return old;
+        }
+        let mut g = await_grant(world, me, OpDesc::Rmw { loc, ord }, g);
+        g.threads[me].clock.tick(me);
+        if ord == Ordering::SeqCst {
+            let sc = g.sc_clock.clone();
+            g.threads[me].clock.join(&sc);
+        }
+        let latest = g.atomics[loc].stores.len() - 1;
+        let old = g.atomics[loc].stores[latest].val;
+        if is_acquire(ord) {
+            let sync = g.atomics[loc].stores[latest].sync.clone();
+            g.threads[me].clock.join(&sync);
+        }
+        let sync = if is_release(ord) { g.threads[me].clock.clone() } else { VClock::new() };
+        if ord == Ordering::SeqCst {
+            let clk = g.threads[me].clock.clone();
+            g.sc_clock.join(&clk);
+        }
+        let new = f(old);
+        let tick = g.threads[me].clock.get(me);
+        let idx = g.atomics[loc].stores.len();
+        g.atomics[loc].stores.push(StoreRec { val: new, by: me, tick, sync });
+        g.threads[me].seen.insert(loc, idx);
+        g.progress_epoch += 1;
+        g.unpark_all();
+        let line = format!(
+            "[t{me} {}] {}.rmw({ord:?}) {old} -> {new} (store #{idx})",
+            g.threads[me].name, g.atomics[loc].label
+        );
+        g.log(line);
+        finish_op(world, g, me);
+        old
+    })
+}
+
+/// Non-synchronizing load of the latest store, for teardown paths
+/// where the caller has exclusive ownership (shadow of `get_mut`).
+/// Not a scheduling point.
+pub(crate) fn op_unsync_load(loc: usize) -> u64 {
+    with_ctx(|world, _| {
+        let g = lock(&world.inner);
+        g.atomics[loc].stores.last().map_or(0, |s| s.val)
+    })
+}
+
+/// Plain-memory access check (no scheduling point, no branching): the
+/// caller performs the real read/write under the same lock.
+pub(crate) fn cell_access(cell: usize, write: bool) {
+    with_ctx(|world, me| {
+        let mut g = lock(&world.inner);
+        if free_running(&g) {
+            return;
+        }
+        let clk = g.threads[me].clock.clone();
+        let c = &g.cells[cell];
+        let conflict = if write {
+            !c.write_clock.le(&clk) || !c.read_clock.le(&clk)
+        } else {
+            !c.write_clock.le(&clk)
+        };
+        if conflict {
+            let label = c.label.clone();
+            let kind = if write { "write" } else { "read" };
+            let msg = format!(
+                "data race: t{me} ({}) {kind}s plain cell {label} not ordered \
+                 after a previous conflicting access (missing happens-before edge)",
+                g.threads[me].name
+            );
+            g.fail(FailureKind::DataRace, msg);
+            world.cv.notify_all();
+            drop(g);
+            std::panic::panic_any(AbortExec);
+        }
+        let tick = g.threads[me].clock.tick(me);
+        let c = &mut g.cells[cell];
+        if write {
+            c.write_clock.record(me, tick);
+        } else {
+            c.read_clock.record(me, tick);
+        }
+        let label = g.cells[cell].label.clone();
+        let line = format!(
+            "[t{me} {}] {label}.{}",
+            g.threads[me].name,
+            if write { "write" } else { "read" }
+        );
+        g.log(line);
+    })
+}
+
+/// `yield_now`/`spin_loop` in a model: park until another thread
+/// stores (or a rescue pass wakes everyone), then reschedule.
+pub(crate) fn op_yield() {
+    with_ctx(|world, me| {
+        let g = lock(&world.inner);
+        if free_running(&g) {
+            return;
+        }
+        let mut g = await_grant(world, me, OpDesc::Yield, g);
+        g.threads[me].st = RunSt::Parked;
+        let line = format!("[t{me} {}] yield (parked)", g.threads[me].name);
+        g.log(line);
+        world.cv.notify_all();
+        // Wait to be unparked (store / rescue), then for a fresh grant.
+        loop {
+            if g.abort && !std::thread::panicking() {
+                drop(g);
+                std::panic::panic_any(AbortExec);
+            }
+            if g.threads[me].st == RunSt::Waiting && g.active == Some(me) {
+                break;
+            }
+            g = world.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        g.active = None;
+        g.steps += 1;
+        g.threads[me].st = RunSt::Running;
+        finish_op(world, g, me);
+    })
+}
+
+/// Spawn a virtual thread running `f`; its result is retrievable via
+/// the paired join slot.
+pub(crate) fn op_spawn(job: Job, name: Option<String>) -> usize {
+    with_ctx(|world, me| {
+        let g = lock(&world.inner);
+        assert!(!free_running(&g), "interleave: spawning a thread while unwinding is unsupported");
+        let mut g = await_grant(world, me, OpDesc::Spawn, g);
+        g.threads[me].clock.tick(me);
+        let child = g.threads.len();
+        let child_name = name.or_else(|| g.next_name.take()).unwrap_or_else(|| format!("t{child}"));
+        // Spawn happens-before everything in the child.
+        let clock = g.threads[me].clock.clone();
+        g.threads.push(ThreadSt::new(child_name, clock));
+        let line = format!("[t{me} {}] spawn -> t{child}", g.threads[me].name);
+        g.log(line);
+        finish_op(world, g, me);
+        let world2 = Arc::clone(world);
+        world.dispatch(
+            child,
+            Box::new(move || {
+                enter_thread(world2, child, job);
+            }),
+        );
+        child
+    })
+}
+
+/// Block until `target` finishes, then join its final clock
+/// (thread-exit happens-before join, as with `std::thread::join`).
+pub(crate) fn op_join(target: usize) {
+    with_ctx(|world, me| {
+        let g = lock(&world.inner);
+        if free_running(&g) {
+            // Wait (non-schedulingly) for the target to finish its own
+            // unwinding so join slots are populated or abandoned.
+            let mut g = g;
+            while g.threads[target].st != RunSt::Finished {
+                g = world.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            return;
+        }
+        let mut g = await_grant(world, me, OpDesc::Join { target }, g);
+        g.threads[me].clock.tick(me);
+        let final_clock =
+            g.threads[target].final_clock.clone().expect("join granted only after target finished");
+        g.threads[me].clock.join(&final_clock);
+        let line = format!("[t{me} {}] join(t{target})", g.threads[me].name);
+        g.log(line);
+        finish_op(world, g, me);
+    })
+}
+
+/// Release the token back to the controller after performing an op.
+fn finish_op(world: &World, mut g: MutexGuard<'_, Inner>, me: usize) {
+    g.threads[me].intent = None;
+    world.cv.notify_all();
+}
+
+/// Worker-side wrapper for one virtual thread of one execution.
+pub(crate) fn enter_thread(world: Arc<World>, tid: usize, job: Job) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&world), tid)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    CTX.with(|c| *c.borrow_mut() = None);
+    let mut g = lock(&world.inner);
+    if let Err(payload) = result {
+        if payload.downcast_ref::<AbortExec>().is_none() {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked (non-string payload)".into());
+            let name = g.threads[tid].name.clone();
+            g.fail(FailureKind::Panic, format!("t{tid} ({name}) panicked: {message}"));
+        }
+    }
+    let clk = g.threads[tid].clock.clone();
+    g.threads[tid].final_clock = Some(clk);
+    g.threads[tid].st = RunSt::Finished;
+    g.threads[tid].intent = None;
+    world.cv.notify_all();
+}
+
+/// Run the model once under `prefix`, appending fresh decision points.
+/// Returns the full trace and the failure, if any.
+pub(crate) fn run_once(
+    world: &Arc<World>,
+    model: &Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<Node>,
+    want_oplog: bool,
+) -> (Vec<Node>, Option<Failure>, u64) {
+    {
+        let mut g = lock(&world.inner);
+        g.threads.clear();
+        g.threads.push(ThreadSt::new("main".into(), VClock::new()));
+        g.atomics.clear();
+        g.cells.clear();
+        g.active = None;
+        g.last_sched = 0;
+        g.preemptions = 0;
+        g.steps = 0;
+        g.progress_epoch = 0;
+        g.rescue_epoch = None;
+        g.sc_clock = VClock::new();
+        g.abort = false;
+        g.failure = None;
+        g.trace = prefix;
+        g.cursor = 0;
+        g.oplog = if want_oplog { Some(Vec::new()) } else { None };
+        g.next_name = None;
+    }
+    let model = Arc::clone(model);
+    let world2 = Arc::clone(world);
+    world.dispatch(
+        0,
+        Box::new(move || {
+            enter_thread(world2, 0, Box::new(move || model()));
+        }),
+    );
+    controller(world);
+    let mut g = lock(&world.inner);
+    let trace = std::mem::take(&mut g.trace);
+    let mut failure = g.failure.take();
+    let steps = g.steps;
+    if let (Some(f), Some(log)) = (&mut failure, g.oplog.take()) {
+        f.oplog = log;
+    }
+    (trace, failure, steps)
+}
+
+/// The scheduler: waits for quiescence, picks the next thread per the
+/// trace (or appends a fresh decision node), and hands out the token
+/// until every virtual thread has finished.
+fn controller(world: &Arc<World>) {
+    let mut g = lock(&world.inner);
+    loop {
+        // Quiescence: nobody starting, running, or holding the token.
+        loop {
+            let busy = g.active.is_some()
+                || g.threads.iter().any(|t| matches!(t.st, RunSt::Starting | RunSt::Running));
+            if !busy {
+                break;
+            }
+            g = world.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if g.threads.iter().all(|t| t.st == RunSt::Finished) {
+            return;
+        }
+        if g.abort {
+            // Wake unwinding threads and wait for them to finish.
+            world.cv.notify_all();
+            g = world.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
+            continue;
+        }
+        let enabled = g.enabled();
+        if enabled.is_empty() {
+            let parked: Vec<usize> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.st == RunSt::Parked)
+                .map(|(i, _)| i)
+                .collect();
+            if !parked.is_empty() && g.rescue_epoch != Some(g.progress_epoch) {
+                // Rescue pass: wake spinners so stale views can refresh.
+                // If nothing changed since the last rescue this is a
+                // genuine deadlock (checked above via the epoch).
+                g.rescue_epoch = Some(g.progress_epoch);
+                g.unpark_all();
+                world.cv.notify_all();
+                continue;
+            }
+            let stuck: Vec<String> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.st != RunSt::Finished)
+                .map(|(i, t)| {
+                    format!(
+                        "t{i} ({}) {:?} intent={}",
+                        t.name,
+                        t.st,
+                        t.intent.as_ref().map_or("-".into(), |op| op.describe(&g)),
+                    )
+                })
+                .collect();
+            g.fail(
+                FailureKind::Deadlock,
+                format!("no runnable thread and no progress possible: {}", stuck.join("; ")),
+            );
+            world.cv.notify_all();
+            continue;
+        }
+        // A scheduling point is a decision (and occupies a trace node)
+        // exactly when more than one thread is enabled; the replay rule
+        // below must mirror the recording rule or cursors misalign.
+        let chosen = if enabled.len() == 1 {
+            enabled[0]
+        } else if g.cursor < g.trace.len() {
+            let c = g.trace[g.cursor].chosen;
+            g.cursor += 1;
+            match c {
+                Choice::Sched(t) if enabled.contains(&t) => t,
+                _ => {
+                    g.fail(
+                        FailureKind::NonDeterminism,
+                        format!("replay diverged: recorded choice {c:?} not enabled"),
+                    );
+                    world.cv.notify_all();
+                    continue;
+                }
+            }
+        } else {
+            let default = if enabled.contains(&g.last_sched) { g.last_sched } else { enabled[0] };
+            // Alternatives to the default are explored only when taking
+            // one would be free (the last thread is gone from the
+            // enabled set, so any switch is voluntary) or when the
+            // preemption budget still has room.
+            let last_enabled = enabled.contains(&g.last_sched);
+            let can_preempt = g.preemptions < g.cfg.preemption_bound;
+            let pending: Vec<Choice> = if !last_enabled || can_preempt {
+                enabled.iter().copied().filter(|&t| t != default).map(Choice::Sched).collect()
+            } else {
+                Vec::new()
+            };
+            g.trace.push(Node { chosen: Choice::Sched(default), pending });
+            g.cursor += 1;
+            default
+        };
+        if chosen != g.last_sched
+            && g.threads[g.last_sched].st == RunSt::Waiting
+            && g.enabled().contains(&g.last_sched)
+        {
+            g.preemptions += 1;
+        }
+        g.last_sched = chosen;
+        g.active = Some(chosen);
+        world.cv.notify_all();
+    }
+}
+
+/// Render a trace as human-readable schedule lines.
+pub(crate) fn render_schedule(trace: &[Node]) -> Vec<String> {
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, n)| match n.chosen {
+            Choice::Sched(t) => format!("#{i:<4} run t{t}"),
+            Choice::Read(idx) => format!("#{i:<4} read store #{idx}"),
+        })
+        .collect()
+}

@@ -1,0 +1,294 @@
+//! `interleave` — a first-party, zero-dependency, loom-style
+//! exhaustive concurrency model checker.
+//!
+//! A model is an ordinary closure that spawns [`shadow::thread`]s and
+//! communicates through [`shadow`] atomics and [`shadow::Cell`]s. The
+//! [`Checker`] runs the closure over and over, each time under a
+//! different schedule, until every interleaving reachable within the
+//! configured bounds has been explored or a failure is found:
+//!
+//! * **assertion failures** (any panic in model code),
+//! * **data races** — conflicting plain-memory accesses with no
+//!   happens-before edge between them (vector-clock detection),
+//! * **stale reads gone wrong** — each atomic load may observe *any*
+//!   store the C11 acquire/release coherence rules permit, not just
+//!   the latest, so bugs that need a weakly-ordered machine are found
+//!   on any host,
+//! * **deadlocks and lost wakeups** — no runnable thread, spinners
+//!   included, with nothing left that could wake them.
+//!
+//! On failure the checker reports a **replayable counterexample**: the
+//! exact decision schedule plus a per-operation log of the failing
+//! interleaving (see [`Failure`]).
+//!
+//! # Exploration strategy
+//!
+//! Scheduling points are shadow operations. The explorer is a
+//! depth-first search over two kinds of decisions — *which thread runs
+//! next* and *which store a load observes* — pruned by:
+//!
+//! * **bounded preemption** ([`Checker::preemption_bound`]): involuntary
+//!   context switches per execution are capped (voluntary switches at
+//!   parks/finishes are always free). Real memory-ordering bugs almost
+//!   always need only 1–2 preemptions, which keeps the search
+//!   tractable while staying exhaustive within the bound;
+//! * **bounded store buffers** ([`Checker::stale_depth`]): each
+//!   (thread, location) pair may take at most this many non-latest
+//!   read branches per execution, the analogue of a finite store
+//!   buffer draining;
+//! * **persistent-set-lite stuttering elimination**: a spinning thread
+//!   ([`shadow::yield_now`]/[`shadow::hint::spin_loop`]) parks until
+//!   another thread performs a store, so fruitless spin iterations are
+//!   never enumerated; a rescue pass wakes all spinners when nothing
+//!   else is runnable, and two rescue passes with no intervening
+//!   progress are reported as a deadlock.
+//!
+//! Within these bounds the search is exhaustive: a clean
+//! [`Outcome`] with `complete == true` means *no* reachable
+//! interleaving violates the model's assertions.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::Ordering;
+//! use interleave::{shadow, Checker};
+//!
+//! // Release/acquire message passing: the flag publishes the cell.
+//! let outcome = Checker::new().check(|| {
+//!     let cell = Arc::new(shadow::Cell::new(0u64));
+//!     let flag = Arc::new(shadow::AtomicUsize::new(0));
+//!     let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+//!     let t = shadow::thread::spawn(move || {
+//!         if f2.load(Ordering::Acquire) == 1 {
+//!             // SAFETY-free: the checker validates the ordering.
+//!             c2.with(|p| unsafe { assert_eq!(*p, 7) });
+//!         }
+//!     });
+//!     cell.with_mut(|p| unsafe { *p = 7 });
+//!     flag.store(1, Ordering::Release);
+//!     t.join();
+//! });
+//! outcome.assert_clean();
+//! assert!(outcome.complete);
+//! ```
+//
+// ah-lint: allow-file(panic-path, reason = "test-support crate: assert_clean and shadow misuse report by panicking, like any test harness")
+// ah-lint: allow-file(unsafe-forbid, reason = "shadow::Cell wraps UnsafeCell to model plain memory; the two unsafe blocks carry SAFETY comments and the scheduler guarantees exclusive access by construction")
+
+#![warn(missing_docs)]
+
+mod clock;
+mod exec;
+pub mod shadow;
+
+use std::sync::{Arc, Once};
+
+pub(crate) use exec::{run_once, AbortExec, Node, World};
+
+/// Exploration bounds and policies; see the crate docs for how each
+/// bound shapes the search.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum involuntary context switches per execution.
+    pub preemption_bound: u32,
+    /// Maximum non-latest read branches per (thread, location) per
+    /// execution — the modeled store-buffer depth.
+    pub stale_depth: u32,
+    /// Hard per-execution scheduling-point cap; exceeding it is
+    /// reported as a failure rather than silently pruned.
+    pub max_steps: u64,
+    /// Hard cap on explored schedules; exceeding it clears
+    /// [`Outcome::complete`].
+    pub max_schedules: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { preemption_bound: 2, stale_depth: 2, max_steps: 20_000, max_schedules: 3_000_000 }
+    }
+}
+
+/// What kind of bug a counterexample demonstrates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure).
+    Panic,
+    /// Conflicting plain-memory accesses with no happens-before edge.
+    DataRace,
+    /// No runnable thread and no possible wakeup (includes lost-close
+    /// style lost wakeups of parked spinners).
+    Deadlock,
+    /// The execution exceeded [`Config::max_steps`].
+    StepLimit,
+    /// The model closure behaved differently on replay; models must be
+    /// deterministic apart from checker-controlled decisions.
+    NonDeterminism,
+}
+
+/// A failed check: what went wrong plus a replayable counterexample.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Bug category.
+    pub kind: FailureKind,
+    /// Human description (panic message, racing accesses, …).
+    pub message: String,
+    /// The decision schedule of the failing execution — replaying
+    /// these choices deterministically reproduces the bug.
+    pub schedule: Vec<String>,
+    /// Per-operation log of the failing execution (filled by the
+    /// automatic replay pass).
+    pub oplog: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:?}: {}", self.kind, self.message)?;
+        writeln!(f, "counterexample schedule ({} decisions):", self.schedule.len())?;
+        for line in &self.schedule {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "operation log of the failing interleaving:")?;
+        for line in &self.oplog {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a [`Checker::check`] run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Number of executions explored.
+    pub schedules: u64,
+    /// True when the bounded search space was exhausted (false when
+    /// [`Config::max_schedules`] stopped it early).
+    pub complete: bool,
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Outcome {
+    /// Panic (with the full counterexample) if a failure was found.
+    pub fn assert_clean(&self) {
+        if let Some(fail) = &self.failure {
+            panic!("model check failed after {} schedules:\n{fail}", self.schedules);
+        }
+    }
+
+    /// [`Self::assert_clean`] plus a guarantee the search finished.
+    pub fn assert_exhaustive_clean(&self) {
+        self.assert_clean();
+        assert!(
+            self.complete,
+            "model check clean but search truncated at {} schedules (raise max_schedules)",
+            self.schedules
+        );
+    }
+}
+
+/// The model checker: configure bounds, then [`check`](Self::check) a
+/// model closure.
+#[derive(Clone, Debug, Default)]
+pub struct Checker {
+    cfg: Config,
+}
+
+impl Checker {
+    /// Checker with default bounds ([`Config::default`]).
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Set the involuntary-context-switch bound.
+    pub fn preemption_bound(mut self, n: u32) -> Checker {
+        self.cfg.preemption_bound = n;
+        self
+    }
+
+    /// Set the modeled store-buffer depth.
+    pub fn stale_depth(mut self, n: u32) -> Checker {
+        self.cfg.stale_depth = n;
+        self
+    }
+
+    /// Set the per-execution scheduling-point cap.
+    pub fn max_steps(mut self, n: u64) -> Checker {
+        self.cfg.max_steps = n;
+        self
+    }
+
+    /// Set the total explored-schedule cap.
+    pub fn max_schedules(mut self, n: u64) -> Checker {
+        self.cfg.max_schedules = n;
+        self
+    }
+
+    /// Explore the model exhaustively within the configured bounds.
+    ///
+    /// The closure runs once per schedule and must be deterministic:
+    /// all nondeterminism must come from checker-controlled decisions
+    /// (thread interleaving, load visibility). On failure, exploration
+    /// stops and the failing schedule is replayed once more to produce
+    /// the full operation log.
+    pub fn check<F>(&self, model: F) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_panic_hook();
+        let world = Arc::new(World::new(self.cfg.clone()));
+        let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+        let mut prefix: Vec<Node> = Vec::new();
+        let mut schedules: u64 = 0;
+        let mut complete = true;
+        let mut failure = None;
+        loop {
+            let (trace, fail, _steps) = run_once(&world, &model, prefix, false);
+            schedules += 1;
+            if let Some(first) = fail {
+                // Replay the failing schedule with logging switched on;
+                // prefer the replayed failure (it carries the op log).
+                let (_, replayed, _) = run_once(&world, &model, trace, true);
+                failure = Some(replayed.unwrap_or(first));
+                break;
+            }
+            // Depth-first backtrack: take the deepest decision with an
+            // unexplored alternative as the new schedule prefix.
+            let mut next = trace;
+            let mut advanced = false;
+            while let Some(mut node) = next.pop() {
+                if let Some(alt) = node.pending.pop() {
+                    node.chosen = alt;
+                    next.push(node);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+            if schedules >= self.cfg.max_schedules {
+                complete = false;
+                break;
+            }
+            prefix = next;
+        }
+        world.shutdown_pool();
+        Outcome { schedules, complete, failure }
+    }
+}
+
+/// Chain a panic hook that silences the internal abort-unwind payload
+/// used to tear down the other threads of a failing execution; every
+/// other panic goes to the previous hook untouched.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortExec>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,211 @@
+//! Shadow concurrency primitives: drop-in stand-ins for the std types
+//! whose every operation is a scheduling point of the model checker.
+//!
+//! These only function inside [`Checker::check`](crate::Checker::check)
+//! — constructing or using them elsewhere panics. Code meant to run
+//! both for real and under the checker should be generic over a facade
+//! trait (see `ah_simnet::ring::RingSync` for the workspace's
+//! instance) with one implementation forwarding to `std::sync::atomic`
+//! and one forwarding here.
+//
+// ah-lint: allow-file(panic-path, reason = "test-support crate: the checker reports model and misuse failures by panicking, like any assertion harness")
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use crate::exec;
+
+/// Shadow of [`std::sync::atomic::AtomicUsize`].
+pub struct AtomicUsize {
+    loc: usize,
+}
+
+impl AtomicUsize {
+    /// Create a shadow atomic with an initial value (the
+    /// initialization happens-before every model operation).
+    pub fn new(v: usize) -> AtomicUsize {
+        AtomicUsize { loc: exec::alloc_atomic(v as u64) }
+    }
+
+    /// Model load: may observe any store the memory model permits for
+    /// `ord`; each extra possibility becomes an explored branch.
+    pub fn load(&self, ord: Ordering) -> usize {
+        exec::op_load(self.loc, ord) as usize
+    }
+
+    /// Model store.
+    pub fn store(&self, v: usize, ord: Ordering) {
+        exec::op_store(self.loc, ord, v as u64);
+    }
+
+    /// Model fetch-add (reads the latest store, as C11 RMWs must).
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        exec::op_rmw(self.loc, ord, |old| old.wrapping_add(v as u64)) as usize
+    }
+
+    /// Model fetch-max.
+    pub fn fetch_max(&self, v: usize, ord: Ordering) -> usize {
+        exec::op_rmw(self.loc, ord, |old| old.max(v as u64)) as usize
+    }
+
+    /// Model compare-exchange. The failure ordering is approximated by
+    /// the success ordering (strictly stronger, so no bug is hidden).
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        _failure: Ordering,
+    ) -> Result<usize, usize> {
+        let old =
+            exec::op_rmw(
+                self.loc,
+                success,
+                |old| {
+                    if old == current as u64 {
+                        new as u64
+                    } else {
+                        old
+                    }
+                },
+            ) as usize;
+        if old == current {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+
+    /// Non-synchronizing load for single-owner teardown paths (the
+    /// shadow of `AtomicUsize::get_mut`): reads the latest store
+    /// without a scheduling point.
+    pub fn unsync_load(&mut self) -> usize {
+        exec::op_unsync_load(self.loc) as usize
+    }
+}
+
+/// Shadow of [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    loc: usize,
+}
+
+impl AtomicBool {
+    /// Create a shadow atomic bool.
+    pub fn new(v: bool) -> AtomicBool {
+        AtomicBool { loc: exec::alloc_atomic(u64::from(v)) }
+    }
+
+    /// Model load (see [`AtomicUsize::load`]).
+    pub fn load(&self, ord: Ordering) -> bool {
+        exec::op_load(self.loc, ord) != 0
+    }
+
+    /// Model store.
+    pub fn store(&self, v: bool, ord: Ordering) {
+        exec::op_store(self.loc, ord, u64::from(v));
+    }
+}
+
+/// Shadow of `UnsafeCell`: plain, non-atomic memory whose accesses are
+/// race-checked against the happens-before order (FastTrack-style).
+/// The value lives in real memory; the checker serializes all model
+/// threads, so even a detected race never touches bytes concurrently.
+pub struct Cell<T> {
+    id: usize,
+    v: UnsafeCell<T>,
+}
+
+// SAFETY: all access goes through with/with_mut, which (a) run while
+// the accessing virtual thread is the only one executing model code
+// and (b) report any pair of conflicting accesses not ordered by
+// happens-before as a model failure. The cell therefore transfers `T`
+// between threads exactly like the std UnsafeCell protocols it
+// shadows, requiring only `T: Send`.
+unsafe impl<T: Send> Sync for Cell<T> {}
+// SAFETY: moving the cell moves the owned `T`; no thread affinity.
+unsafe impl<T: Send> Send for Cell<T> {}
+
+impl<T> Cell<T> {
+    /// Wrap a value in a race-checked plain-memory location.
+    pub fn new(v: T) -> Cell<T> {
+        Cell { id: exec::alloc_cell(), v: UnsafeCell::new(v) }
+    }
+
+    /// Immutable access: records a read in the race detector, then
+    /// hands `f` the raw pointer. `f` must not perform shadow
+    /// operations of its own.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        exec::cell_access(self.id, false);
+        f(self.v.get())
+    }
+
+    /// Mutable access: records a write in the race detector, then
+    /// hands `f` the raw pointer. `f` must not perform shadow
+    /// operations of its own.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        exec::cell_access(self.id, true);
+        f(self.v.get())
+    }
+}
+
+/// Shadow of [`std::thread`]: virtual threads under the checker's
+/// scheduler.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a spawned virtual thread; joining returns the
+    /// closure's value and establishes happens-before, exactly like
+    /// `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    }
+
+    /// Spawn a virtual thread. The spawn point happens-before the
+    /// child's first operation.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let slot = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let tid = exec::op_spawn(
+            Box::new(move || {
+                let r = f();
+                *slot2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+            }),
+            None,
+        );
+        JoinHandle { tid, slot }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and take its result. The
+        /// thread's exit happens-before `join` returns.
+        pub fn join(self) -> T {
+            exec::op_join(self.tid);
+            self.slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("joined virtual thread panicked")
+        }
+    }
+}
+
+/// Shadow of [`std::hint`]: busy-wait hints become park points.
+pub mod hint {
+    /// In a model, a spin hint parks the thread until another thread
+    /// stores (spinning without new input can never observe progress).
+    pub fn spin_loop() {
+        crate::exec::op_yield();
+    }
+}
+
+/// Shadow of [`std::thread::yield_now`] — parks like
+/// [`hint::spin_loop`].
+pub fn yield_now() {
+    crate::exec::op_yield();
+}

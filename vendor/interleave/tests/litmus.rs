@@ -1,0 +1,189 @@
+//! Litmus tests for the model checker itself: the classic weak-memory
+//! shapes must be found (or proven absent) exactly as the C11
+//! acquire/release model dictates, and every failure class must come
+//! back with a replayable counterexample.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use interleave::{shadow, Checker, FailureKind};
+
+/// Release/acquire message passing is race-free: the checker must
+/// exhaust the space without a single counterexample.
+#[test]
+fn message_passing_release_acquire_is_clean() {
+    let outcome = Checker::new().check(|| {
+        let data = Arc::new(shadow::Cell::new(0u64));
+        let flag = Arc::new(shadow::AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = shadow::thread::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                d2.with(|p| unsafe { assert_eq!(*p, 42) });
+            }
+        });
+        data.with_mut(|p| unsafe { *p = 42 });
+        flag.store(1, Ordering::Release);
+        t.join();
+    });
+    outcome.assert_exhaustive_clean();
+    assert!(outcome.schedules > 1, "must explore more than one interleaving");
+}
+
+/// Demoting the flag to Relaxed breaks the publication: the checker
+/// must find the data race and hand back a counterexample.
+#[test]
+fn message_passing_relaxed_flag_is_a_race() {
+    let outcome = Checker::new().check(|| {
+        let data = Arc::new(shadow::Cell::new(0u64));
+        let flag = Arc::new(shadow::AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = shadow::thread::spawn(move || {
+            if f2.load(Ordering::Relaxed) == 1 {
+                d2.with(|p| unsafe { std::ptr::read(p) });
+            }
+        });
+        data.with_mut(|p| unsafe { *p = 42 });
+        flag.store(1, Ordering::Relaxed);
+        t.join();
+    });
+    let failure = outcome.failure.expect("relaxed message passing must race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+    assert!(!failure.schedule.is_empty(), "counterexample must carry a schedule");
+    assert!(!failure.oplog.is_empty(), "counterexample must carry an op log");
+}
+
+/// Store buffering (Dekker): with release/acquire only, both threads
+/// may read 0 — the checker must reach that outcome (an SC-only
+/// simulator cannot), plus the three interleaving-explainable ones.
+#[test]
+fn store_buffering_reaches_the_weak_outcome() {
+    let seen: Arc<Mutex<HashSet<(u64, u64)>>> = Arc::new(Mutex::new(HashSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let outcome = Checker::new().check(move || {
+        let x = Arc::new(shadow::AtomicUsize::new(0));
+        let y = Arc::new(shadow::AtomicUsize::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = shadow::thread::spawn(move || {
+            x2.store(1, Ordering::Release);
+            y2.load(Ordering::Acquire) as u64
+        });
+        y.store(1, Ordering::Release);
+        let r_main = x.load(Ordering::Acquire) as u64;
+        let r_child = t.join();
+        seen2.lock().unwrap().insert((r_child, r_main));
+    });
+    outcome.assert_exhaustive_clean();
+    let outcomes = seen.lock().unwrap();
+    assert!(
+        outcomes.contains(&(0, 0)),
+        "store buffering outcome (0,0) not found; reached only {outcomes:?}"
+    );
+    assert!(outcomes.contains(&(1, 1)) || outcomes.contains(&(0, 1)));
+}
+
+/// An assertion that only fires under one interleaving is found, and
+/// its schedule replays.
+#[test]
+fn interleaving_dependent_assertion_is_found() {
+    let outcome = Checker::new().check(|| {
+        let x = Arc::new(shadow::AtomicUsize::new(0));
+        let x2 = Arc::clone(&x);
+        let t = shadow::thread::spawn(move || {
+            x2.store(1, Ordering::Release);
+        });
+        let observed = x.load(Ordering::Acquire);
+        t.join();
+        assert_eq!(observed, 0, "deliberate: fails when the child store wins the race");
+    });
+    let failure = outcome.failure.expect("some interleaving must trip the assertion");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("deliberate"));
+}
+
+/// A consumer spinning on a flag nobody will ever set is a lost
+/// wakeup: park + rescue must converge to a deadlock report, not an
+/// infinite exploration.
+#[test]
+fn spinning_on_an_unset_flag_is_a_deadlock() {
+    let outcome = Checker::new().check(|| {
+        let flag = Arc::new(shadow::AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = shadow::thread::spawn(move || {
+            while f2.load(Ordering::Acquire) == 0 {
+                shadow::yield_now();
+            }
+        });
+        t.join();
+    });
+    let failure = outcome.failure.expect("spin on never-set flag must deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}
+
+/// Spinning that IS eventually satisfied must terminate cleanly —
+/// park/unpark plus the stale-read budget keep the search finite.
+#[test]
+fn satisfied_spin_loop_terminates() {
+    let outcome = Checker::new().check(|| {
+        let flag = Arc::new(shadow::AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = shadow::thread::spawn(move || {
+            while f2.load(Ordering::Acquire) == 0 {
+                shadow::yield_now();
+            }
+        });
+        flag.store(1, Ordering::Release);
+        t.join();
+    });
+    outcome.assert_exhaustive_clean();
+}
+
+/// Relaxed loads may observe stale values, but only up to the
+/// configured store-buffer depth; coherence still forbids going
+/// backwards. With depth 0 every load sees the newest store.
+#[test]
+fn stale_depth_zero_forces_latest_reads() {
+    let seen: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    let seen2 = Arc::clone(&seen);
+    let outcome = Checker::new().stale_depth(0).check(move || {
+        let x = Arc::new(shadow::AtomicUsize::new(0));
+        let x2 = Arc::clone(&x);
+        let t = shadow::thread::spawn(move || {
+            x2.store(1, Ordering::Release);
+            x2.store(2, Ordering::Release);
+        });
+        let r = x.load(Ordering::Acquire) as u64;
+        t.join();
+        seen2.lock().unwrap().insert(r);
+    });
+    outcome.assert_exhaustive_clean();
+    // Interleaving still varies (load before/between/after stores) but
+    // no *stale* read of an overwritten store is ever taken.
+    let outcomes = seen.lock().unwrap();
+    assert!(outcomes.contains(&2) && outcomes.contains(&0));
+}
+
+/// The same model, same bounds, explores the same number of schedules:
+/// exploration is deterministic, which is what makes counterexample
+/// schedules replayable.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        Checker::new()
+            .check(|| {
+                let x = Arc::new(shadow::AtomicUsize::new(0));
+                let x2 = Arc::clone(&x);
+                let t = shadow::thread::spawn(move || {
+                    x2.fetch_add(1, Ordering::AcqRel);
+                });
+                x.fetch_add(2, Ordering::AcqRel);
+                t.join();
+                assert_eq!(x.load(Ordering::Acquire), 3);
+            })
+            .schedules
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "exploration must be deterministic");
+    assert!(a >= 2);
+}

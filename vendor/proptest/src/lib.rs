@@ -24,6 +24,8 @@
 //! - **64 cases per test by default** (override with
 //!   `#![proptest_config(ProptestConfig { cases: N })]`).
 
+// ah-lint: allow-file(panic-path, reason = "test-support crate: the proptest harness reports shrunk counterexamples by panicking, matching upstream behavior")
+
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
