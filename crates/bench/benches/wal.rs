@@ -1,0 +1,258 @@
+//! Write-ahead log throughput: the append path (group-committed,
+//! CRC-framed, fsync'd), the recovery scanner, and the end-to-end payoff
+//! — replaying a sealed log instead of re-simulating the world.
+//!
+//! Besides the Criterion measurements, the bench writes a
+//! machine-readable summary (`BENCH_wal.json`, or the path in
+//! `$BENCH_WAL_OUT`) with append MB/s and frames/s, recovery-scan
+//! throughput and post-crash recovery time at two log sizes, and the
+//! wall-clock of a durable pipeline run vs a replay of its log — the
+//! numbers behind the replay table in `EXPERIMENTS.md`.
+
+use aggressive_scanners::pipeline::{self, RunOptions, Telemetry, WalRun};
+use ah_net::ipv4::Ipv4Addr4;
+use ah_net::packet::PacketMeta;
+use ah_net::time::Ts;
+use ah_obs::Recorder;
+use ah_simnet::scenario::{ScenarioConfig, Year};
+use ah_wal::record::WalRecord;
+use ah_wal::{recover, RunSeal, WalWriter, WalWriterConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const PIPELINE_DAYS: u64 = 2;
+
+/// A representative delivered packet (the dominant record kind).
+fn sample_packet(i: u64) -> PacketMeta {
+    let mut m = PacketMeta::udp_probe(
+        Ts::from_micros(i * 37),
+        Ipv4Addr4::from_u32(0x0a00_0000 | (i as u32 & 0xffff)),
+        Ipv4Addr4::from_u32(0xc000_0200 | (i as u32 & 0xff)),
+        40_000 + (i as u16 & 0x3fff),
+        (i as u16).wrapping_mul(251) | 1,
+    );
+    m.ip_id = i as u16;
+    m
+}
+
+/// Fresh scratch directory, unique per label within this process.
+fn bench_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-wal-bench-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Append `frames` packet records to a fresh log; returns bytes on disk.
+fn write_log(dir: &Path, frames: u64, sealed: bool) -> u64 {
+    let rec = Recorder::new();
+    let mut w = WalWriter::create(dir, WalWriterConfig::default(), &rec).expect("create log");
+    for i in 0..frames {
+        w.append(&WalRecord::Packet(sample_packet(i))).expect("append");
+    }
+    if sealed {
+        w.seal(RunSeal { generated: frames, delivered: frames, packet_hash: 0, injector: None })
+            .expect("seal");
+    } else {
+        w.commit().expect("commit");
+    }
+    dir_bytes(dir)
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").metadata().expect("stat").len())
+        .sum()
+}
+
+/// Copy a log directory so destructive recovery can run on a clone.
+fn clone_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("mkdir");
+    for e in std::fs::read_dir(src).expect("read dir") {
+        let e = e.expect("entry");
+        std::fs::copy(e.path(), dst.join(e.file_name())).expect("copy");
+    }
+}
+
+/// Tear the newest segment mid-frame, like a crash during a write.
+fn tear_tail(dir: &Path) {
+    let segs = ah_wal::segment_paths(dir).expect("segments");
+    let (_, last) = segs.last().expect("non-empty log");
+    let len = std::fs::metadata(last).expect("stat").len();
+    let f = std::fs::OpenOptions::new().write(true).open(last).expect("open");
+    f.set_len(len - 7).expect("truncate");
+}
+
+fn bench_wal(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("wal");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N));
+    let dir = bench_dir("criterion-append");
+    g.bench_function("append_10k", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            black_box(write_log(&dir, N, false))
+        })
+    });
+    let scan = bench_dir("criterion-scan");
+    write_log(&scan, N, true);
+    g.bench_function("recover_scan_10k", |b| {
+        b.iter(|| {
+            let mut frames = 0u64;
+            recover(&scan, &Recorder::new(), |_, _, _| frames += 1).expect("recover");
+            black_box(frames)
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&scan);
+    write_summary();
+}
+
+/// The commit the numbers were measured at: `$GIT_COMMIT` if the harness
+/// (scripts/bench.sh) exported it, else `git rev-parse`, else "unknown".
+fn git_commit() -> String {
+    if let Ok(c) = std::env::var("GIT_COMMIT") {
+        if !c.is_empty() {
+            return c;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn best_of_three(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Best-of-three wall clocks for every headline number, written as JSON.
+fn write_summary() {
+    let wall0 = Instant::now();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Append and scan throughput at two log sizes, plus recovery time
+    // after a torn final write (the crash case the CI gate drills).
+    let mut size_lines = Vec::new();
+    for frames in [50_000u64, 200_000] {
+        let dir = bench_dir(&format!("sum-{frames}"));
+        let mut bytes = 0;
+        let append_secs = best_of_three(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            bytes = write_log(&dir, frames, true);
+        });
+        let scan_secs = best_of_three(|| {
+            let mut n = 0u64;
+            recover(&dir, &Recorder::new(), |_, _, _| n += 1).expect("recover");
+            black_box(n);
+        });
+        let damaged = bench_dir(&format!("sum-{frames}-torn"));
+        let recovery_secs = best_of_three(|| {
+            clone_dir(&dir, &damaged);
+            tear_tail(&damaged);
+            recover(&damaged, &Recorder::new(), |_, _, _| {}).expect("recover damaged");
+        });
+        let mb = bytes as f64 / 1e6;
+        eprintln!(
+            "[bench] {frames} frames ({mb:.1} MB): append {:.0} fps / {:.1} MB/s, \
+             scan {:.0} fps, torn-tail recovery {:.3}s",
+            frames as f64 / append_secs,
+            mb / append_secs,
+            frames as f64 / scan_secs,
+            recovery_secs,
+        );
+        size_lines.push(format!(
+            concat!(
+                "    {{\"frames\": {}, \"bytes\": {}, \"append_seconds\": {:.6}, ",
+                "\"append_frames_per_sec\": {:.1}, \"append_mb_per_sec\": {:.2}, ",
+                "\"scan_seconds\": {:.6}, \"scan_frames_per_sec\": {:.1}, ",
+                "\"torn_tail_recovery_seconds\": {:.6}}}"
+            ),
+            frames,
+            bytes,
+            append_secs,
+            frames as f64 / append_secs,
+            mb / append_secs,
+            scan_secs,
+            frames as f64 / scan_secs,
+            recovery_secs,
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&damaged);
+    }
+
+    // The payoff: a durable pipeline run vs replaying its sealed log vs
+    // a plain in-memory run. A real darknet scenario (not the tiny test
+    // world) so simulation cost dominates and the comparison matches the
+    // `daily_blocklist` example's workload.
+    let cfg = || ScenarioConfig::darknet(Year::Y2022, PIPELINE_DAYS, SEED);
+    let mut tel = Telemetry::disabled();
+    let plain_secs = best_of_three(|| {
+        black_box(pipeline::run(cfg(), RunOptions::darknet_only()));
+    });
+    let wal_live = bench_dir("sum-pipeline");
+    let mut delivered = 0u64;
+    let live_secs = best_of_three(|| {
+        let _ = std::fs::remove_dir_all(&wal_live);
+        let out =
+            pipeline::run_wal(cfg(), RunOptions::darknet_only(), &WalRun::new(&wal_live), &mut tel)
+                .expect("durable run")
+                .completed()
+                .expect("no suspension points");
+        delivered = out.capture.total_packets;
+        black_box(out);
+    });
+    let replay_secs = best_of_three(|| {
+        black_box(
+            pipeline::replay_wal(cfg(), RunOptions::darknet_only(), &wal_live, &mut tel)
+                .expect("replay"),
+        );
+    });
+    let log_bytes = dir_bytes(&wal_live);
+    let _ = std::fs::remove_dir_all(&wal_live);
+    eprintln!(
+        "[bench] pipeline darknet({PIPELINE_DAYS}d): plain {plain_secs:.3}s, durable \
+         {live_secs:.3}s ({:+.1}% overhead), replay {replay_secs:.3}s ({:.2}x faster than \
+         re-simulating)",
+        (live_secs / plain_secs - 1.0) * 100.0,
+        plain_secs / replay_secs,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"wal\",\n  \"git_commit\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"wall_seconds\": {:.3},\n  \"log_sizes\": [\n{}\n  ],\n  \
+         \"pipeline\": {{\"scenario\": \"darknet-2022({PIPELINE_DAYS} days, seed {SEED})\", \
+         \"captured_packets\": {delivered}, \"log_bytes\": {log_bytes}, \
+         \"plain_seconds\": {plain_secs:.6}, \"durable_seconds\": {live_secs:.6}, \
+         \"replay_seconds\": {replay_secs:.6}, \"durable_overhead_pct\": {:.2}, \
+         \"replay_speedup_vs_simulate\": {:.3}}}\n}}\n",
+        git_commit(),
+        wall0.elapsed().as_secs_f64(),
+        size_lines.join(",\n"),
+        (live_secs / plain_secs - 1.0) * 100.0,
+        plain_secs / replay_secs,
+    );
+    let path = std::env::var("BENCH_WAL_OUT").unwrap_or_else(|_| "BENCH_wal.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[bench] wrote {path}"),
+        Err(e) => eprintln!("[bench] could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

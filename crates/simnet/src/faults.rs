@@ -25,6 +25,9 @@ use ah_net::packet::{PacketMeta, Transport};
 use ah_net::time::{Dur, Ts};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Per-category fault rates and parameters. All rates are per-packet
 /// probabilities in `[0, 1]`; categories are drawn independently.
@@ -342,6 +345,146 @@ impl FaultInjector {
     }
 }
 
+// --- Storage faults ----------------------------------------------------
+
+/// What kind of at-rest damage to inflict on a durable store.
+///
+/// These model the failure modes a write-ahead log must survive: a
+/// power cut mid-write (torn final frame), a filesystem that lost a
+/// chunk of the tail, silent media corruption (bit rot), and a lost
+/// sidecar index. The plan operates on raw files — it knows nothing
+/// about frame formats, so it composes with any log layout (the chaos
+/// suite points it at `ah-wal` directories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// Cut 1–15 bytes off the newest data file: less than a frame
+    /// header, so the file is guaranteed to end mid-frame.
+    TornFinalWrite,
+    /// Cut the newest data file back to a seeded point anywhere past its
+    /// file header — typically destroying many trailing frames.
+    TruncatedTail,
+    /// Flip one seeded bit in the body of a seeded data file.
+    BitFlipMidSegment,
+    /// Delete the sidecar index file.
+    MissingIndex,
+}
+
+/// A seeded at-rest storage fault. Same seed + same files = same damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFaultPlan {
+    /// The damage to inflict.
+    pub kind: StorageFaultKind,
+    /// Determinism seed for target/offset selection.
+    pub seed: u64,
+}
+
+/// What [`StorageFaultPlan::apply`] actually did, for assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageFaultReport {
+    /// The file that was damaged (or deleted).
+    pub path: PathBuf,
+    /// File size before the damage.
+    pub len_before: u64,
+    /// Bytes removed from the tail (truncation kinds).
+    pub bytes_removed: u64,
+    /// Absolute bit index flipped, when the kind flips a bit.
+    pub bit_flipped: Option<u64>,
+}
+
+/// Size of the fixed per-file header the truncation/bit-flip faults
+/// always leave intact, so damage lands in frame data rather than
+/// degenerating into "file unreadable" (which recovery also survives,
+/// but which would make the chaos assertions vacuous).
+const STORAGE_FILE_HEADER: u64 = 24;
+
+impl StorageFaultPlan {
+    /// Build a plan.
+    pub fn new(kind: StorageFaultKind, seed: u64) -> StorageFaultPlan {
+        StorageFaultPlan { kind, seed }
+    }
+
+    /// Inflict the damage. `data_files` must be the store's data files
+    /// in order (oldest first); `index_file` is the sidecar index. Fails
+    /// with [`io::ErrorKind::InvalidInput`] when there is nothing
+    /// suitable to damage.
+    pub fn apply(
+        &self,
+        data_files: &[PathBuf],
+        index_file: &Path,
+    ) -> io::Result<StorageFaultReport> {
+        let mut rng = Rng64::new(self.seed ^ 0x5706_4a6c_5746_414c);
+        let no_target =
+            || io::Error::new(io::ErrorKind::InvalidInput, "no file suitable for this fault");
+        match self.kind {
+            StorageFaultKind::TornFinalWrite => {
+                let path = data_files.last().ok_or_else(no_target)?;
+                let len = fs::metadata(path)?.len();
+                if len <= STORAGE_FILE_HEADER + 16 {
+                    return Err(no_target());
+                }
+                let cut = 1 + rng.below(15);
+                let f = fs::OpenOptions::new().write(true).open(path)?;
+                f.set_len(len - cut)?;
+                f.sync_data()?;
+                Ok(StorageFaultReport {
+                    path: path.clone(),
+                    len_before: len,
+                    bytes_removed: cut,
+                    bit_flipped: None,
+                })
+            }
+            StorageFaultKind::TruncatedTail => {
+                let path = data_files.last().ok_or_else(no_target)?;
+                let len = fs::metadata(path)?.len();
+                if len <= STORAGE_FILE_HEADER + 1 {
+                    return Err(no_target());
+                }
+                let keep = STORAGE_FILE_HEADER + rng.below(len - STORAGE_FILE_HEADER);
+                let f = fs::OpenOptions::new().write(true).open(path)?;
+                f.set_len(keep)?;
+                f.sync_data()?;
+                Ok(StorageFaultReport {
+                    path: path.clone(),
+                    len_before: len,
+                    bytes_removed: len - keep,
+                    bit_flipped: None,
+                })
+            }
+            StorageFaultKind::BitFlipMidSegment => {
+                if data_files.is_empty() {
+                    return Err(no_target());
+                }
+                let path = &data_files[rng.below(data_files.len() as u64) as usize];
+                let mut raw = fs::read(path)?;
+                if raw.len() as u64 <= STORAGE_FILE_HEADER + 1 {
+                    return Err(no_target());
+                }
+                let body_bits = (raw.len() as u64 - STORAGE_FILE_HEADER) * 8;
+                let bit = STORAGE_FILE_HEADER * 8 + rng.below(body_bits);
+                raw[(bit / 8) as usize] ^= 1 << (bit % 8);
+                let len = raw.len() as u64;
+                fs::write(path, &raw)?;
+                Ok(StorageFaultReport {
+                    path: path.clone(),
+                    len_before: len,
+                    bytes_removed: 0,
+                    bit_flipped: Some(bit),
+                })
+            }
+            StorageFaultKind::MissingIndex => {
+                let len = fs::metadata(index_file).map(|m| m.len()).map_err(|_| no_target())?;
+                fs::remove_file(index_file)?;
+                Ok(StorageFaultReport {
+                    path: index_file.to_path_buf(),
+                    len_before: len,
+                    bytes_removed: len,
+                    bit_flipped: None,
+                })
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +628,60 @@ mod tests {
             let (_, stats) = run(FaultPlan::uniform(rate, 9), &stream(2000));
             assert!(stats.conserves(), "rate {rate}: {stats:?}");
             assert_eq!(stats.input, 2000);
+        }
+    }
+
+    fn storage_fixture(tag: &str) -> (PathBuf, Vec<PathBuf>, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("ah-simnet-storage-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut files = Vec::new();
+        for i in 0..3u8 {
+            let p = dir.join(format!("{i:02}.dat"));
+            fs::write(&p, vec![i; 400]).unwrap();
+            files.push(p);
+        }
+        let idx = dir.join("store.idx");
+        fs::write(&idx, [9u8; 64]).unwrap();
+        (dir, files, idx)
+    }
+
+    #[test]
+    fn storage_faults_are_deterministic_and_bounded() {
+        for kind in [
+            StorageFaultKind::TornFinalWrite,
+            StorageFaultKind::TruncatedTail,
+            StorageFaultKind::BitFlipMidSegment,
+            StorageFaultKind::MissingIndex,
+        ] {
+            let (dir_a, files_a, idx_a) = storage_fixture("a");
+            let (dir_b, files_b, idx_b) = storage_fixture("b");
+            let plan = StorageFaultPlan::new(kind, 77);
+            let ra = plan.apply(&files_a, &idx_a).unwrap();
+            let rb = plan.apply(&files_b, &idx_b).unwrap();
+            assert_eq!(ra.bytes_removed, rb.bytes_removed, "{kind:?}");
+            assert_eq!(ra.bit_flipped, rb.bit_flipped, "{kind:?}");
+            match kind {
+                StorageFaultKind::TornFinalWrite => {
+                    assert!((1..=15).contains(&ra.bytes_removed));
+                    assert_eq!(ra.path, files_a[2]);
+                }
+                StorageFaultKind::TruncatedTail => {
+                    assert!(ra.bytes_removed >= 1);
+                    assert!(fs::metadata(&ra.path).unwrap().len() >= STORAGE_FILE_HEADER);
+                }
+                StorageFaultKind::BitFlipMidSegment => {
+                    assert_eq!(ra.bytes_removed, 0);
+                    let bit = ra.bit_flipped.unwrap();
+                    assert!(bit >= STORAGE_FILE_HEADER * 8);
+                }
+                StorageFaultKind::MissingIndex => {
+                    assert!(!idx_a.exists());
+                }
+            }
+            let _ = fs::remove_dir_all(&dir_a);
+            let _ = fs::remove_dir_all(&dir_b);
         }
     }
 }

@@ -1,0 +1,50 @@
+//! `ah-wal` — durable write-ahead event store for the aggressive-scanner
+//! pipeline.
+//!
+//! The simulation pipeline is deterministic, but a run is only
+//! re-creatable while the code and seeds that produced it exist. This
+//! crate gives runs a durable form: every delivered packet (and,
+//! optionally, derived events and flows) is appended to an on-disk log
+//! that survives crashes, can be **resumed** mid-simulation, and can be
+//! **replayed** through the detectors without re-simulating — producing
+//! bitwise-identical daily aggressive-scanner lists.
+//!
+//! Layering, bottom up:
+//!
+//! * [`crc`] — hand-rolled CRC32 (the workspace has no third-party
+//!   dependencies).
+//! * [`frame`] — length-prefixed, CRC-framed log entries with monotonic
+//!   sequence numbers.
+//! * [`record`] — the domain payloads: run meta, packets, darknet
+//!   events, flow records, and the end-of-run seal.
+//! * [`segment`] — on-disk segment files plus the advisory, atomically
+//!   rewritten segment index.
+//! * [`writer`] — batched group-commit appends, segment rotation, the
+//!   durable watermark, and a deliberate crash hook for fault drills.
+//! * [`mod@recover`] — the recovery scanner: validates every frame,
+//!   truncates at the first torn/corrupt one, drops unreachable
+//!   segments, rebuilds the index, and streams the surviving records to
+//!   the caller.
+//!
+//! Durability contract, in one paragraph: a frame is durable once the
+//! group commit containing it returns ([`writer::WalWriter::commit`]
+//! writes + `fdatasync`s the batch). Recovery never invents data and
+//! never keeps a suffix after damage: the recovered log is exactly the
+//! durable prefix, and recovering twice is a no-op. The pipeline-side
+//! wiring (`ah-pipeline`'s `wal` runners) builds suspend/resume and
+//! replay on top of those two guarantees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod frame;
+pub mod record;
+pub mod recover;
+pub mod segment;
+pub mod writer;
+
+pub use record::{RunMeta, RunSeal, WalRecord, FNV_OFFSET};
+pub use recover::{peek_meta, recover, RecoveredLog, RecoveryStats};
+pub use segment::segment_paths;
+pub use writer::{WalWriter, WalWriterConfig};

@@ -1,0 +1,240 @@
+//! On-disk segment layout and the fsync'd segment index.
+//!
+//! A WAL directory holds:
+//!
+//! * `<base_seq:016x>.seg` — data segments. Each starts with a 24-byte
+//!   header (`magic ‖ version ‖ base_seq ‖ crc`) followed by frames whose
+//!   sequence numbers run `base_seq, base_seq+1, …` contiguously.
+//! * `wal.idx` — the segment index: one CRC'd entry per segment with its
+//!   base sequence, frame count, byte size and sealed flag. The index is
+//!   written atomically (tmp + rename + directory fsync) at rotation and
+//!   seal time. It is **advisory**: the segments are the truth, and
+//!   recovery rebuilds the index whenever it disagrees with a scan — so a
+//!   missing or mangled index entry is always survivable.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::{crc32, Crc32};
+
+/// Magic bytes opening every data segment.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"AHWALSG1";
+/// Fixed size of the segment header.
+pub const SEGMENT_HEADER_BYTES: usize = 24;
+/// Magic bytes opening the segment index.
+pub const INDEX_MAGIC: [u8; 8] = *b"AHWALIX1";
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// File name of the segment index inside a WAL directory.
+pub const INDEX_FILE: &str = "wal.idx";
+
+/// Encode a segment header for a segment whose first frame is `base_seq`.
+pub fn encode_segment_header(base_seq: u64) -> [u8; SEGMENT_HEADER_BYTES] {
+    let mut out = [0u8; SEGMENT_HEADER_BYTES];
+    out[0..8].copy_from_slice(&SEGMENT_MAGIC);
+    out[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out[12..20].copy_from_slice(&base_seq.to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&out[0..20]);
+    out[20..24].copy_from_slice(&crc.finish().to_le_bytes());
+    out
+}
+
+/// Decode and validate a segment header, returning its base sequence.
+pub fn decode_segment_header(buf: &[u8]) -> Option<u64> {
+    if buf.len() < SEGMENT_HEADER_BYTES || buf[0..8] != SEGMENT_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let base_seq = u64::from_le_bytes(buf[12..20].try_into().ok()?);
+    let stored = u32::from_le_bytes(buf[20..24].try_into().ok()?);
+    if crc32(&buf[0..20]) != stored {
+        return None;
+    }
+    Some(base_seq)
+}
+
+/// File name of the segment whose first frame is `base_seq`.
+pub fn segment_file_name(base_seq: u64) -> String {
+    format!("{base_seq:016x}.seg")
+}
+
+/// Parse a `<base_seq:016x>.seg` file name back to its base sequence.
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(".seg")?;
+    if stem.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(stem, 16).ok()
+}
+
+/// All data segments in `dir`, sorted by base sequence.
+pub fn segment_paths(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let entry = entry?;
+                let name = entry.file_name();
+                if let Some(base) = name.to_str().and_then(parse_segment_file_name) {
+                    out.push((base, entry.path()));
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    out.sort_by_key(|(base, _)| *base);
+    Ok(out)
+}
+
+/// Path of the segment index inside `dir`.
+pub fn index_path(dir: &Path) -> PathBuf {
+    dir.join(INDEX_FILE)
+}
+
+/// One index entry describing a data segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Sequence number of the segment's first frame.
+    pub base_seq: u64,
+    /// Frames the segment holds.
+    pub frames: u64,
+    /// Segment file size in bytes (header included).
+    pub bytes: u64,
+    /// True when the run's seal frame is the segment's last record.
+    pub sealed: bool,
+}
+
+const INDEX_ENTRY_BYTES: usize = 8 + 8 + 8 + 1 + 4;
+
+/// Read and validate the segment index. `Ok(None)` means the index is
+/// missing or fails validation — the caller should fall back to a scan.
+pub fn read_index(dir: &Path) -> io::Result<Option<Vec<IndexEntry>>> {
+    let mut raw = Vec::new();
+    match fs::File::open(index_path(dir)) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if raw.len() < 12 || raw[0..8] != INDEX_MAGIC {
+        return Ok(None);
+    }
+    let version = match raw[8..12].try_into() {
+        Ok(b) => u32::from_le_bytes(b),
+        Err(_) => return Ok(None),
+    };
+    if version != FORMAT_VERSION {
+        return Ok(None);
+    }
+    let mut entries = Vec::new();
+    let mut off = 12usize;
+    while off < raw.len() {
+        if raw.len() - off < INDEX_ENTRY_BYTES {
+            return Ok(None);
+        }
+        let body = &raw[off..off + INDEX_ENTRY_BYTES];
+        let stored = match body[25..29].try_into() {
+            Ok(b) => u32::from_le_bytes(b),
+            Err(_) => return Ok(None),
+        };
+        if crc32(&body[0..25]) != stored {
+            return Ok(None);
+        }
+        let field = |a: usize| -> u64 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&body[a..a + 8]);
+            u64::from_le_bytes(b)
+        };
+        entries.push(IndexEntry {
+            base_seq: field(0),
+            frames: field(8),
+            bytes: field(16),
+            sealed: body[24] != 0,
+        });
+        off += INDEX_ENTRY_BYTES;
+    }
+    Ok(Some(entries))
+}
+
+/// Atomically replace the segment index: write a temp file, fsync it,
+/// rename it into place, then fsync the directory so the rename is
+/// durable.
+pub fn write_index(dir: &Path, entries: &[IndexEntry]) -> io::Result<()> {
+    let mut raw = Vec::with_capacity(12 + entries.len() * INDEX_ENTRY_BYTES);
+    raw.extend_from_slice(&INDEX_MAGIC);
+    raw.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    for e in entries {
+        let start = raw.len();
+        raw.extend_from_slice(&e.base_seq.to_le_bytes());
+        raw.extend_from_slice(&e.frames.to_le_bytes());
+        raw.extend_from_slice(&e.bytes.to_le_bytes());
+        raw.push(u8::from(e.sealed));
+        let crc = crc32(&raw[start..]);
+        raw.extend_from_slice(&crc.to_le_bytes());
+    }
+    let tmp = dir.join("wal.idx.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&raw)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, index_path(dir))?;
+    // Make the rename itself durable. Directory fsync is best-effort on
+    // platforms where directories cannot be opened.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let h = encode_segment_header(42);
+        assert_eq!(decode_segment_header(&h), Some(42));
+        for bit in 0..SEGMENT_HEADER_BYTES * 8 {
+            let mut m = h;
+            m[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(decode_segment_header(&m), None, "bit {bit} accepted");
+        }
+    }
+
+    #[test]
+    fn file_name_round_trip() {
+        for base in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(parse_segment_file_name(&segment_file_name(base)), Some(base));
+        }
+        assert_eq!(parse_segment_file_name("wal.idx"), None);
+        assert_eq!(parse_segment_file_name("zz.seg"), None);
+    }
+
+    #[test]
+    fn index_round_trip_and_corruption() {
+        let dir = std::env::temp_dir().join(format!("ah-wal-idx-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let entries = vec![
+            IndexEntry { base_seq: 0, frames: 10, bytes: 400, sealed: false },
+            IndexEntry { base_seq: 10, frames: 3, bytes: 140, sealed: true },
+        ];
+        write_index(&dir, &entries).unwrap();
+        assert_eq!(read_index(&dir).unwrap(), Some(entries));
+        // Any flipped byte invalidates the index as a whole.
+        let path = index_path(&dir);
+        let mut raw = fs::read(&path).unwrap();
+        raw[20] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        assert_eq!(read_index(&dir).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

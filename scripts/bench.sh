@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Pipeline throughput baseline: runs the end-to-end engine bench (serial
-# vs sharded parallel) and publishes the machine-readable summary as
-# BENCH_pipeline.json in the repo root.
+# Performance baselines: the end-to-end engine bench (serial vs sharded
+# parallel) and the write-ahead log bench (append/recovery throughput,
+# replay vs re-simulation), publishing machine-readable summaries as
+# BENCH_pipeline.json and BENCH_wal.json in the repo root.
 #
-# The summary records packets/sec and speedup per thread count plus the
-# host core count — on a single-core host the parallel engine can only
-# exhibit its dispatch overhead, so interpret speedups against host_cpus.
+# The pipeline summary records packets/sec and speedup per thread count
+# plus the host core count — on a single-core host the parallel engine
+# can only exhibit its dispatch overhead, so interpret speedups against
+# host_cpus. The WAL summary records append MB/s and frames/s, recovery
+# time after a torn tail, and the wall clock of plain vs durable vs
+# replayed pipeline runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export BENCH_PIPELINE_OUT="${BENCH_PIPELINE_OUT:-$PWD/BENCH_pipeline.json}"
-# Stamp the summary with the measured revision; the bench falls back to
-# its own `git rev-parse` when this is unset.
+export BENCH_WAL_OUT="${BENCH_WAL_OUT:-$PWD/BENCH_wal.json}"
+# Stamp the summaries with the measured revision; the benches fall back
+# to their own `git rev-parse` when this is unset.
 export GIT_COMMIT="${GIT_COMMIT:-$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)}"
 
 echo "==> pipeline throughput bench (summary -> $BENCH_PIPELINE_OUT, commit $GIT_COMMIT)"
@@ -19,5 +24,11 @@ start=$(date +%s)
 cargo bench -p ah-bench --bench pipeline
 echo "==> bench wall clock: $(( $(date +%s) - start ))s (also recorded as wall_seconds in the summary)"
 
-echo "==> summary"
+echo "==> WAL durability bench (summary -> $BENCH_WAL_OUT)"
+start=$(date +%s)
+cargo bench -p ah-bench --bench wal
+echo "==> bench wall clock: $(( $(date +%s) - start ))s"
+
+echo "==> summaries"
 cat "$BENCH_PIPELINE_OUT"
+cat "$BENCH_WAL_OUT"

@@ -57,6 +57,35 @@ echo "==> SPSC ring model check (exhaustive, release)"
 # builds and only run here, in release.
 cargo test --release -p ah-simnet --test model_check -q
 
+echo "==> WAL crash-recovery gate"
+# Durability drill with a real process kill: run the durable engine and
+# have it abort mid-write (--crash-after leaves a deliberately torn,
+# unsynced tail), then resume from the recovered log and replay the
+# sealed result. Both must print the exact output fingerprint of an
+# uninterrupted run — the bitwise replay/resume contract of
+# ARCHITECTURE.md §10, checked on the shipped binary.
+WAL_DIR="$(mktemp -d)/wal"
+run_bin=(target/release/aggressive-scanners --days 1 --threads 4)
+if "${run_bin[@]}" --wal-dir "$WAL_DIR" --crash-after 2500 >/dev/null 2>&1; then
+  echo "error: --crash-after was expected to abort the process"
+  exit 1
+fi
+fp_base=$("${run_bin[@]}" 2>/dev/null | awk -F': ' '/^output fingerprint/{print $2}')
+fp_resume=$("${run_bin[@]}" --wal-dir "$WAL_DIR" --resume 2>/dev/null \
+  | awk -F': ' '/^output fingerprint/{print $2}')
+fp_replay=$("${run_bin[@]}" --wal-dir "$WAL_DIR" --replay 2>/dev/null \
+  | awk -F': ' '/^output fingerprint/{print $2}')
+rm -rf "$(dirname "$WAL_DIR")"
+[ -n "$fp_base" ] || { echo "error: baseline run printed no fingerprint"; exit 1; }
+if [ "$fp_resume" != "$fp_base" ] || [ "$fp_replay" != "$fp_base" ]; then
+  echo "error: crash-recovery fingerprints diverged:"
+  echo "    uninterrupted $fp_base"
+  echo "    resumed       ${fp_resume:-<none>}"
+  echo "    replayed      ${fp_replay:-<none>}"
+  exit 1
+fi
+echo "    crashed, resumed and replayed runs all fingerprint $fp_base"
+
 echo "==> metrics schema lint"
 # Emit a real snapshot from the release binary and lint every exported
 # metric name against the naming scheme `ah_<crate>_<subsystem>_<name>`

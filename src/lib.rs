@@ -19,6 +19,9 @@
 //! * [`obs`] — observation-only pipeline telemetry: atomic instruments
 //!   behind a cheap [`obs::Recorder`] handle plus JSONL/Prometheus
 //!   snapshot export (see `ARCHITECTURE.md` §Observability);
+//! * [`wal`] — durable write-ahead event store: CRC-framed append-only
+//!   segments with crash recovery, powering suspend/resume and
+//!   re-simulation-free replay (see `ARCHITECTURE.md` §Durability);
 //! * [`pipeline`] (this crate) — turnkey end-to-end runs used by the
 //!   examples, the integration tests, and the experiment harness.
 //!
@@ -45,5 +48,6 @@ pub use ah_net as net;
 pub use ah_obs as obs;
 pub use ah_simnet as simnet;
 pub use ah_telescope as telescope;
+pub use ah_wal as wal;
 
 pub mod pipeline;

@@ -4,6 +4,8 @@
 //! ```text
 //! aggressive-scanners [--metrics PATH] [--metrics-interval N]
 //!                     [--threads N] [--days N] [--seed N] [--fault-rate F]
+//!                     [--wal-dir DIR] [--resume] [--replay]
+//!                     [--suspend-after N] [--crash-after N]
 //! ```
 //!
 //! Runs one full-vantage scenario (telescope + both ISPs + honeypots) on
@@ -14,10 +16,20 @@
 //! is observation-only: the run's output fingerprint is identical with
 //! metrics on or off (see `tests/telemetry.rs`).
 //!
+//! With `--wal-dir DIR` the run becomes durable: every delivered packet
+//! is appended to a write-ahead log in `DIR` before the vantage points
+//! consume it. `--resume` continues an interrupted durable run from its
+//! recovered prefix; `--replay` re-runs detection over a sealed log
+//! without re-simulating. `--suspend-after N` stops cleanly after `N`
+//! delivered packets (exit code 0, log left resumable); `--crash-after N`
+//! aborts the process with a deliberately torn tail — the CI
+//! crash-recovery gate uses the pair to prove that an interrupted run,
+//! resumed, prints the same output fingerprint as an uninterrupted one.
+//!
 //! For the paper's tables and figures use the `experiment` binary in
 //! `crates/bench`, which takes the same two metrics flags.
 
-use aggressive_scanners::pipeline::{self, RunOptions, Telemetry};
+use aggressive_scanners::pipeline::{self, RunOptions, RunOutput, Telemetry, WalOutcome, WalRun};
 use aggressive_scanners::simnet::faults::FaultPlan;
 use aggressive_scanners::simnet::scenario::ScenarioConfig;
 use ah_obs::{Exporter, Recorder};
@@ -42,6 +54,11 @@ fn main() {
     let mut days = 3u64;
     let mut seed = 7u64;
     let mut fault_rate = 0.0f64;
+    let mut wal_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut replay = false;
+    let mut suspend_after: Option<u64> = None;
+    let mut crash_after: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -73,9 +90,27 @@ fn main() {
                 i += 1;
                 fault_rate = parse(&args, i, "--fault-rate");
             }
+            "--wal-dir" => {
+                i += 1;
+                wal_dir =
+                    Some(PathBuf::from(args.get(i).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("error: --wal-dir requires a directory");
+                        std::process::exit(2);
+                    })));
+            }
+            "--resume" => resume = true,
+            "--replay" => replay = true,
+            "--suspend-after" => {
+                i += 1;
+                suspend_after = Some(parse(&args, i, "--suspend-after"));
+            }
+            "--crash-after" => {
+                i += 1;
+                crash_after = Some(parse(&args, i, "--crash-after"));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: aggressive-scanners [--metrics PATH] [--metrics-interval N] [--threads N] [--days N] [--seed N] [--fault-rate F]"
+                    "usage: aggressive-scanners [--metrics PATH] [--metrics-interval N] [--threads N] [--days N] [--seed N] [--fault-rate F] [--wal-dir DIR] [--resume] [--replay] [--suspend-after N] [--crash-after N]"
                 );
                 return;
             }
@@ -85,6 +120,14 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if (resume || replay || suspend_after.is_some() || crash_after.is_some()) && wal_dir.is_none() {
+        eprintln!("error: --resume/--replay/--suspend-after/--crash-after need --wal-dir");
+        std::process::exit(2);
+    }
+    if resume && replay {
+        eprintln!("error: --resume and --replay are mutually exclusive");
+        std::process::exit(2);
     }
 
     let mut tel = match metrics {
@@ -108,14 +151,46 @@ fn main() {
     if fault_rate > 0.0 {
         opts = opts.with_faults(FaultPlan::uniform(fault_rate, seed));
     }
-    eprintln!("[run] tiny world, {days} days, seed {seed}, {threads} shard(s)...");
+    let cfg = ScenarioConfig::tiny(days, seed);
     let t0 = std::time::Instant::now();
-    let out = pipeline::run_parallel_with_recorder(
-        ScenarioConfig::tiny(days, seed),
-        opts,
-        threads,
-        &mut tel,
-    );
+    let out: RunOutput = match wal_dir {
+        None => {
+            eprintln!("[run] tiny world, {days} days, seed {seed}, {threads} shard(s)...");
+            pipeline::run_parallel_with_recorder(cfg, opts, threads, &mut tel)
+        }
+        Some(dir) => {
+            let mut wal = WalRun::new(dir.clone());
+            wal.suspend_after = suspend_after;
+            wal.crash_after = crash_after;
+            let outcome = if replay {
+                eprintln!("[run] replaying sealed WAL {}...", dir.display());
+                pipeline::replay_wal(cfg, opts, &dir, &mut tel).map(WalOutcome::Completed)
+            } else if resume {
+                eprintln!("[run] resuming durable run from {}...", dir.display());
+                pipeline::resume_wal(cfg, opts, &wal, &mut tel)
+            } else {
+                eprintln!(
+                    "[run] durable run, tiny world, {days} days, seed {seed}, {threads} shard(s), WAL {}...",
+                    dir.display()
+                );
+                pipeline::run_parallel_wal(cfg, opts, threads, &wal, &mut tel)
+            };
+            match outcome {
+                Ok(WalOutcome::Completed(out)) => *out,
+                Ok(WalOutcome::Suspended { delivered, durable_seq }) => {
+                    println!(
+                        "suspended at {delivered} delivered packets ({durable_seq} durable frames)"
+                    );
+                    println!("resume with: --wal-dir {} --resume", dir.display());
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("error: durable run failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
     let secs = t0.elapsed().as_secs_f64();
 
     println!("generated packets : {}", out.generated_packets);

@@ -50,7 +50,11 @@ use ah_telescope::capture::{
 };
 use ah_telescope::daily::{DailyTracker, DayStats};
 use ah_telescope::event::{AggDecision, AggregatorStats, DarknetEvent};
+use ah_wal::record::{fnv1a_fold, RunMeta, RunSeal, WalRecord, FNV_OFFSET};
+use ah_wal::{RecoveredLog, WalWriter, WalWriterConfig};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Which vantage points to instantiate for a run.
 #[derive(Debug, Clone, Copy)]
@@ -869,6 +873,593 @@ pub fn run_parallel_with_recorder(
         (injector.as_ref().map(|i| i.stats()), shards)
     });
     finalize_run(world, days, generated, delivered, inj_stats, shards, &opts, tel)
+}
+
+// --- Durable runs: write-ahead logging, resume, and replay -------------
+
+/// Durable-run configuration: where the write-ahead log lives, its
+/// group-commit/rotation tunables, and the optional interruption points
+/// used by chaos tests and the CI crash-recovery gate.
+#[derive(Debug, Clone)]
+pub struct WalRun {
+    /// Directory holding the log (`*.seg` + `wal.idx`).
+    pub dir: PathBuf,
+    /// Append-path tunables (group-commit batch, segment size).
+    pub writer: WalWriterConfig,
+    /// Suspend cleanly after this many delivered packets: commit the
+    /// log, leave it unsealed, and return [`WalOutcome::Suspended`].
+    pub suspend_after: Option<u64>,
+    /// Abort the process with a deliberately torn tail after this many
+    /// delivered packets (crash drills; the process does not return).
+    pub crash_after: Option<u64>,
+}
+
+impl WalRun {
+    /// A durable run writing to `dir` with default tunables and no
+    /// interruption points.
+    pub fn new(dir: impl Into<PathBuf>) -> WalRun {
+        WalRun {
+            dir: dir.into(),
+            writer: WalWriterConfig::default(),
+            suspend_after: None,
+            crash_after: None,
+        }
+    }
+
+    /// Suspend after `n` delivered packets.
+    pub fn suspend_after(mut self, n: u64) -> WalRun {
+        self.suspend_after = Some(n);
+        self
+    }
+
+    /// Crash (abort) with a torn tail after `n` delivered packets.
+    pub fn crash_after(mut self, n: u64) -> WalRun {
+        self.crash_after = Some(n);
+        self
+    }
+}
+
+/// Result of a durable run: either a finished [`RunOutput`] (log sealed)
+/// or a clean suspension (log committed but unsealed, ready for
+/// [`resume_wal`]).
+pub enum WalOutcome {
+    /// The run finished; the log is sealed and replayable.
+    Completed(Box<RunOutput>),
+    /// The run suspended at `delivered` packets.
+    Suspended {
+        /// Packets delivered (and logged) before suspension.
+        delivered: u64,
+        /// Frames durable on disk at suspension (meta frame included).
+        durable_seq: u64,
+    },
+}
+
+impl WalOutcome {
+    /// Unwrap a completed run; `None` if the run suspended.
+    pub fn completed(self) -> Option<Box<RunOutput>> {
+        match self {
+            WalOutcome::Completed(out) => Some(out),
+            WalOutcome::Suspended { .. } => None,
+        }
+    }
+}
+
+/// The meta record a durable run writes as frame 0.
+fn wal_meta(cfg: &ScenarioConfig, opts: &RunOptions) -> RunMeta {
+    RunMeta {
+        label: cfg.label.clone(),
+        seed: cfg.seed,
+        days: cfg.days,
+        year: cfg.year,
+        benign: cfg.benign,
+        day0_weekday: cfg.day0_weekday,
+        merit_isp: opts.merit_isp,
+        cu_isp: opts.cu_isp,
+        greynoise: opts.greynoise,
+        sampling_rate: opts.sampling_rate,
+        thresholds: opts.thresholds,
+        faults: opts.faults,
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reject a resume/replay whose scenario or options differ from the ones
+/// the log was written under — silently mixing them would "recover" into
+/// a run that never happened.
+fn check_meta(meta: &RunMeta, cfg: &ScenarioConfig, opts: &RunOptions) -> io::Result<()> {
+    let want = wal_meta(cfg, opts);
+    if meta != &want {
+        return Err(invalid(format!(
+            "WAL was written under a different scenario/options (log meta: {meta:?}, requested: {want:?})"
+        )));
+    }
+    Ok(())
+}
+
+/// Mutable state threaded through the serial durable delivery path. A
+/// plain struct + free function instead of a closure so the drive loop
+/// can read `stop` between `FaultInjector::apply` calls.
+struct WalDrive<'a> {
+    vantage: &'a mut Vantage,
+    writer: &'a mut WalWriter,
+    exporter: &'a mut Option<Exporter>,
+    m_packets: ah_obs::Counter,
+    m_bytes: ah_obs::Counter,
+    scratch: Vec<u8>,
+    /// Total deliveries seen, recovered prefix included.
+    delivered: u64,
+    /// Deliveries already applied from the recovered log (0 for a fresh
+    /// run). The first `prefix` deliveries of the re-driven stream are
+    /// skipped: the vantage points already consumed them from the log.
+    prefix: u64,
+    /// Rolling FNV over the recovered prefix's frame payloads; the
+    /// re-driven stream must reproduce it bit for bit at the crossing.
+    prefix_hash: u64,
+    /// Rolling FNV over every delivery's frame payload.
+    packet_hash: u64,
+    suspend_after: Option<u64>,
+    crash_after: Option<u64>,
+    stop: bool,
+    io_err: Option<io::Error>,
+}
+
+fn wal_deliver(d: &mut WalDrive<'_>, pkt: &PacketMeta) {
+    if d.stop || d.io_err.is_some() {
+        // An injector apply/flush can emit several packets per call;
+        // everything past the interruption point is dropped from this
+        // process and regenerated deterministically on resume.
+        return;
+    }
+    d.delivered += 1;
+    d.scratch.clear();
+    WalRecord::Packet(*pkt).encode_payload(&mut d.scratch);
+    d.packet_hash = fnv1a_fold(d.packet_hash, &d.scratch);
+    if d.delivered <= d.prefix {
+        // Fast-forward over the recovered prefix. At the crossing, the
+        // rolling hash over the re-generated stream must equal the hash
+        // over what the log actually held.
+        if d.delivered == d.prefix && d.packet_hash != d.prefix_hash {
+            d.io_err =
+                Some(invalid("recovered WAL prefix diverges from the deterministic packet stream"));
+            d.stop = true;
+            return;
+        }
+    } else {
+        if let Err(e) = d.writer.append_payload(&d.scratch) {
+            d.io_err = Some(e);
+            d.stop = true;
+            return;
+        }
+        d.m_packets.inc();
+        d.m_bytes.add(u64::from(pkt.wire_len));
+        d.vantage.consume(pkt);
+        if let Some(ex) = d.exporter.as_mut() {
+            ex.maybe_export(d.delivered);
+        }
+    }
+    if d.crash_after == Some(d.delivered) {
+        d.writer.crash_with_torn_tail();
+    }
+    if d.suspend_after == Some(d.delivered) {
+        d.stop = true;
+    }
+}
+
+/// Serial durable run: like [`run_with_recorder`], but every delivered
+/// packet is appended to a write-ahead log before the vantage points
+/// consume it. A completed run seals the log (making it replayable via
+/// [`replay_wal`]); an interrupted one leaves a committed prefix that
+/// [`resume_wal`] picks up mid-simulation.
+pub fn run_wal(
+    cfg: ScenarioConfig,
+    opts: RunOptions,
+    wal: &WalRun,
+    tel: &mut Telemetry,
+) -> io::Result<WalOutcome> {
+    let mut writer = WalWriter::create(&wal.dir, wal.writer, &tel.recorder)?;
+    writer.append(&WalRecord::Meta(wal_meta(&cfg, &opts)))?;
+    writer.commit()?;
+    drive_wal_serial(cfg, opts, wal, tel, writer, None)
+}
+
+/// Shared serial drive for fresh ([`run_wal`]) and resumed
+/// ([`resume_wal`]) durable runs. `recovered` carries the vantage stack
+/// already fed with the durable prefix, plus that prefix's length and
+/// rolling payload hash.
+fn drive_wal_serial(
+    cfg: ScenarioConfig,
+    opts: RunOptions,
+    wal: &WalRun,
+    tel: &mut Telemetry,
+    mut writer: WalWriter,
+    recovered: Option<(Vantage, u64, u64)>,
+) -> io::Result<WalOutcome> {
+    let days = cfg.days;
+    let mut sc = Scenario::build(cfg);
+    let world = sc.world.clone();
+    let (mut vantage, prefix, prefix_hash) = match recovered {
+        Some((v, n, h)) => (v, n, h),
+        None => (Vantage::build(&world, &opts, &tel.recorder), 0, FNV_OFFSET),
+    };
+    let m_packets = tel.recorder.counter("ah_pipeline_mux_packets_delivered_total");
+    let m_bytes = tel.recorder.counter("ah_pipeline_mux_bytes_delivered_total");
+    let mut generated = 0u64;
+    let mut injector = opts.faults.map(FaultInjector::new);
+    let mut d = WalDrive {
+        vantage: &mut vantage,
+        writer: &mut writer,
+        exporter: &mut tel.exporter,
+        m_packets,
+        m_bytes,
+        scratch: Vec::new(),
+        delivered: 0,
+        prefix,
+        prefix_hash,
+        packet_hash: FNV_OFFSET,
+        suspend_after: wal.suspend_after,
+        crash_after: wal.crash_after,
+        stop: false,
+        io_err: None,
+    };
+    while !d.stop && d.io_err.is_none() {
+        let Some(pkt) = sc.mux.next_packet() else { break };
+        generated += 1;
+        match injector.as_mut() {
+            Some(inj) => inj.apply(&pkt, &mut |p| wal_deliver(&mut d, p)),
+            None => wal_deliver(&mut d, &pkt),
+        }
+    }
+    if !d.stop && d.io_err.is_none() {
+        if let Some(inj) = injector.as_mut() {
+            inj.flush(&mut |p| wal_deliver(&mut d, p));
+        }
+    }
+    let delivered = d.delivered;
+    let packet_hash = d.packet_hash;
+    let suspended = d.stop;
+    let io_err = d.io_err.take();
+    drop(d);
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    writer.commit()?;
+    if suspended {
+        return Ok(WalOutcome::Suspended { delivered, durable_seq: writer.durable_seq() });
+    }
+    let inj_stats = injector.map(|i| i.stats());
+    writer.seal(RunSeal { generated, delivered, packet_hash, injector: inj_stats })?;
+    let out = finalize_run(
+        world,
+        days,
+        generated,
+        delivered,
+        inj_stats,
+        vec![vantage.into_shard_out()],
+        &opts,
+        tel,
+    );
+    Ok(WalOutcome::Completed(Box::new(out)))
+}
+
+/// A vantage stack fed straight from a recovered log, plus everything
+/// needed to validate and continue it.
+struct WalFeed {
+    world: World,
+    vantage: Vantage,
+    meta: Option<RunMeta>,
+    log: RecoveredLog,
+    /// Packet frames consumed from the log.
+    packets: u64,
+    /// Rolling FNV over the consumed packet frames' payloads.
+    hash: u64,
+}
+
+/// Recover `dir` and feed every durable packet into a fresh vantage
+/// stack — the shared front half of [`resume_wal`] and [`replay_wal`].
+fn feed_from_wal(
+    cfg: &ScenarioConfig,
+    opts: &RunOptions,
+    dir: &Path,
+    tel: &mut Telemetry,
+) -> io::Result<WalFeed> {
+    let world = World::new(cfg.world.clone());
+    let mut vantage = Vantage::build(&world, opts, &tel.recorder);
+    let m_replay = tel.recorder.counter("ah_wal_replay_packets_total");
+    let mut meta: Option<RunMeta> = None;
+    let mut packets = 0u64;
+    let mut hash = FNV_OFFSET;
+    let log = ah_wal::recover(dir, &tel.recorder, |_, payload, record| match record {
+        WalRecord::Meta(m) => meta = Some(m),
+        WalRecord::Packet(p) => {
+            packets += 1;
+            hash = fnv1a_fold(hash, payload);
+            vantage.consume(&p);
+            m_replay.inc();
+        }
+        WalRecord::Event(_) | WalRecord::Flow(_) | WalRecord::Seal(_) => {}
+    })?;
+    Ok(WalFeed { world, vantage, meta, log, packets, hash })
+}
+
+/// Finalize a sealed log's feed into a [`RunOutput`] without simulating:
+/// the generated/delivered totals and injector ledger come from the seal
+/// itself.
+fn finalize_sealed(
+    feed: WalFeed,
+    seal: RunSeal,
+    days: u64,
+    opts: &RunOptions,
+    tel: &mut Telemetry,
+) -> io::Result<Box<RunOutput>> {
+    if seal.delivered != feed.packets {
+        return Err(invalid(format!(
+            "seal records {} delivered packets but the log holds {}",
+            seal.delivered, feed.packets
+        )));
+    }
+    if seal.packet_hash != feed.hash {
+        return Err(invalid("sealed packet-stream hash does not match the log contents"));
+    }
+    let out = finalize_run(
+        feed.world,
+        days,
+        seal.generated,
+        seal.delivered,
+        seal.injector,
+        vec![feed.vantage.into_shard_out()],
+        opts,
+        tel,
+    );
+    Ok(Box::new(out))
+}
+
+/// Re-run detection over a sealed log without re-simulating: the vantage
+/// points consume the stored packet stream, then finalization runs with
+/// the seal's totals. Produces a [`RunOutput`] bitwise identical to the
+/// live run that wrote the log — same fingerprint, same daily AH lists.
+pub fn replay_wal(
+    cfg: ScenarioConfig,
+    opts: RunOptions,
+    dir: &Path,
+    tel: &mut Telemetry,
+) -> io::Result<Box<RunOutput>> {
+    tel.recorder.counter("ah_wal_replay_runs_total").inc();
+    let feed = feed_from_wal(&cfg, &opts, dir, tel)?;
+    let Some(seal) = feed.log.seal else {
+        return Err(invalid("WAL is not sealed (interrupted run?) — use resume_wal"));
+    };
+    let Some(meta) = feed.meta.clone() else {
+        return Err(invalid("WAL holds no meta record"));
+    };
+    check_meta(&meta, &cfg, &opts)?;
+    finalize_sealed(feed, seal, cfg.days, &opts, tel)
+}
+
+/// Resume an interrupted durable run mid-simulation.
+///
+/// The durable prefix is recovered (truncating any torn/corrupt tail)
+/// and fed into a fresh vantage stack; the deterministic generator and
+/// fault injector are then re-driven from the seed with the first
+/// `prefix` deliveries skipped — verified against the log via a rolling
+/// payload hash at the crossing — and the run continues appending where
+/// the crash or suspension left off. Resuming a *sealed* log degenerates
+/// to [`replay_wal`]; resuming an empty directory is a fresh [`run_wal`].
+/// The continuation is serial; its output is still bitwise identical to
+/// an uninterrupted run at any thread count.
+pub fn resume_wal(
+    cfg: ScenarioConfig,
+    opts: RunOptions,
+    wal: &WalRun,
+    tel: &mut Telemetry,
+) -> io::Result<WalOutcome> {
+    tel.recorder.counter("ah_wal_resume_runs_total").inc();
+    let feed = feed_from_wal(&cfg, &opts, &wal.dir, tel)?;
+    if let Some(seal) = feed.log.seal {
+        let Some(meta) = feed.meta.clone() else {
+            return Err(invalid("WAL holds no meta record"));
+        };
+        check_meta(&meta, &cfg, &opts)?;
+        return finalize_sealed(feed, seal, cfg.days, &opts, tel).map(WalOutcome::Completed);
+    }
+    let Some(meta) = feed.meta.clone() else {
+        if feed.log.next_seq == 0 {
+            return run_wal(cfg, opts, wal, tel);
+        }
+        return Err(invalid("WAL holds frames but no meta record"));
+    };
+    check_meta(&meta, &cfg, &opts)?;
+    let writer = WalWriter::resume(&wal.dir, wal.writer, feed.log.next_seq, &tel.recorder)?;
+    drive_wal_serial(cfg, opts, wal, tel, writer, Some((feed.vantage, feed.packets, feed.hash)))
+}
+
+/// Parallel durable run: the sharded engine of
+/// [`run_parallel_with_recorder`] with the dispatcher appending every
+/// delivered packet to the write-ahead log before shipping it to its
+/// shard. Dispatcher order equals serial delivered order, so the log is
+/// byte-identical to the one [`run_wal`] writes — a log written at 8
+/// threads resumes and replays exactly like one written at 1.
+pub fn run_parallel_wal(
+    cfg: ScenarioConfig,
+    opts: RunOptions,
+    threads: usize,
+    wal: &WalRun,
+    tel: &mut Telemetry,
+) -> io::Result<WalOutcome> {
+    let threads = threads.max(1);
+    let days = cfg.days;
+    let mut writer = WalWriter::create(&wal.dir, wal.writer, &tel.recorder)?;
+    writer.append(&WalRecord::Meta(wal_meta(&cfg, &opts)))?;
+    writer.commit()?;
+
+    let mut sc = Scenario::build(cfg);
+    let world = sc.world.clone();
+    let rec = tel.recorder.clone();
+
+    let mut tele = TelescopeDispatch::new(
+        world.config.dark,
+        ah_telescope::timeout::paper_default(),
+        bogon_filter(),
+    );
+    tele.set_recorder(&rec);
+    let merit_model = opts.merit_isp.then(|| merit_isp(&world, opts.sampling_rate));
+    let cu_model = opts.cu_isp.then(|| cu_isp(&world, opts.sampling_rate));
+    let mut merit_dispatch = merit_model.as_ref().map(IspModel::dispatch);
+    let mut cu_dispatch = cu_model.as_ref().map(IspModel::dispatch);
+    if let Some(d) = merit_dispatch.as_mut() {
+        d.set_recorder(&rec);
+    }
+    if let Some(d) = cu_dispatch.as_mut() {
+        d.set_recorder(&rec);
+    }
+    let m_packets = rec.counter("ah_pipeline_mux_packets_delivered_total");
+    let m_bytes = rec.counter("ah_pipeline_mux_bytes_delivered_total");
+
+    let mut producers = Vec::with_capacity(threads);
+    let mut consumers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = ring::<PipeMsg>(RING_CAPACITY);
+        producers.push(tx);
+        consumers.push(rx);
+    }
+
+    let mut generated = 0u64;
+    let mut delivered = 0u64;
+    let mut packet_hash = FNV_OFFSET;
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut io_err: Option<io::Error> = None;
+    let stop = std::cell::Cell::new(false);
+    let mut injector = opts.faults.map(FaultInjector::new);
+
+    let (inj_stats, shards) = std::thread::scope(|s| {
+        let world_ref = &world;
+        let opts_ref = &opts;
+        let rec_ref = &rec;
+        let handles: Vec<_> = consumers
+            .into_iter()
+            .map(|mut rx| {
+                s.spawn(move || {
+                    let mut v = Vantage::build(world_ref, opts_ref, rec_ref);
+                    while let Some(msg) = rx.pop_wait() {
+                        v.apply(msg);
+                    }
+                    v.into_shard_out()
+                })
+            })
+            .collect();
+
+        {
+            let exporter = &mut tel.exporter;
+            let writer = &mut writer;
+            let io_err = &mut io_err;
+            let stop_ref = &stop;
+            let mut consume = |pkt: &PacketMeta| {
+                if stop_ref.get() || io_err.is_some() {
+                    return;
+                }
+                let mut flags = 0u8;
+                if let Some((decision, sweep)) = tele.decide(pkt) {
+                    match decision {
+                        AggDecision::Quarantine => flags |= F_AGG_QUARANTINE,
+                        AggDecision::Accept { late } => {
+                            if late {
+                                flags |= F_AGG_LATE;
+                            }
+                        }
+                    }
+                    if let Some(now) = sweep {
+                        for p in producers.iter_mut() {
+                            p.push(PipeMsg::AggSweep(now));
+                        }
+                    }
+                }
+                if let (Some(m), Some(d)) = (merit_model.as_ref(), merit_dispatch.as_mut()) {
+                    if let Some(stamp) = d.decide(pkt.ts, m.disposition(pkt)) {
+                        if stamp.sampled {
+                            flags |= F_MERIT_SAMPLED;
+                            if stamp.late {
+                                flags |= F_MERIT_LATE;
+                            }
+                        }
+                        if let Some(now) = stamp.sweep {
+                            for p in producers.iter_mut() {
+                                p.push(PipeMsg::FlowSweep { cu: false, router: stamp.router, now });
+                            }
+                        }
+                    }
+                }
+                if let (Some(c), Some(d)) = (cu_model.as_ref(), cu_dispatch.as_mut()) {
+                    if let Some(stamp) = d.decide(pkt.ts, c.disposition(pkt)) {
+                        if stamp.sampled {
+                            flags |= F_CU_SAMPLED;
+                            if stamp.late {
+                                flags |= F_CU_LATE;
+                            }
+                        }
+                        if let Some(now) = stamp.sweep {
+                            for p in producers.iter_mut() {
+                                p.push(PipeMsg::FlowSweep { cu: true, router: stamp.router, now });
+                            }
+                        }
+                    }
+                }
+                delivered += 1;
+                scratch.clear();
+                WalRecord::Packet(*pkt).encode_payload(&mut scratch);
+                packet_hash = fnv1a_fold(packet_hash, &scratch);
+                if let Err(e) = writer.append_payload(&scratch) {
+                    *io_err = Some(e);
+                    stop_ref.set(true);
+                    return;
+                }
+                m_packets.inc();
+                m_bytes.add(u64::from(pkt.wire_len));
+                let shard = shard_of(pkt.src, threads);
+                producers[shard].push(PipeMsg::Pkt(*pkt, flags));
+                if let Some(ex) = exporter.as_mut() {
+                    ex.maybe_export(delivered);
+                }
+                if wal.crash_after == Some(delivered) {
+                    writer.crash_with_torn_tail();
+                }
+                if wal.suspend_after == Some(delivered) {
+                    stop_ref.set(true);
+                }
+            };
+            while !stop.get() {
+                let Some(pkt) = sc.mux.next_packet() else { break };
+                generated += 1;
+                match injector.as_mut() {
+                    Some(inj) => inj.apply(&pkt, &mut consume),
+                    None => consume(&pkt),
+                }
+            }
+            if !stop.get() {
+                if let Some(inj) = injector.as_mut() {
+                    inj.flush(&mut consume);
+                }
+            }
+        }
+        for p in producers.into_iter() {
+            p.close();
+        }
+        let shards: Vec<ShardOut> =
+            // ah-lint: allow(panic-path, reason = "a panicking shard thread must propagate the panic rather than silently drop a shard's output")
+            handles.into_iter().map(|h| h.join().expect("pipeline shard thread")).collect();
+        (injector.as_ref().map(|i| i.stats()), shards)
+    });
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    writer.commit()?;
+    if stop.get() {
+        return Ok(WalOutcome::Suspended { delivered, durable_seq: writer.durable_seq() });
+    }
+    writer.seal(RunSeal { generated, delivered, packet_hash, injector: inj_stats })?;
+    let out = finalize_run(world, days, generated, delivered, inj_stats, shards, &opts, tel);
+    Ok(WalOutcome::Completed(Box::new(out)))
 }
 
 // --- Output fingerprinting ---------------------------------------------

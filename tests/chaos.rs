@@ -87,6 +87,138 @@ fn clean_plan_is_an_identity() {
     }
 }
 
+// --- Storage-fault recovery ----------------------------------------------
+//
+// Chaos at the durability layer: damage a write-ahead log the way real
+// crashes and disks do (torn final write, truncated tail, flipped bit,
+// missing index sidecar), then demand that recovery truncates to the
+// durable watermark, that a second recovery pass is a no-op, and that
+// resuming the damaged run reproduces the uninterrupted run's output
+// bit for bit.
+
+use aggressive_scanners::obs::Recorder;
+use aggressive_scanners::pipeline::{Telemetry, WalOutcome, WalRun};
+use aggressive_scanners::simnet::faults::{StorageFaultKind, StorageFaultPlan};
+use aggressive_scanners::wal;
+use std::path::{Path, PathBuf};
+
+/// Fresh, collision-free WAL directory for one test case.
+fn chaos_wal_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-chaos-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every log file in `dir`, as (name, bytes) — for idempotence checks.
+fn dir_snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("wal dir readable")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            let name = e.file_name().to_string_lossy().into_owned();
+            (name, std::fs::read(e.path()).expect("file readable"))
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+/// Run recovery over `dir`, discarding the records.
+fn recover_quiet(dir: &Path) -> wal::RecoveredLog {
+    wal::recover(dir, &Recorder::new(), |_, _, _| {}).expect("recovery succeeds")
+}
+
+/// Suspend a durable run partway, damage the log with `kind`, and check
+/// the full recovery contract against the uninterrupted `plain` run.
+fn storage_fault_case(kind: StorageFaultKind, label: &str, plain: &RunOutput) {
+    let opts = || RunOptions::full().with_thresholds(chaos_thresholds());
+    let cfg = || ScenarioConfig::tiny(2, 91);
+    let mut tel = Telemetry::disabled();
+    let dir = chaos_wal_dir(label);
+    let cut = plain.capture.total_packets.max(8) / 2;
+    let wal_run = WalRun::new(&dir).suspend_after(cut);
+    match pipeline::run_wal(cfg(), opts(), &wal_run, &mut tel) {
+        Ok(WalOutcome::Suspended { delivered, .. }) => assert_eq!(delivered, cut, "{label}"),
+        Ok(WalOutcome::Completed(_)) => panic!("{label}: run finished before suspension point"),
+        Err(e) => panic!("{label}: suspend run failed: {e}"),
+    }
+    let intact = recover_quiet(&dir);
+
+    let segs: Vec<PathBuf> =
+        wal::segment_paths(&dir).expect("list segments").into_iter().map(|(_, p)| p).collect();
+    assert!(!segs.is_empty(), "{label}: suspended log must have segments");
+    let report = StorageFaultPlan::new(kind, 7)
+        .apply(&segs, &wal::segment::index_path(&dir))
+        .expect("storage fault applies");
+
+    // First recovery repairs; it must never invent frames, and every
+    // damage kind except the deleted sidecar must cost at least one.
+    let repaired = recover_quiet(&dir);
+    assert!(repaired.next_seq <= intact.next_seq, "{label}: recovery must not invent frames");
+    assert!(repaired.meta.is_some(), "{label}: run metadata survives");
+    assert!(!repaired.is_sealed(), "{label}: suspended log stays unsealed");
+    match kind {
+        StorageFaultKind::MissingIndex => {
+            assert!(repaired.stats.index_rebuilt, "{label}: index must be rebuilt");
+            assert_eq!(repaired.next_seq, intact.next_seq, "{label}: data files untouched");
+        }
+        StorageFaultKind::TornFinalWrite => {
+            assert!(repaired.next_seq < intact.next_seq, "{label}: torn tail loses a frame");
+            assert!(
+                repaired.stats.torn_frames > 0 && repaired.stats.bytes_truncated > 0,
+                "{label}: the mid-frame cut must be observed: {:?}",
+                repaired.stats
+            );
+        }
+        StorageFaultKind::TruncatedTail => {
+            // The cut may land exactly on a frame boundary, in which case
+            // the shorter log is already clean — only the watermark moves.
+            assert!(repaired.next_seq < intact.next_seq, "{label}: tail damage loses frames");
+        }
+        StorageFaultKind::BitFlipMidSegment => {
+            assert!(report.bit_flipped.is_some(), "{label}: report names the flipped bit");
+            assert!(repaired.next_seq < intact.next_seq, "{label}: the flipped frame is lost");
+            assert!(
+                repaired.stats.torn_frames + repaired.stats.corrupt_frames > 0,
+                "{label}: flipped bit must fail a frame check: {:?}",
+                repaired.stats
+            );
+        }
+    }
+
+    // Second recovery is a no-op: same watermark, byte-identical files.
+    let snapshot = dir_snapshot(&dir);
+    let again = recover_quiet(&dir);
+    assert_eq!(again.next_seq, repaired.next_seq, "{label}: recovery watermark is stable");
+    assert_eq!(again.stats.bytes_truncated, 0, "{label}: second pass truncates nothing");
+    assert_eq!(dir_snapshot(&dir), snapshot, "{label}: second pass rewrites nothing");
+
+    // Resuming the damaged run regenerates the lost tail deterministically.
+    let resumed = pipeline::resume_wal(cfg(), opts(), &WalRun::new(&dir), &mut tel)
+        .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"))
+        .completed()
+        .unwrap_or_else(|| panic!("{label}: resume must run to completion"));
+    assert_eq!(
+        resumed.fingerprint(),
+        plain.fingerprint(),
+        "{label}: resumed output diverged from the uninterrupted run"
+    );
+    assert_conserves(&resumed, label);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn storage_faults_recover_to_the_durable_watermark() {
+    let plain = pipeline::run(
+        ScenarioConfig::tiny(2, 91),
+        RunOptions::full().with_thresholds(chaos_thresholds()),
+    );
+    storage_fault_case(StorageFaultKind::TornFinalWrite, "torn-final-write", &plain);
+    storage_fault_case(StorageFaultKind::TruncatedTail, "truncated-tail", &plain);
+    storage_fault_case(StorageFaultKind::BitFlipMidSegment, "bit-flip-mid-segment", &plain);
+    storage_fault_case(StorageFaultKind::MissingIndex, "missing-index", &plain);
+}
+
 #[test]
 fn burst_outages_are_dropped_and_ledgered() {
     let plan = FaultPlan::clean().with_outage(Dur::from_mins(60), Dur::from_mins(5));

@@ -104,3 +104,84 @@ fn fingerprint_is_sensitive_to_inputs() {
     let b = pipeline::run(ScenarioConfig::tiny(1, 32), RunOptions::darknet_only());
     assert_ne!(a.fingerprint(), b.fingerprint(), "different seeds must fingerprint differently");
 }
+
+// --- Durable-run equivalence ---------------------------------------------
+//
+// The write-ahead log must be observation-only: a run that logs every
+// delivered packet, a replay of that log, and a run suspended mid-stream
+// and resumed all produce bitwise identical output to a plain in-memory
+// run — at any thread count, with or without fault injection.
+
+use aggressive_scanners::pipeline::{Telemetry, WalOutcome, WalRun};
+use std::path::PathBuf;
+
+/// Fresh, collision-free WAL directory for one test case.
+fn wal_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-determinism-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Unwrap a durable-run outcome that must have run to completion.
+fn finished(outcome: std::io::Result<WalOutcome>, label: &str) -> RunOutput {
+    *outcome
+        .unwrap_or_else(|e| panic!("{label}: durable run failed: {e}"))
+        .completed()
+        .unwrap_or_else(|| panic!("{label}: run suspended unexpectedly"))
+}
+
+fn check_wal_equivalence(seed: u64, faults: Option<FaultPlan>, tag: &str) {
+    let opts = || {
+        let mut o = RunOptions::full().with_thresholds(test_thresholds());
+        if let Some(plan) = faults {
+            o = o.with_faults(plan);
+        }
+        o
+    };
+    let cfg = || ScenarioConfig::tiny(2, seed);
+    let plain = pipeline::run(cfg(), opts());
+    let mut tel = Telemetry::disabled();
+
+    for threads in [1, 8] {
+        // Live durable run == plain run, and its log replays identically.
+        let dir = wal_dir(&format!("{tag}-t{threads}"));
+        let live = finished(
+            pipeline::run_parallel_wal(cfg(), opts(), threads, &WalRun::new(&dir), &mut tel),
+            &format!("{tag}: wal live, {threads} threads"),
+        );
+        assert_equivalent(&plain, &live, &format!("{tag}: wal live, {threads} threads"));
+        let replayed = pipeline::replay_wal(cfg(), opts(), &dir, &mut tel)
+            .unwrap_or_else(|e| panic!("{tag}: replay failed: {e}"));
+        assert_equivalent(&plain, &replayed, &format!("{tag}: replay, {threads} threads"));
+
+        // Suspend mid-stream, then resume to completion == uninterrupted.
+        let dir2 = wal_dir(&format!("{tag}-s{threads}"));
+        let cut = plain.capture.total_packets.max(8) / 2;
+        let wal = WalRun::new(&dir2).suspend_after(cut);
+        match pipeline::run_parallel_wal(cfg(), opts(), threads, &wal, &mut tel) {
+            Ok(WalOutcome::Suspended { delivered, .. }) => {
+                assert_eq!(delivered, cut, "{tag}: suspension point honored")
+            }
+            Ok(WalOutcome::Completed(_)) => panic!("{tag}: run finished before suspension point"),
+            Err(e) => panic!("{tag}: suspend run failed: {e}"),
+        }
+        let resumed = finished(
+            pipeline::resume_wal(cfg(), opts(), &WalRun::new(&dir2), &mut tel),
+            &format!("{tag}: resume, {threads} threads"),
+        );
+        assert_equivalent(&plain, &resumed, &format!("{tag}: resumed, {threads} threads"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+}
+
+#[test]
+fn wal_live_replay_and_resume_are_bitwise_identical_clean() {
+    check_wal_equivalence(21, None, "wal-clean");
+}
+
+#[test]
+fn wal_live_replay_and_resume_are_bitwise_identical_under_faults() {
+    check_wal_equivalence(22, Some(FaultPlan::uniform(0.01, 7)), "wal-faulty");
+}
