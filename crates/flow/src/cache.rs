@@ -11,6 +11,15 @@
 //! than double-billed, and *reordered* packets merge into their flow
 //! without splitting it — a packet older than the flow's recorded start
 //! repairs `first` backwards. All of it is tallied in [`CacheStats`].
+//!
+//! Every merge/cut/duplicate decision — including the lateness verdict
+//! — depends only on the packet and its own flow entry, never on a
+//! cache-global clock; timed sweeps only expire entries that no future
+//! packet could merge into (see [`FlowCache::sweep`]). Together these
+//! make the exported record multiset identical whether the cache sees
+//! the full sampled stream or any source-partitioned substream of it —
+//! the invariant the sharded parallel pipeline rides on
+//! (`ARCHITECTURE.md` §11).
 
 use crate::record::{FlowKey, FlowRecord};
 use crate::router::Direction;
@@ -38,7 +47,8 @@ pub struct CacheStats {
     pub accepted: u64,
     /// Exact duplicates of the previous packet in their flow, suppressed.
     pub duplicates_suppressed: u64,
-    /// Accepted packets that arrived behind the cache's watermark.
+    /// Accepted packets that arrived behind their own flow's newest
+    /// timestamp.
     pub late_accepted: u64,
     /// Accepted packets that moved a flow's `first` timestamp earlier.
     pub first_repaired: u64,
@@ -82,7 +92,8 @@ pub struct FlowCache {
     entries: HashMap<FlowKey, Entry>,
     exported: Vec<FlowRecord>,
     last_sweep: Ts,
-    /// Newest packet timestamp seen so far.
+    /// Newest packet timestamp seen so far. Content-neutral: drives only
+    /// the implicit sweep schedule, never a per-flow decision.
     watermark: Ts,
     stats: CacheStats,
     /// Telemetry (inert until [`FlowCache::set_recorder`]).
@@ -151,27 +162,19 @@ impl FlowCache {
     /// Account one *sampled* packet. Exact duplicates of the previous
     /// packet in their flow are suppressed; reordered packets merge into
     /// their flow (repairing `first` if needed) instead of splitting it.
+    ///
+    /// The verdict depends only on the packet and its own flow entry —
+    /// lateness is judged against the *entry's* newest timestamp — so
+    /// the outcome is identical whether the full sampled stream or any
+    /// source-partitioned substream is fed.
     pub fn observe(&mut self, pkt: &PacketMeta, direction: Direction) {
-        let late = pkt.ts < self.watermark;
         self.watermark = self.watermark.max(pkt.ts);
         // Sweep on the watermark so a reordered packet cannot rewind or
-        // re-trigger the sweep schedule.
+        // re-trigger the sweep schedule; the sweep itself is content-
+        // neutral, so the schedule never influences record contents.
         if self.watermark.since(self.last_sweep) >= self.inactive_timeout {
             self.sweep(self.watermark);
         }
-        self.observe_stamped(pkt, direction, late);
-    }
-
-    /// Account one sampled packet with a pre-computed lateness verdict.
-    ///
-    /// Shard-mode entry point for the parallel pipeline: the dispatcher
-    /// thread replays this cache's watermark over the *global* sampled
-    /// stream ([`crate::router::FlowDispatch`]), stamps each packet with
-    /// `late`, and broadcasts [`FlowCache::sweep`] calls at the exact
-    /// serial stream positions. This method applies only the per-flow
-    /// merge/cut/duplicate logic, which depends on the packet and its
-    /// own flow entry — state that sharding by source keeps local.
-    pub fn observe_stamped(&mut self, pkt: &PacketMeta, direction: Direction, late: bool) {
         self.stats.received += 1;
         self.m_received.inc();
         let key = FlowKey::of(pkt);
@@ -189,7 +192,7 @@ impl FlowCache {
                 }
                 self.stats.accepted += 1;
                 self.m_accepted.inc();
-                if late {
+                if pkt.ts < e.get().last {
                     self.stats.late_accepted += 1;
                 }
                 let needs_cut = {
@@ -219,9 +222,6 @@ impl FlowCache {
             std::collections::hash_map::Entry::Vacant(v) => {
                 self.stats.accepted += 1;
                 self.m_accepted.inc();
-                if late {
-                    self.stats.late_accepted += 1;
-                }
                 v.insert(Self::fresh(pkt, flags, direction, sig));
             }
         }
@@ -253,18 +253,26 @@ impl FlowCache {
         }
     }
 
-    /// Export all entries idle past the inactive timeout or older than the
-    /// active timeout as of `now`.
+    /// Export all entries idle past the inactive timeout — plus one
+    /// extra inactive timeout of slack — as of `now`.
+    ///
+    /// The slack makes timed expiry *content-neutral*: an entry is only
+    /// exported once every packet that could still reach it (per-flow
+    /// disorder bounded by the inactive timeout) would trigger the
+    /// per-packet inactive cut and start a fresh entry anyway. Sweeping
+    /// on different schedules therefore changes when records are
+    /// exported, never their contents. Active-timeout chops are applied
+    /// per-packet in [`FlowCache::observe`] (a pure per-flow decision),
+    /// not here, for the same reason.
     pub fn sweep(&mut self, now: Ts) {
         self.m_sweeps.inc();
         let _span = self.m_sweep_us.time();
         self.last_sweep = now;
-        let inactive = self.inactive_timeout;
-        let active = self.active_timeout;
+        let expire_after = Dur(self.inactive_timeout.0 * 2);
         let expired: Vec<FlowKey> = self
             .entries
             .iter()
-            .filter(|(_, e)| now.since(e.last) > inactive || now.since(e.first) > active)
+            .filter(|(_, e)| now.since(e.last) > expire_after)
             .map(|(k, _)| *k)
             .collect();
         for k in expired {

@@ -45,15 +45,37 @@ pub struct RouterDayCounter {
     pub bytes: u64,
 }
 
-/// One border router: sampler + flow cache + truth counters.
+/// Per-(router, source) sampler phase.
+///
+/// Staggers where each source's systematic 1:N pattern starts so
+/// sources (and routers) don't select in lockstep, while staying a pure
+/// function of `(router, src)` — the property that lets the sharded
+/// parallel pipeline key samplers by source with no shared counter
+/// (`ARCHITECTURE.md` §11). splitmix64-style finalizer.
+fn sampler_phase(router: RouterId, src: Ipv4Addr4) -> u64 {
+    let mut z =
+        (u64::from(src.to_u32()) << 8 | u64::from(router)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One border router: per-source samplers + flow cache + truth counters.
 pub struct BorderRouter {
     /// Router identifier (1-based, as in the paper's tables).
     pub id: RouterId,
-    sampler: Sampler,
+    /// NetFlow sampling rate (1:N), shared by every per-source sampler.
+    sampling_rate: u64,
+    /// One systematic [`Sampler`] per source address, phase-staggered by
+    /// [`sampler_phase`]. Keying the sampler by source makes every
+    /// selection decision a pure function of the per-source packet
+    /// subsequence, so source-sharded runs reproduce serial selections
+    /// exactly; aggregate selection is still ~1:N.
+    samplers: HashMap<u32, Sampler>,
     cache: FlowCache,
     /// Ground truth packets per day index.
     day_counters: HashMap<u64, RouterDayCounter>,
-    /// Telemetry for the serial engine's sampler decisions (inert until
+    /// Telemetry for sampler decisions (inert until
     /// [`IspModel::set_recorder`]).
     m_seen: ah_obs::Counter,
     m_selected: ah_obs::Counter,
@@ -63,8 +85,8 @@ impl BorderRouter {
     fn new(id: RouterId, sampling_rate: u64) -> BorderRouter {
         BorderRouter {
             id,
-            // Stagger phases so routers don't sample in lockstep.
-            sampler: Sampler::new(sampling_rate, u64::from(id) * 37),
+            sampling_rate,
+            samplers: HashMap::new(),
             cache: FlowCache::new(id),
             day_counters: HashMap::new(),
             m_seen: ah_obs::Counter::default(),
@@ -86,28 +108,14 @@ impl BorderRouter {
         c.packets += 1;
         c.bytes += u64::from(pkt.wire_len);
         self.m_seen.inc();
-        if self.sampler.sample() {
+        let (id, rate) = (self.id, self.sampling_rate);
+        let sampler = self
+            .samplers
+            .entry(pkt.src.to_u32())
+            .or_insert_with(|| Sampler::new(rate, sampler_phase(id, pkt.src)));
+        if sampler.sample() {
             self.m_selected.inc();
             self.cache.observe(pkt, direction);
-        }
-    }
-
-    /// Shard-mode observe: the sampling and lateness verdicts were
-    /// pre-computed by the dispatcher's [`FlowDispatch`] over the global
-    /// stream; this router only updates its truth counters and (for
-    /// sampled packets) the per-flow cache entry.
-    fn observe_decided(
-        &mut self,
-        pkt: &PacketMeta,
-        direction: Direction,
-        sampled: bool,
-        late: bool,
-    ) {
-        let c = self.day_counters.entry(pkt.ts.day()).or_default();
-        c.packets += 1;
-        c.bytes += u64::from(pkt.wire_len);
-        if sampled {
-            self.cache.observe_stamped(pkt, direction, late);
         }
     }
 
@@ -287,44 +295,6 @@ impl IspModel {
         disposition
     }
 
-    /// Shard-mode observe with pre-computed sampling/lateness verdicts
-    /// (from the dispatcher's [`FlowDispatch`]); see
-    /// [`crate::cache::FlowCache::observe_stamped`]. The disposition is
-    /// recomputed locally — it is pure — and `sampled`/`late` are only
-    /// consulted for border-crossing packets.
-    pub fn observe_decided(&mut self, pkt: &PacketMeta, sampled: bool, late: bool) -> Disposition {
-        let disposition = self.disposition(pkt);
-        match disposition {
-            Disposition::Border(id, dir) => {
-                if let Some(r) = self.router_mut(id) {
-                    r.observe_decided(pkt, dir, sampled, late);
-                }
-            }
-            Disposition::Internal => {
-                *self.internal_by_day.entry(pkt.ts.day()).or_default() += 1;
-            }
-            Disposition::Transit => {}
-        }
-        disposition
-    }
-
-    /// Sweep a single router's flow cache as of `now` — the shard-mode
-    /// counterpart of the implicit per-cache sweep, applied when the
-    /// dispatcher broadcasts the sweep position it observed on the
-    /// global stream.
-    pub fn sweep_router(&mut self, id: RouterId, now: Ts) {
-        if let Some(r) = self.router_mut(id) {
-            r.cache.sweep(now);
-        }
-    }
-
-    /// The dispatcher-side shadow of this ISP's samplers and cache
-    /// clocks. Must be taken from a **freshly built** model (samplers at
-    /// their initial phase) before any packet is observed.
-    pub fn dispatch(&self) -> FlowDispatch {
-        FlowDispatch::new(&self.router_ids(), self.sampling_rate)
-    }
-
     /// Sweep all flow caches as of `now`.
     pub fn sweep(&mut self, now: Ts) {
         for r in &mut self.routers {
@@ -395,111 +365,6 @@ pub fn canonical_record_key(
         r.bytes,
         r.tcp_flags,
     )
-}
-
-/// Per-router shadow state for the dispatcher's flow clock.
-struct DispatchRouter {
-    id: RouterId,
-    sampler: Sampler,
-    watermark: Ts,
-    last_sweep: Ts,
-    inactive_timeout: ah_net::time::Dur,
-    /// Telemetry for the parallel engine's sampler decisions (inert
-    /// until [`FlowDispatch::set_recorder`]).
-    m_seen: ah_obs::Counter,
-    m_selected: ah_obs::Counter,
-}
-
-/// The verdicts [`FlowDispatch::decide`] stamps onto one border packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FlowStamp {
-    /// Border router the packet crossed.
-    pub router: RouterId,
-    /// The router's 1:N sampler selected this packet.
-    pub sampled: bool,
-    /// The packet arrived behind the router cache's watermark (only
-    /// meaningful when `sampled`).
-    pub late: bool,
-    /// When set, the serial cache would have run its implicit sweep at
-    /// this watermark *before* merging the packet: the dispatcher must
-    /// broadcast a [`FlowCache::sweep`] at this stream position to every
-    /// shard, then deliver the packet.
-    pub sweep: Option<Ts>,
-}
-
-/// Dispatcher-side shadow of an ISP's per-router samplers and flow-cache
-/// clocks, used by the sharded parallel pipeline.
-///
-/// Two pieces of [`IspModel`] state are *global* — order-dependent
-/// across flow keys and therefore across shards: each router's 1:N
-/// packet [`Sampler`] (a counter over every border packet) and each
-/// router cache's watermark (advanced by any sampled packet, consulted
-/// for lateness and the implicit sweep schedule). The dispatcher thread
-/// still sees every packet in global serial order, so it replays exactly
-/// those two pieces here and stamps each border packet with the
-/// resulting [`FlowStamp`]; shards then apply identical outcomes via
-/// [`IspModel::observe_decided`] without sharing any state.
-pub struct FlowDispatch {
-    routers: Vec<DispatchRouter>,
-}
-
-impl FlowDispatch {
-    /// Shadow for routers built by [`IspModel::new`] with the same ids
-    /// and sampling rate (same stagger phases, default cache timeouts).
-    pub fn new(router_ids: &[RouterId], sampling_rate: u64) -> FlowDispatch {
-        FlowDispatch {
-            routers: router_ids
-                .iter()
-                .map(|&id| DispatchRouter {
-                    id,
-                    sampler: Sampler::new(sampling_rate, u64::from(id) * 37),
-                    watermark: Ts::ZERO,
-                    last_sweep: Ts::ZERO,
-                    inactive_timeout: crate::cache::DEFAULT_INACTIVE_TIMEOUT,
-                    m_seen: ah_obs::Counter::default(),
-                    m_selected: ah_obs::Counter::default(),
-                })
-                .collect(),
-        }
-    }
-
-    /// Attach live telemetry instruments. Sampler-decision counters use
-    /// the same names as [`IspModel::set_recorder`]'s serial-engine
-    /// counters, so the metric is populated exactly once per border
-    /// packet in either engine.
-    pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
-        for r in &mut self.routers {
-            let router = r.id.to_string();
-            r.m_seen =
-                rec.counter_with("ah_flow_sampler_packets_seen_total", &[("router", &router)]);
-            r.m_selected =
-                rec.counter_with("ah_flow_sampler_packets_selected_total", &[("router", &router)]);
-        }
-    }
-
-    /// Replay the sampler and cache clock for one packet with the given
-    /// (pure) disposition; `None` for non-border packets, which touch
-    /// neither sampler nor cache.
-    pub fn decide(&mut self, ts: Ts, disposition: Disposition) -> Option<FlowStamp> {
-        let Disposition::Border(id, _) = disposition else {
-            return None;
-        };
-        let r = self.routers.iter_mut().find(|r| r.id == id)?;
-        r.m_seen.inc();
-        if !r.sampler.sample() {
-            return Some(FlowStamp { router: id, sampled: false, late: false, sweep: None });
-        }
-        r.m_selected.inc();
-        let late = ts < r.watermark;
-        r.watermark = r.watermark.max(ts);
-        let sweep = if r.watermark.since(r.last_sweep) >= r.inactive_timeout {
-            r.last_sweep = r.watermark;
-            Some(r.watermark)
-        } else {
-            None
-        };
-        Some(FlowStamp { router: id, sampled: true, late, sweep })
-    }
 }
 
 /// A completed flow-measurement campaign: every exported record plus the

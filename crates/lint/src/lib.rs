@@ -14,7 +14,10 @@
 //!   by a string literal this tool can check against
 //!   [`ah_obs::valid_metric_name`] *before* the code ever runs;
 //! * `unsafe-safety-comment`, `doc-header`, `unsafe-forbid`:
-//!   unsafe hygiene and documentation posture, mechanically held.
+//!   unsafe hygiene and documentation posture, mechanically held;
+//! * `doc-link` (via `--md`, see [`mdcheck`]): every markdown
+//!   cross-reference in the repo resolves — relative paths exist and
+//!   `#anchors` match a real heading.
 //!
 //! The analysis is token-level on a first-party lexer ([`lexer`]) —
 //! no syntax tree, no proc macros, no external parser crate. That is a
@@ -34,6 +37,7 @@
 
 pub mod lexer;
 pub mod lints;
+pub mod mdcheck;
 
 use std::fs;
 use std::io;

@@ -12,10 +12,11 @@ use ah_lint::{run_workspace, LINTS};
 const USAGE: &str = "\
 ah-lint — workspace invariant checker
 
-USAGE: ah-lint [--root DIR] [--lint ID]... [--json] [--deny-warnings] [--list]
+USAGE: ah-lint [--root DIR] [--lint ID]... [--md] [--json] [--deny-warnings] [--list]
 
   --root DIR        workspace root to scan (default: current directory)
   --lint ID         run only the named lint (repeatable; default: all)
+  --md              check markdown links/anchors (doc-link) instead of Rust sources
   --json            emit one JSON object per finding instead of text
   --deny-warnings   exit nonzero when any finding is reported
   --list            list the known lints and exit
@@ -24,14 +25,21 @@ USAGE: ah-lint [--root DIR] [--lint ID]... [--json] [--deny-warnings] [--list]
 struct Opts {
     root: PathBuf,
     only: Vec<String>,
+    md: bool,
     json: bool,
     deny: bool,
     list: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
-    let mut opts =
-        Opts { root: PathBuf::from("."), only: Vec::new(), json: false, deny: false, list: false };
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        only: Vec::new(),
+        md: false,
+        json: false,
+        deny: false,
+        list: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,6 +54,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 }
                 opts.only.push(id.clone());
             }
+            "--md" => opts.md = true,
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny = true,
             "--list" => opts.list = true,
@@ -72,6 +81,30 @@ fn main() -> ExitCode {
     if opts.list {
         for (id, desc) in LINTS {
             println!("{id:<22} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if opts.md {
+        let (diags, files, links) = match ah_lint::mdcheck::check_workspace(&opts.root) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("ah-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        for d in &diags {
+            if opts.json {
+                println!("{}", d.json());
+            } else {
+                println!("{}", d.human());
+            }
+        }
+        eprintln!(
+            "ah-lint: {} finding(s) across {links} link(s) in {files} markdown file(s)",
+            diags.len()
+        );
+        if opts.deny && !diags.is_empty() {
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }

@@ -91,13 +91,29 @@ fn posture_lints_only_apply_to_crate_roots() {
         Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/crate_root_bad.rs"),
     )
     .unwrap();
-    // The same source linted as a non-root module yields nothing.
-    assert!(lint_source("module.rs", &src, false, &|_| true).is_empty());
+    // As a non-root module, the crate-root posture findings (the
+    // missing_docs attribute, unsafe-forbid) vanish; only the
+    // module-doc half of doc-header still applies (the fixture opens
+    // with a plain comment, not `//!`).
+    let got = lint_source("module.rs", &src, false, &|_| true);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].lint, "doc-header");
+    assert!(got[0].message.contains("module file"), "{}", got[0].message);
+}
+
+#[test]
+fn module_doc_header_requires_a_leading_doc_block() {
+    let documented = "//! What this module is for.\npub fn f() {}\n";
+    assert!(lint_source("m.rs", documented, false, &|id| id == "doc-header").is_empty());
+    let bare = "pub fn f() {}\n";
+    let got = lint_source("m.rs", bare, false, &|id| id == "doc-header");
+    assert_eq!(got.len(), 1);
+    assert!(got[0].message.contains("doc block"), "{}", got[0].message);
 }
 
 #[test]
 fn lint_selection_filters_by_id() {
-    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let src = "//! A documented module.\npub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
     let all = lint_source("x.rs", src, false, &|_| true);
     assert_eq!(all.len(), 1);
     assert_eq!(all[0].lint, "panic-path");

@@ -19,12 +19,29 @@
 //! Every packet's fate is counted in [`InjectorStats`], which satisfies
 //! the conservation identity checked by [`InjectorStats::conserves`]:
 //! nothing is ever silently lost or invented.
+//!
+//! # Counter-based per-source decision streams
+//!
+//! Fault decisions are **not** drawn from one global RNG sequence in
+//! arrival order. Each offered packet gets its own decision RNG, seeded
+//! as a pure function of `(plan.seed, source IP, per-source packet
+//! counter)` — see [`packet_decision_seed`]. Packet *k* of source *S*
+//! therefore suffers exactly the same fate no matter which packets from
+//! *other* sources surround it. That is what lets the sharded parallel
+//! engine run one injector per shard over its per-source substreams and
+//! still reproduce the serial run bit for bit: the union of the shard
+//! decisions *is* the serial decision set (`ARCHITECTURE.md` §11).
+//! Burst outages are a pure function of the packet timestamp, and the
+//! reorder hold-back heap releases a held packet relative to its own
+//! source's later packets, so per-source delivered order is identical
+//! in every sharding.
 
 use crate::rng::{hash64, Rng64};
 use ah_net::packet::{PacketMeta, Transport};
 use ah_net::time::{Dur, Ts};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -161,6 +178,31 @@ impl InjectorStats {
     pub fn total_discarded(&self) -> u64 {
         self.dropped + self.outage_dropped + self.truncated_discarded + self.corrupt_discarded
     }
+
+    /// Fold another injector's counters into this one. Because every
+    /// field is a plain per-packet tally, per-shard stats summed across
+    /// shards equal the serial injector's stats exactly — the parallel
+    /// engine's `faults.injector` health ledger is built this way.
+    pub fn merge(&mut self, other: &InjectorStats) {
+        self.input += other.input;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.outage_dropped += other.outage_dropped;
+        self.truncated_discarded += other.truncated_discarded;
+        self.corrupt_discarded += other.corrupt_discarded;
+        self.reordered += other.reordered;
+        self.corrupted_delivered += other.corrupted_delivered;
+        self.zero_payload += other.zero_payload;
+    }
+}
+
+/// The decision-RNG seed for packet number `n` (0-based) of source
+/// `src` under `plan_seed`: a chained splitmix mix, so the stream is a
+/// pure function of `(plan_seed, src, n)` and nothing else. Public so
+/// tests (and the documentation) can state the derivation exactly.
+pub fn packet_decision_seed(plan_seed: u64, src: u32, n: u64) -> u64 {
+    hash64(hash64(hash64(plan_seed ^ 0xfa17_1e57) ^ u64::from(src)) ^ n)
 }
 
 /// A packet held back for out-of-order delivery.
@@ -195,7 +237,10 @@ impl Ord for Held {
 /// still held for reordering.
 pub struct FaultInjector {
     plan: FaultPlan,
-    rng: Rng64,
+    /// Per-source offered-packet counters: how many packets of each
+    /// source have reached the decision point, feeding
+    /// [`packet_decision_seed`].
+    counters: HashMap<u32, u64>,
     held: BinaryHeap<Reverse<Held>>,
     seq: u64,
     /// Phase offset of the outage schedule, derived from the seed.
@@ -212,8 +257,8 @@ impl FaultInjector {
             0
         };
         FaultInjector {
-            rng: Rng64::new(plan.seed ^ 0xfa17_1e57),
             plan,
+            counters: HashMap::new(),
             held: BinaryHeap::new(),
             seq: 0,
             outage_phase,
@@ -261,11 +306,12 @@ impl FaultInjector {
     }
 
     /// Apply byte-level mutations; returns the packet to deliver, or
-    /// `None` when the mutated bytes no longer parse.
-    fn mutate(&mut self, pkt: &PacketMeta) -> Option<PacketMeta> {
-        if self.rng.chance(self.plan.truncate) {
+    /// `None` when the mutated bytes no longer parse. `rng` is the
+    /// packet's own decision stream.
+    fn mutate(&mut self, rng: &mut Rng64, pkt: &PacketMeta) -> Option<PacketMeta> {
+        if rng.chance(self.plan.truncate) {
             let bytes = pkt.to_bytes();
-            let cut = self.rng.range(1, bytes.len().max(2) as u64) as usize;
+            let cut = rng.range(1, bytes.len().max(2) as u64) as usize;
             match PacketMeta::parse_ip(&bytes[..cut], pkt.ts) {
                 Ok(p) => return Some(p),
                 Err(_) => {
@@ -274,9 +320,9 @@ impl FaultInjector {
                 }
             }
         }
-        if self.rng.chance(self.plan.bitflip) {
+        if rng.chance(self.plan.bitflip) {
             let mut bytes = pkt.to_bytes();
-            let bit = self.rng.below((bytes.len() as u64) * 8);
+            let bit = rng.below((bytes.len() as u64) * 8);
             bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
             match PacketMeta::parse_ip(&bytes, pkt.ts) {
                 Ok(p) => {
@@ -289,7 +335,7 @@ impl FaultInjector {
                 }
             }
         }
-        if self.rng.chance(self.plan.zero_payload) {
+        if rng.chance(self.plan.zero_payload) {
             let header_only: u16 = match pkt.transport {
                 Transport::Tcp { .. } => 40,
                 Transport::Udp { .. } | Transport::Icmp { .. } => 28,
@@ -308,6 +354,13 @@ impl FaultInjector {
     /// Offer one mux packet; `emit` receives everything delivered at this
     /// point in the stream (held packets whose time has come, then this
     /// packet's surviving copies).
+    ///
+    /// Every random decision for this packet — drop, duplicate, the
+    /// per-copy mutations, reorder and skew — is drawn, in a fixed
+    /// order, from a fresh [`Rng64`] seeded by [`packet_decision_seed`]
+    /// from `(plan.seed, pkt.src, per-source counter)`. The fate of a
+    /// packet is therefore independent of what other sources did,
+    /// which is the property the sharded engine relies on.
     pub fn apply(&mut self, pkt: &PacketMeta, emit: &mut impl FnMut(&PacketMeta)) {
         self.stats.input += 1;
         self.release_until(pkt.ts, emit);
@@ -315,20 +368,24 @@ impl FaultInjector {
             self.stats.outage_dropped += 1;
             return;
         }
-        if self.rng.chance(self.plan.drop) {
+        let n = self.counters.entry(pkt.src.to_u32()).or_insert(0);
+        let draw = *n;
+        *n += 1;
+        let mut rng = Rng64::new(packet_decision_seed(self.plan.seed, pkt.src.to_u32(), draw));
+        if rng.chance(self.plan.drop) {
             self.stats.dropped += 1;
             return;
         }
         let mut copies = 1;
-        if self.rng.chance(self.plan.duplicate) {
+        if rng.chance(self.plan.duplicate) {
             self.stats.duplicated += 1;
             copies = 2;
         }
         for _ in 0..copies {
-            let Some(out) = self.mutate(pkt) else { continue };
-            if self.plan.max_skew.0 > 0 && self.rng.chance(self.plan.reorder) {
+            let Some(out) = self.mutate(&mut rng, pkt) else { continue };
+            if self.plan.max_skew.0 > 0 && rng.chance(self.plan.reorder) {
                 self.stats.reordered += 1;
-                let skew = Dur(self.rng.range(1, self.plan.max_skew.0 + 1));
+                let skew = Dur(rng.range(1, self.plan.max_skew.0 + 1));
                 self.seq += 1;
                 self.held.push(Reverse(Held { release: pkt.ts + skew, seq: self.seq, pkt: out }));
             } else {

@@ -1,0 +1,537 @@
+//! Bounded lock-free MPSC ring buffer — the parallel pipeline's merge
+//! stage.
+//!
+//! N producer threads (the pipeline shards) feed one consumer thread
+//! (the merge loop) through a fixed-capacity power-of-two ring. It is
+//! the multi-producer sibling of the SPSC ring in [`crate::ring`],
+//! built behind the *same* [`RingSync`] facade so the identical
+//! protocol code runs on real atomics in production and on the
+//! `interleave` model checker's shadow atomics in the test suite
+//! (`crates/simnet/tests/model_check.rs`; `ARCHITECTURE.md` §11).
+//!
+//! The design is a Vyukov-style bounded queue with batched
+//! reservations:
+//!
+//! * **Per-slot sequence numbers.** Each cell carries an atomic
+//!   sequence; `seq == index` means writable, `seq == index + 1` means
+//!   readable, and consuming bumps it a full generation
+//!   (`index + capacity`). All data-carrying synchronization rides on
+//!   these (Release on publish/recycle, Acquire on observe) — never on
+//!   the cursors.
+//! * **Batched slot reservations.** A producer buffers up to `batch`
+//!   items locally, then claims that many contiguous slots with a
+//!   *single* compare-exchange on the shared tail, amortizing the
+//!   contended RMW the way the SPSC ring amortizes its release store.
+//!   The tail CAS is `Relaxed` by contract: it only partitions index
+//!   space among producers.
+//! * **Cache-padded head/tail.** The reservation tail and the
+//!   consumer's advisory head live on private cache lines so producer
+//!   CAS traffic, consumer progress stores, and slot traffic never
+//!   false-share.
+//!
+//! # Memory-ordering contract
+//!
+//! Slot writes are plain stores made *before* the producer publishes
+//! `seq = index + 1` with [`RingSync::SEQ_PUBLISH`] (Release); the
+//! consumer's [`RingSync::SEQ_OBSERVE`] (Acquire) load therefore
+//! happens-after every write it observes. Symmetrically the consumer
+//! moves the value out *before* recycling the sequence with
+//! [`RingSync::RECYCLE_PUBLISH`] (Release), and a producer probing the
+//! slot with [`RingSync::RECYCLE_OBSERVE`] (Acquire) happens-after that
+//! read — a slot is never overwritten until its previous occupant has
+//! been moved out.
+//!
+//! The stream is closed per producer: [`MpscProducer::close`] flushes,
+//! then increments the shared closed count with
+//! [`RingSync::CLOSED_PUBLISH`] (Release). A consumer that observes
+//! `closed == producers` with [`RingSync::CLOSED_OBSERVE`] (Acquire)
+//! and then finds the ring empty has seen every item — each producer's
+//! final flush happens-before its increment.
+//!
+//! Like the SPSC contract, this one is *proved*, not just argued: the
+//! model-check suite instantiates this exact generic code over shadow
+//! atomics, explores every interleaving and memory-model-permitted
+//! stale read at capacities 2 and 4 with two producers, and shows that
+//! demoting any one of the six Release/Acquire constants to `Relaxed`
+//! yields a caught counterexample.
+
+use std::sync::Arc;
+
+use crate::ring::{RingAtomicUsize, RingSlot, RingSync, StdSync};
+
+/// Producers reserve slots in batches of at most this many items (also
+/// clamped to the ring capacity).
+pub const RESERVE_BATCH: usize = 16;
+
+/// One cell: the slot's synchronizing sequence number plus its plain
+/// storage.
+struct Cell<T: Send, S: RingSync> {
+    seq: S::AtomicUsize,
+    slot: S::Slot<T>,
+}
+
+/// A 128-byte-aligned wrapper keeping its contents on a private cache
+/// line (two 64-byte lines, covering adjacent-line prefetching).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+struct Shared<T: Send, S: RingSync> {
+    mask: usize,
+    cells: Box<[Cell<T, S>]>,
+    /// Reservation cursor: one past the last reserved index. Producers
+    /// claim `[tail, tail + k)` by CAS.
+    tail: CachePadded<S::AtomicUsize>,
+    /// Consumer's advisory progress (occupancy estimates only).
+    head: CachePadded<S::AtomicUsize>,
+    /// How many producers have closed.
+    closed: S::AtomicUsize,
+    /// Total producer handles created for this ring.
+    producers: usize,
+}
+
+impl<T: Send, S: RingSync> Drop for Shared<T, S> {
+    fn drop(&mut self) {
+        // Sole owner: drop every published-but-unpopped item. A cell at
+        // index i is occupied iff its sequence is in the "readable"
+        // phase, i.e. seq ≡ i + 1 (mod capacity) — see the module doc's
+        // three-phase sequence scheme.
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            if cell.seq.unsync_load() & self.mask == (i + 1) & self.mask {
+                // SAFETY: the sequence phase says this slot holds an
+                // initialized value, and we are the last owner.
+                unsafe { cell.slot.drop_in_place() };
+            }
+        }
+    }
+}
+
+/// One write half of an MPSC ring; see [`mpsc`]. Clonable only at
+/// construction time: [`mpsc`] hands out exactly `producers` handles.
+pub struct MpscProducer<T: Send, S: RingSync = StdSync> {
+    shared: Arc<Shared<T, S>>,
+    /// Locally buffered items awaiting a batched reservation.
+    buf: Vec<T>,
+    /// Reserve at most this many slots per CAS.
+    batch: usize,
+    /// Highest occupancy this producer has observed (see
+    /// [`MpscProducer::high_water_mark`]).
+    hwm: usize,
+    /// Set once this handle has counted itself into `closed`.
+    closed: bool,
+}
+
+/// The read half of an MPSC ring; see [`mpsc`].
+pub struct MpscConsumer<T: Send, S: RingSync = StdSync> {
+    shared: Arc<Shared<T, S>>,
+    /// Next index to pop.
+    pos: usize,
+}
+
+/// Create a bounded MPSC ring with `producers` write handles and one
+/// consumer, holding at least `capacity` items (rounded up to a power
+/// of two, minimum 2).
+///
+/// # Examples
+///
+/// ```
+/// let (mut txs, mut rx) = ah_simnet::mpsc::mpsc::<u64>(2, 8);
+/// let handles: Vec<_> = txs
+///     .drain(..)
+///     .enumerate()
+///     .map(|(p, mut tx)| {
+///         std::thread::spawn(move || {
+///             for i in 0..100u64 {
+///                 tx.push(p as u64 * 1000 + i);
+///             }
+///             tx.close();
+///         })
+///     })
+///     .collect();
+/// let mut got = Vec::new();
+/// while let Some(v) = rx.pop_wait() {
+///     got.push(v);
+/// }
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// got.sort_unstable();
+/// assert_eq!(got.len(), 200);
+/// assert!(got.windows(2).all(|w| w[0] < w[1]), "exactly-once delivery");
+/// ```
+pub fn mpsc<T: Send>(producers: usize, capacity: usize) -> (Vec<MpscProducer<T>>, MpscConsumer<T>) {
+    mpsc_with::<StdSync, T>(producers, capacity, RESERVE_BATCH)
+}
+
+/// Create an MPSC ring over an explicit [`RingSync`] facade with an
+/// explicit reservation batch — the entry point the model-check suite
+/// uses to run the production protocol on shadow atomics at tiny
+/// capacities and batches. `batch` is clamped to `1..=capacity`.
+pub fn mpsc_with<S: RingSync, T: Send>(
+    producers: usize,
+    capacity: usize,
+    batch: usize,
+) -> (Vec<MpscProducer<T, S>>, MpscConsumer<T, S>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let cells: Box<[Cell<T, S>]> =
+        (0..cap).map(|i| Cell { seq: S::AtomicUsize::new(i), slot: S::Slot::vacant() }).collect();
+    let shared = Arc::new(Shared::<T, S> {
+        mask: cap - 1,
+        cells,
+        tail: CachePadded(S::AtomicUsize::new(0)),
+        head: CachePadded(S::AtomicUsize::new(0)),
+        closed: S::AtomicUsize::new(0),
+        producers,
+    });
+    let txs = (0..producers)
+        .map(|_| MpscProducer {
+            shared: Arc::clone(&shared),
+            buf: Vec::with_capacity(batch.clamp(1, cap)),
+            batch: batch.clamp(1, cap),
+            hwm: 0,
+            closed: false,
+        })
+        .collect();
+    (txs, MpscConsumer { shared, pos: 0 })
+}
+
+impl<T: Send, S: RingSync> MpscProducer<T, S> {
+    /// Ring capacity in items.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Highest occupancy this producer has observed after any
+    /// reservation, in items — computed against the consumer's
+    /// *advisory* head, so an upper bound on true instantaneous
+    /// occupancy (the conservative number wanted for "how close did
+    /// the merge ring come to back-pressuring this shard"). Plain
+    /// field; reading it cannot perturb the protocol.
+    pub fn high_water_mark(&self) -> usize {
+        self.hwm
+    }
+
+    /// Try to claim `k` contiguous slots; `Some(first_index)` on
+    /// success, `None` when the ring lacks room right now.
+    fn try_reserve(&mut self, k: usize) -> Option<usize> {
+        let mut pos = self.shared.tail.0.load(S::TAIL_RESERVE);
+        loop {
+            // The batch fits iff its *last* slot is writable: the
+            // single consumer recycles strictly in order, so slot
+            // `pos + k - 1` free implies all earlier ones are too.
+            let probe = &self.shared.cells[(pos + k - 1) & self.shared.mask];
+            let seq = probe.seq.load(S::RECYCLE_OBSERVE);
+            if seq == pos + k - 1 {
+                match self.shared.tail.0.compare_exchange(
+                    pos,
+                    pos + k,
+                    S::TAIL_RESERVE,
+                    S::TAIL_RESERVE,
+                ) {
+                    Ok(_) => {
+                        let head = self.shared.head.0.load(S::HEAD_ADVISORY);
+                        self.hwm = self.hwm.max((pos + k).saturating_sub(head));
+                        return Some(pos);
+                    }
+                    Err(actual) => {
+                        pos = actual;
+                        continue;
+                    }
+                }
+            }
+            if seq < pos + k - 1 {
+                // Not yet recycled: the ring genuinely lacks k slots.
+                return None;
+            }
+            // seq ran ahead: our tail copy is stale; reload and retry.
+            pos = self.shared.tail.0.load(S::TAIL_RESERVE);
+        }
+    }
+
+    /// Write the whole local buffer into freshly reserved slots and
+    /// publish them in order. Spins (then yields) while the ring is
+    /// full.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let k = self.buf.len();
+        let mut spins = 0u32;
+        let first = loop {
+            if let Some(first) = self.try_reserve(k) {
+                break first;
+            }
+            spins += 1;
+            if spins < 64 {
+                S::spin_loop();
+            } else {
+                S::yield_now();
+            }
+        };
+        for (j, v) in self.buf.drain(..).enumerate() {
+            let idx = first + j;
+            let cell = &self.shared.cells[idx & self.shared.mask];
+            // SAFETY: the successful reservation CAS made [first,
+            // first+k) exclusively ours, and the probed recycle
+            // sequence (Acquire) ordered this write after the previous
+            // occupant's consumption.
+            unsafe { cell.slot.write(v) };
+            cell.seq.store(idx + 1, S::SEQ_PUBLISH);
+        }
+    }
+
+    /// Enqueue one item. The item is buffered locally and becomes
+    /// visible at the next batch boundary, [`MpscProducer::flush`] or
+    /// [`MpscProducer::close`] — same two-phase cadence as the SPSC
+    /// ring's batched publication.
+    pub fn push(&mut self, value: T) {
+        self.buf.push(value);
+        if self.buf.len() >= self.batch {
+            self.flush();
+        }
+    }
+
+    /// Flush and count this producer closed; once all producers close,
+    /// the consumer's [`MpscConsumer::pop_wait`] returns `None` after
+    /// the ring drains.
+    pub fn close(mut self) {
+        self.flush();
+        self.closed = true;
+        self.shared.closed.fetch_add(1, S::CLOSED_PUBLISH);
+    }
+}
+
+impl<T: Send, S: RingSync> Drop for MpscProducer<T, S> {
+    fn drop(&mut self) {
+        if self.closed {
+            return;
+        }
+        // A dropped (not closed) producer makes a best-effort flush —
+        // it must not spin, because the consumer may already be gone —
+        // then counts itself closed so the stream still terminates.
+        // Buffered items that don't fit are dropped; call `close()` for
+        // guaranteed delivery.
+        if !self.buf.is_empty() {
+            if let Some(first) = self.try_reserve(self.buf.len()) {
+                for (j, v) in self.buf.drain(..).enumerate() {
+                    let idx = first + j;
+                    let cell = &self.shared.cells[idx & self.shared.mask];
+                    // SAFETY: same exclusivity argument as `flush` —
+                    // the reservation CAS made these slots ours.
+                    unsafe { cell.slot.write(v) };
+                    cell.seq.store(idx + 1, S::SEQ_PUBLISH);
+                }
+            } else {
+                self.buf.clear();
+            }
+        }
+        self.shared.closed.fetch_add(1, S::CLOSED_PUBLISH);
+    }
+}
+
+impl<T: Send, S: RingSync> MpscConsumer<T, S> {
+    /// Dequeue without blocking; `None` when no published item is ready
+    /// at the consumer's cursor.
+    pub fn pop(&mut self) -> Option<T> {
+        let cell = &self.shared.cells[self.pos & self.shared.mask];
+        let seq = cell.seq.load(S::SEQ_OBSERVE);
+        if seq != self.pos + 1 {
+            return None;
+        }
+        // SAFETY: seq == pos + 1 says the producer published this slot
+        // (Acquire above ordered us after its write), and only this
+        // single consumer ever takes.
+        let value = unsafe { cell.slot.take() };
+        cell.seq.store(self.pos + self.shared.mask + 1, S::RECYCLE_PUBLISH);
+        self.pos += 1;
+        self.shared.head.0.store(self.pos, S::HEAD_ADVISORY);
+        Some(value)
+    }
+
+    /// Dequeue, waiting (spin, then yield) for an item; `None` only
+    /// after every producer closed *and* the ring has drained.
+    pub fn pop_wait(&mut self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(v) = self.pop() {
+                return Some(v);
+            }
+            if self.shared.closed.load(S::CLOSED_OBSERVE) == self.shared.producers {
+                // Re-check: every final flush happens-before the count
+                // reaching the producer total.
+                return self.pop();
+            }
+            spins += 1;
+            if spins < 64 {
+                S::spin_loop();
+            } else {
+                S::yield_now();
+            }
+        }
+    }
+
+    /// True when every producer has closed (items may remain).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(S::CLOSED_OBSERVE) == self.shared.producers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_producer_within_one_thread() {
+        let (mut txs, mut rx) = mpsc::<u32>(1, 8);
+        let mut tx = txs.pop().expect("one producer");
+        assert_eq!(tx.capacity(), 8);
+        for i in 0..5 {
+            tx.push(i);
+        }
+        tx.flush();
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn buffered_items_are_invisible_until_batch_or_flush() {
+        let (mut txs, mut rx) = mpsc_with::<StdSync, u32>(1, 8, 3);
+        let mut tx = txs.pop().expect("one producer");
+        tx.push(1);
+        tx.push(2);
+        assert_eq!(rx.pop(), None, "below batch: invisible");
+        tx.push(3);
+        assert_eq!(rx.pop(), Some(1), "batch of 3 self-publishes");
+        tx.push(4);
+        tx.flush();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), Some(4));
+    }
+
+    #[test]
+    fn full_ring_back_pressures_and_recovers() {
+        let (mut txs, mut rx) = mpsc_with::<StdSync, u32>(1, 4, 1);
+        let mut tx = txs.pop().expect("one producer");
+        for i in 0..4 {
+            tx.push(i);
+        }
+        assert!(tx.try_reserve(1).is_none(), "full ring must refuse reservation");
+        assert_eq!(rx.pop(), Some(0));
+        tx.push(4);
+        let got: Vec<u32> = std::iter::from_fn(|| rx.pop()).collect();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (mut txs, mut rx) = mpsc::<u32>(2, 8);
+        let a = txs.pop().expect("producer");
+        let mut b = txs.pop().expect("producer");
+        b.push(7);
+        b.close();
+        assert!(!rx.is_closed(), "one producer still open");
+        a.close();
+        assert_eq!(rx.pop_wait(), Some(7));
+        assert_eq!(rx.pop_wait(), None);
+        assert!(rx.is_closed());
+    }
+
+    #[test]
+    fn drop_of_all_producers_closes() {
+        let (txs, mut rx) = mpsc::<u32>(3, 8);
+        drop(txs);
+        assert_eq!(rx.pop_wait(), None);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_occupancy() {
+        let (mut txs, mut rx) = mpsc_with::<StdSync, u32>(1, 8, 1);
+        let mut tx = txs.pop().expect("one producer");
+        assert_eq!(tx.high_water_mark(), 0);
+        for i in 0..8 {
+            tx.push(i);
+        }
+        assert_eq!(tx.high_water_mark(), 8, "filled to capacity");
+        for _ in 0..4 {
+            rx.pop();
+        }
+        tx.push(8);
+        assert_eq!(tx.high_water_mark(), 8, "refill after drain keeps the peak");
+    }
+
+    #[test]
+    fn unpopped_items_are_dropped_with_the_ring() {
+        let (mut txs, rx) = mpsc::<Box<u64>>(1, 8);
+        let mut tx = txs.pop().expect("one producer");
+        tx.push(Box::new(1));
+        tx.push(Box::new(2));
+        tx.flush();
+        drop(rx);
+        tx.close();
+    }
+
+    #[test]
+    fn cross_thread_exactly_once_two_producers() {
+        const N: u64 = 100_000;
+        let (mut txs, mut rx) = mpsc::<u64>(2, 256);
+        let handles: Vec<_> = txs
+            .drain(..)
+            .enumerate()
+            .map(|(p, mut tx)| {
+                std::thread::spawn(move || {
+                    for i in 0..N {
+                        tx.push((p as u64) * N + i);
+                    }
+                    tx.close();
+                })
+            })
+            .collect();
+        let mut per_producer: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        while let Some(v) = rx.pop_wait() {
+            per_producer[(v / N) as usize].push(v % N);
+        }
+        for h in handles {
+            h.join().expect("producer thread");
+        }
+        for (p, seen) in per_producer.iter().enumerate() {
+            assert_eq!(seen.len() as u64, N, "producer {p}: lost or duplicated items");
+            assert!(
+                seen.iter().enumerate().all(|(i, &v)| i as u64 == v),
+                "producer {p}: per-producer FIFO violated"
+            );
+        }
+    }
+
+    #[test]
+    fn four_producers_mixed_batches() {
+        const N: u64 = 5_000;
+        let (txs, mut rx) = mpsc_with::<StdSync, u64>(4, 16, 4);
+        let handles: Vec<_> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(p, mut tx)| {
+                std::thread::spawn(move || {
+                    for i in 0..N {
+                        tx.push((p as u64) << 32 | i);
+                    }
+                    tx.close();
+                })
+            })
+            .collect();
+        let mut counts = [0u64; 4];
+        let mut last = [-1i64; 4];
+        while let Some(v) = rx.pop_wait() {
+            let p = (v >> 32) as usize;
+            let i = (v & 0xffff_ffff) as i64;
+            assert!(i > last[p], "per-producer FIFO violated for {p}");
+            last[p] = i;
+            counts[p] += 1;
+        }
+        for h in handles {
+            h.join().expect("producer thread");
+        }
+        assert_eq!(counts, [N; 4]);
+    }
+}

@@ -234,32 +234,14 @@ impl Telescope {
     }
 
     /// Offer one packet to the telescope.
-    pub fn observe(&mut self, pkt: &PacketMeta) -> CaptureOutcome {
-        self.observe_inner(pkt, None)
-    }
-
-    /// Offer one packet with a pre-computed aggregator-clock verdict.
     ///
-    /// Shard-mode entry point for the parallel pipeline: filtering,
-    /// classification and capture statistics are recomputed locally
-    /// (they are pure per-packet functions), but the watermark-dependent
-    /// accept/quarantine decision comes from the dispatcher's
-    /// [`TelescopeDispatch`], which replayed the aggregator clock in
-    /// global stream order. `decision` is only consulted for scanning
-    /// packets that pass the dark-space and source-filter checks.
-    pub fn observe_decided(
-        &mut self,
-        pkt: &PacketMeta,
-        decision: crate::event::AggDecision,
-    ) -> CaptureOutcome {
-        self.observe_inner(pkt, Some(decision))
-    }
-
-    fn observe_inner(
-        &mut self,
-        pkt: &PacketMeta,
-        decision: Option<crate::event::AggDecision>,
-    ) -> CaptureOutcome {
+    /// Every step — dark-space membership, source filtering,
+    /// classification, capture statistics, and the aggregator's per-key
+    /// reordering verdict — depends only on the packet and per-key
+    /// state, so feeding a source-partitioned substream to its own
+    /// `Telescope` instance and merging afterwards reproduces the
+    /// serial result exactly (`ARCHITECTURE.md` §11).
+    pub fn observe(&mut self, pkt: &PacketMeta) -> CaptureOutcome {
         let Some(idx) = self.dark.index_of(pkt.dst) else {
             return CaptureOutcome::NotDark;
         };
@@ -274,10 +256,7 @@ impl Telescope {
         self.m_bytes.add(u64::from(pkt.wire_len));
         match class {
             Some(c) => {
-                match decision {
-                    None => self.aggregator.observe(pkt, c, idx),
-                    Some(d) => self.aggregator.observe_decided(pkt, c, idx, d),
-                }
+                self.aggregator.observe(pkt, c, idx);
                 CaptureOutcome::Scan(c)
             }
             None => CaptureOutcome::NonScan,
@@ -307,96 +286,6 @@ impl Telescope {
     /// Reordering-policy counters from the event aggregator.
     pub fn aggregator_stats(&self) -> crate::event::AggregatorStats {
         self.aggregator.stats()
-    }
-}
-
-/// Dispatcher-side shadow of the telescope's aggregator clock.
-///
-/// The sharded parallel pipeline splits the packet stream by source IP,
-/// but the [`crate::event::EventAggregator`] watermark (and its implicit
-/// expiration sweep) is *global* state: a packet from any source
-/// advances it, and a later packet from a different source is judged
-/// against it. To keep parallel runs bitwise-identical to serial ones,
-/// the single dispatcher thread — which still sees every packet in
-/// global serial order — runs this shadow clock, stamps each scanning
-/// packet with its [`crate::event::AggDecision`], and broadcasts an
-/// `advance(now)` to every shard whenever the serial pipeline would have
-/// swept. Shards then apply identical outcomes without sharing state.
-///
-/// Must be constructed with the same prefix/timeout/filter as the
-/// shards' [`Telescope`]s so it replays exactly the clock that
-/// [`Telescope::with_source_filter`] would build.
-pub struct TelescopeDispatch {
-    dark: DarkSpace,
-    source_filter: ah_net::prefix::PrefixSet,
-    watermark: ah_net::time::Ts,
-    last_sweep: ah_net::time::Ts,
-    sweep_every: ah_net::time::Dur,
-    reorder_window: ah_net::time::Dur,
-    /// Telemetry (inert until [`TelescopeDispatch::set_recorder`]).
-    m_lag_us: ah_obs::Histogram,
-    m_sweeps_broadcast: ah_obs::Counter,
-}
-
-impl TelescopeDispatch {
-    /// Shadow clock for a telescope built by
-    /// [`Telescope::with_source_filter`] with the same arguments.
-    pub fn new(
-        prefix: Prefix,
-        timeout: ah_net::time::Dur,
-        filter: ah_net::prefix::PrefixSet,
-    ) -> TelescopeDispatch {
-        TelescopeDispatch {
-            dark: DarkSpace::new(prefix),
-            source_filter: filter,
-            watermark: ah_net::time::Ts::ZERO,
-            last_sweep: ah_net::time::Ts::ZERO,
-            sweep_every: ah_net::time::Dur(timeout.0 / 2),
-            reorder_window: ah_net::time::Dur(timeout.0 / 2),
-            m_lag_us: ah_obs::Histogram::default(),
-            m_sweeps_broadcast: ah_obs::Counter::default(),
-        }
-    }
-
-    /// Attach live telemetry instruments. The watermark-lag histogram
-    /// shares its name with the serial aggregator's so the metric is
-    /// populated exactly once per scanning packet in either engine.
-    pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
-        self.m_lag_us =
-            rec.histogram("ah_telescope_agg_watermark_lag_us", ah_obs::LATENCY_US_BUCKETS);
-        self.m_sweeps_broadcast = rec.counter("ah_telescope_dispatch_sweeps_broadcast_total");
-    }
-
-    /// Run the serial aggregator's clock logic for one packet.
-    ///
-    /// Returns `None` for packets the aggregator would never see
-    /// (outside the dark space, filtered source, or non-scanning);
-    /// otherwise the accept/quarantine decision plus, when the implicit
-    /// sweep fired, the sweep timestamp that must be broadcast to every
-    /// shard *before* this packet is delivered to its own shard.
-    pub fn decide(
-        &mut self,
-        pkt: &PacketMeta,
-    ) -> Option<(crate::event::AggDecision, Option<ah_net::time::Ts>)> {
-        self.dark.index_of(pkt.dst)?;
-        if self.source_filter.contains(pkt.src) {
-            return None;
-        }
-        pkt.scan_class()?;
-        let lateness = self.watermark.since(pkt.ts);
-        self.m_lag_us.observe(lateness.0);
-        if lateness > self.reorder_window {
-            return Some((crate::event::AggDecision::Quarantine, None));
-        }
-        self.watermark = self.watermark.max(pkt.ts);
-        let sweep = if self.watermark.since(self.last_sweep) >= self.sweep_every {
-            self.last_sweep = self.watermark;
-            self.m_sweeps_broadcast.inc();
-            Some(self.watermark)
-        } else {
-            None
-        };
-        Some((crate::event::AggDecision::Accept { late: lateness.0 > 0 }, sweep))
     }
 }
 

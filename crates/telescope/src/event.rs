@@ -7,17 +7,31 @@
 //! timestamps, packet and byte totals, the number of *unique dark
 //! destinations* contacted, and per-tool fingerprint attribution.
 //!
-//! # Reordering policy
+//! # Reordering policy — per-key, not global
 //!
-//! Real capture pipelines deliver slightly out-of-order packets. The
-//! aggregator keeps a high-watermark of the newest timestamp seen and
-//! accepts any packet no older than `watermark - reorder_window`
-//! (default: half the idle timeout): such a packet joins its event
-//! normally, and if it predates the event's recorded start, the start is
-//! *repaired* backwards. Packets older than the window are *quarantined*
-//! — counted in [`AggregatorStats`], never merged — so a single
-//! wildly-late packet cannot stretch an event across hours. Every
-//! observed packet lands in exactly one of `accepted` or `quarantined`.
+//! Real capture pipelines deliver slightly out-of-order packets. Each
+//! *event* tolerates packets up to `reorder_window` (default: half the
+//! idle timeout) older than the newest timestamp **that event** has
+//! seen: such a packet joins its event normally, and if it predates the
+//! event's recorded start, the start is *repaired* backwards. Packets
+//! older than the event's own window are *quarantined* — counted in
+//! [`AggregatorStats`], never merged — so a single wildly-late packet
+//! cannot stretch an event across hours. Every observed packet lands in
+//! exactly one of `accepted` or `quarantined`.
+//!
+//! Judging lateness against the event's own clock (rather than a global
+//! watermark over all sources) makes every accept/quarantine/split
+//! decision a pure function of the packet subsequence *for that key*.
+//! That is what lets the sharded parallel pipeline partition sources
+//! across threads with no shared clock: each key's packets all land on
+//! one shard in their serial relative order, so per-key decisions — and
+//! therefore event contents — are bitwise-identical at any thread
+//! count. Timed expiry stays content-neutral by carrying an extra
+//! `reorder_window` of slack (see [`EventAggregator::advance`]): by the
+//! time a sweep may close an event, any future packet for that key is
+//! guaranteed to start a fresh event anyway, provided the input's
+//! per-key disorder is bounded by `reorder_window` (the fault layer's
+//! `max_skew ≤ reorder_window` contract). See `ARCHITECTURE.md` §11.
 
 use crate::dstset::DstSet;
 use ah_net::fingerprint::{classify, Tool};
@@ -148,26 +162,6 @@ impl DarknetEvent {
     }
 }
 
-/// The aggregator-clock verdict for one scanning packet.
-///
-/// In the serial pipeline [`EventAggregator::observe`] computes this
-/// internally from its watermark. In the sharded parallel pipeline the
-/// dispatcher thread — which sees the packet stream in global serial
-/// order — replays the same watermark logic once and stamps each packet
-/// with the resulting decision, so every shard applies *identical*
-/// accept/quarantine outcomes regardless of thread interleaving.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AggDecision {
-    /// The packet is older than the reorder window: count and drop.
-    Quarantine,
-    /// Merge the packet into its event; `late` marks packets that
-    /// arrived behind the watermark (within the window).
-    Accept {
-        /// The packet arrived behind the watermark.
-        late: bool,
-    },
-}
-
 /// Input-fate counters for the aggregator's reordering policy.
 ///
 /// Conservation: `received == accepted + quarantined`; `late_accepted`
@@ -178,7 +172,8 @@ pub struct AggregatorStats {
     pub received: u64,
     /// Packets merged into an event.
     pub accepted: u64,
-    /// Accepted packets that arrived behind the watermark.
+    /// Accepted packets that arrived behind their event's newest
+    /// timestamp (within the reorder window).
     pub late_accepted: u64,
     /// Accepted packets that moved an event's start earlier.
     pub start_repaired: u64,
@@ -221,10 +216,12 @@ pub struct EventAggregator {
     last_sweep: Ts,
     /// How often `observe` triggers an implicit expiration sweep.
     sweep_every: Dur,
-    /// Newest packet timestamp seen so far.
+    /// Newest packet timestamp seen so far. Content-neutral: it drives
+    /// only the implicit sweep schedule and the lag histogram, never an
+    /// accept/quarantine decision (those are per-key).
     watermark: Ts,
-    /// Max lateness (behind the watermark) a packet may have and still be
-    /// merged into its event.
+    /// Max lateness (behind its event's newest timestamp) a packet may
+    /// have and still be merged into that event.
     reorder_window: Dur,
     stats: AggregatorStats,
     /// Telemetry (inert until [`EventAggregator::set_recorder`]).
@@ -301,62 +298,38 @@ impl EventAggregator {
     /// index within the dark space (see [`crate::capture::DarkSpace`]).
     ///
     /// Packets should arrive in roughly non-decreasing time order.
-    /// Reordering up to `reorder_window` behind the newest timestamp seen
-    /// is absorbed (the matching event's start is repaired backwards if
-    /// needed); anything older is quarantined, not merged.
+    /// Reordering up to `reorder_window` behind the newest timestamp
+    /// *of the packet's own event* is absorbed (the event's start is
+    /// repaired backwards if needed); anything older is quarantined,
+    /// not merged. Because the verdict depends only on per-key state,
+    /// the outcome is identical whether the full stream or any
+    /// source-partitioned substream is fed — the property the sharded
+    /// parallel engine relies on (`ARCHITECTURE.md` §11).
     pub fn observe(&mut self, pkt: &PacketMeta, class: ScanClass, dst_index: u32) {
-        let lateness = self.watermark.since(pkt.ts);
-        self.m_lag_us.observe(lateness.0);
-        if lateness > self.reorder_window {
-            self.observe_decided(pkt, class, dst_index, AggDecision::Quarantine);
-            return;
-        }
+        self.stats.received += 1;
+        self.m_received.inc();
+        self.m_lag_us.observe(self.watermark.since(pkt.ts).0);
         self.watermark = self.watermark.max(pkt.ts);
         // Implicit periodic sweep keeps the active map bounded even if the
         // caller never calls `advance`. Driven by the watermark so a late
-        // packet never rewinds the sweep schedule.
+        // packet never rewinds the sweep schedule; content-neutral thanks
+        // to the `advance` slack, so shards sweeping on their own local
+        // watermarks still produce identical events.
         if self.watermark.since(self.last_sweep) >= self.sweep_every {
             self.advance(self.watermark);
         }
-        self.observe_decided(pkt, class, dst_index, AggDecision::Accept { late: lateness.0 > 0 });
-    }
-
-    /// Observe one scanning packet with a pre-computed clock verdict.
-    ///
-    /// This is the shard-mode entry point: the caller (the parallel
-    /// dispatcher) has already run the watermark/reorder logic in global
-    /// stream order and supplies the [`AggDecision`]; this aggregator's
-    /// own watermark is left untouched and sweeps happen only via
-    /// explicit [`EventAggregator::advance`] calls (broadcast by the
-    /// dispatcher at the exact serial stream positions). Per-key merge
-    /// semantics are identical to [`EventAggregator::observe`].
-    pub fn observe_decided(
-        &mut self,
-        pkt: &PacketMeta,
-        class: ScanClass,
-        dst_index: u32,
-        decision: AggDecision,
-    ) {
-        self.stats.received += 1;
-        self.m_received.inc();
-        let late = match decision {
-            AggDecision::Quarantine => {
-                self.stats.quarantined += 1;
-                self.m_quarantined.inc();
-                return;
-            }
-            AggDecision::Accept { late } => late,
-        };
-        if late {
-            self.stats.late_accepted += 1;
-        }
-        self.stats.accepted += 1;
-        self.m_accepted.inc();
         let key = EventKey::of(pkt, class);
         let tool = classify(pkt);
         match self.active.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let ev = e.get_mut();
+                if ev.last.since(pkt.ts) > self.reorder_window {
+                    // Older than this event's own reorder window: count
+                    // and drop, never merge.
+                    self.stats.quarantined += 1;
+                    self.m_quarantined.inc();
+                    return;
+                }
                 if pkt.ts.since(ev.last) > self.timeout {
                     // Gap exceeded: close the old event and start fresh.
                     let done = Self::finish(key, e.remove(), self.dark_size);
@@ -364,6 +337,9 @@ impl EventAggregator {
                     self.m_events_total.inc();
                     self.active.insert(key, Self::fresh(pkt, tool, dst_index, self.dark_size));
                 } else {
+                    if pkt.ts < ev.last {
+                        self.stats.late_accepted += 1;
+                    }
                     if pkt.ts < ev.start {
                         ev.start = pkt.ts;
                         self.stats.start_repaired += 1;
@@ -379,6 +355,8 @@ impl EventAggregator {
                 v.insert(Self::fresh(pkt, tool, dst_index, self.dark_size));
             }
         }
+        self.stats.accepted += 1;
+        self.m_accepted.inc();
         self.m_active_hwm.set_max(self.active.len() as i64);
     }
 
@@ -410,18 +388,27 @@ impl EventAggregator {
         }
     }
 
-    /// Expire all events idle past the timeout as of `now`.
+    /// Expire all events idle past the timeout — plus one extra
+    /// `reorder_window` of slack — as of `now`.
+    ///
+    /// The slack makes timed expiry *content-neutral*: an event is only
+    /// closed once every packet that could still legally reach it (per-
+    /// key disorder is bounded by `reorder_window`) would exceed the
+    /// idle timeout and start a fresh event anyway. Sweeping earlier,
+    /// later, or never therefore changes *when* completed events are
+    /// drained but never their contents — which is why serial runs and
+    /// shards sweeping on independent local clocks agree bitwise.
     pub fn advance(&mut self, now: Ts) {
         self.m_sweeps.inc();
         let _span = self.m_sweep_us.time();
         self.last_sweep = now;
         self.watermark = self.watermark.max(now);
-        let timeout = self.timeout;
+        let expire_after = Dur(self.timeout.0 + self.reorder_window.0);
         let dark_size = self.dark_size;
         let expired: Vec<EventKey> = self
             .active
             .iter()
-            .filter(|(_, ev)| now.since(ev.last) > timeout)
+            .filter(|(_, ev)| now.since(ev.last) > expire_after)
             .map(|(k, _)| *k)
             .collect();
         for key in expired {
@@ -542,7 +529,11 @@ mod tests {
         let (p, i) = syn(0, 1, 0, 23);
         a.observe(&p, ScanClass::TcpSyn, i);
         assert_eq!(a.active_count(), 1);
+        // Timed expiry carries reorder-window slack: timeout (600s) plus
+        // window (300s) must elapse before a sweep closes the event.
         a.advance(Ts::from_secs(601));
+        assert_eq!(a.active_count(), 1, "within the slack: not yet expired");
+        a.advance(Ts::from_secs(901));
         assert_eq!(a.active_count(), 0);
         assert_eq!(a.drain_completed().len(), 1);
     }
@@ -593,8 +584,10 @@ mod tests {
             let (p, i) = syn(u64::from(s) * 10, s, 0, 23);
             a.observe(&p, ScanClass::TcpSyn, i);
         }
-        // By t=10000s, sources that spoke before t≈9300 are expired.
-        assert!(a.active_count() < 100, "active map not swept: {}", a.active_count());
+        // By t=9990s, sources idle past timeout + reorder_window (900s)
+        // at the last implicit sweep are expired; only the most recent
+        // ~100s of sources (plus one sweep period of drift) survive.
+        assert!(a.active_count() < 150, "active map not swept: {}", a.active_count());
     }
 
     #[test]
@@ -603,7 +596,7 @@ mod tests {
         let mut a = agg();
         let (p1, i1) = syn(100, 1, 0, 23);
         a.observe(&p1, ScanClass::TcpSyn, i1);
-        let (p2, i2) = syn(50, 1, 1, 23); // 50s behind the watermark
+        let (p2, i2) = syn(50, 1, 1, 23); // 50s behind the event's newest ts
         a.observe(&p2, ScanClass::TcpSyn, i2);
         let stats = a.stats();
         assert_eq!(stats.late_accepted, 1);
@@ -657,7 +650,7 @@ mod tests {
         let s = a.stats();
         assert_eq!(s.received, times.len() as u64);
         assert_eq!(s.received, s.accepted + s.quarantined);
-        assert!(s.quarantined >= 1); // the t=10 packet after watermark 700
+        assert!(s.quarantined >= 1); // the t=10 packet 690s behind its event's last (700)
         assert!(s.late_accepted >= 2);
         let total_pkts: u64 = a.flush().iter().map(|e| e.packets).sum();
         assert_eq!(total_pkts, s.accepted);

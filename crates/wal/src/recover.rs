@@ -72,6 +72,48 @@ impl RecoveredLog {
 /// order) to `on_record(seq, raw_payload, record)`. Returns the durable
 /// watermark and what the scanner had to do to get there. An absent or
 /// empty directory recovers to an empty log (`next_seq == 0`).
+///
+/// # Examples
+///
+/// A torn trailing write (the bytes a crash left behind after the last
+/// group commit) is discarded and physically truncated; every committed
+/// frame survives:
+///
+/// ```
+/// use ah_net::{Ipv4Addr4, PacketMeta, Ts};
+/// use ah_obs::Recorder;
+/// use ah_wal::record::WalRecord;
+/// use ah_wal::writer::{WalWriter, WalWriterConfig};
+///
+/// let dir = std::env::temp_dir().join(format!("wal-doc-recover-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let rec = Recorder::noop();
+/// let mut w = WalWriter::create(&dir, WalWriterConfig::default(), &rec)?;
+/// for i in 0..4u64 {
+///     let pkt = PacketMeta::tcp_syn(
+///         Ts::from_secs(i),
+///         Ipv4Addr4(0x0a00_0001),
+///         Ipv4Addr4(0xc000_0202),
+///         40_000,
+///         443,
+///     );
+///     w.append(&WalRecord::Packet(pkt))?;
+/// }
+/// w.commit()?;
+/// drop(w);
+///
+/// // Simulate a crash mid-append: garbage after the committed tail.
+/// use std::io::Write;
+/// let seg = dir.join(format!("{:016x}.seg", 0));
+/// std::fs::OpenOptions::new().append(true).open(&seg)?.write_all(&[0xAB; 7])?;
+///
+/// let log = ah_wal::recover::recover(&dir, &rec, |_seq, _raw, _record| {})?;
+/// assert_eq!(log.next_seq, 4, "all committed frames survive");
+/// assert_eq!(log.stats.torn_frames, 1, "the torn tail is counted once");
+/// assert_eq!(log.stats.bytes_truncated, 7, "and physically removed");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), std::io::Error>(())
+/// ```
 pub fn recover(
     dir: &Path,
     rec: &Recorder,

@@ -98,6 +98,47 @@ impl WalWriter {
     /// Create a fresh log in `dir` (created if absent). Fails with
     /// [`io::ErrorKind::AlreadyExists`] if the directory already holds
     /// segments — recovery + [`WalWriter::resume`] is the path for that.
+    ///
+    /// # Examples
+    ///
+    /// Append a few packet records, group-commit them durable, and
+    /// stream them back through recovery:
+    ///
+    /// ```
+    /// use ah_net::{Ipv4Addr4, PacketMeta, Ts};
+    /// use ah_obs::Recorder;
+    /// use ah_wal::record::WalRecord;
+    /// use ah_wal::writer::{WalWriter, WalWriterConfig};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("wal-doc-create-{}", std::process::id()));
+    /// # let _ = std::fs::remove_dir_all(&dir);
+    /// let rec = Recorder::noop();
+    /// let mut w = WalWriter::create(&dir, WalWriterConfig::default(), &rec)?;
+    /// for i in 0..3u16 {
+    ///     let pkt = PacketMeta::tcp_syn(
+    ///         Ts::from_secs(u64::from(i)),
+    ///         Ipv4Addr4(0x0a00_0001),
+    ///         Ipv4Addr4(0xc000_0202),
+    ///         40_000 + i,
+    ///         443,
+    ///     );
+    ///     w.append(&WalRecord::Packet(pkt))?;
+    /// }
+    /// assert_eq!(w.durable_seq(), 0, "appends buffer until the group commit");
+    /// w.commit()?;
+    /// assert_eq!(w.durable_seq(), 3);
+    /// drop(w);
+    ///
+    /// let mut packets = 0;
+    /// let log = ah_wal::recover::recover(&dir, &rec, |_seq, _raw, record| {
+    ///     if matches!(record, WalRecord::Packet(_)) {
+    ///         packets += 1;
+    ///     }
+    /// })?;
+    /// assert_eq!((packets, log.next_seq, log.is_sealed()), (3, 3, false));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn create(dir: &Path, cfg: WalWriterConfig, rec: &Recorder) -> io::Result<WalWriter> {
         fs::create_dir_all(dir)?;
         if !segment_paths(dir)?.is_empty() {

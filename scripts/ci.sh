@@ -30,8 +30,23 @@ echo "==> ah-lint (static metric-name check)"
 # check below still covers dynamically-built names.)
 cargo run -q --release -p ah-lint -- --lint metric-name --deny-warnings
 
+echo "==> ah-lint (markdown links + anchors)"
+# Nothing compiles markdown, so renamed files and sections strand
+# cross-references silently; the doc-link pass (crates/lint/src/mdcheck.rs)
+# resolves every relative link and #anchor in every *.md of the repo.
+# External http(s) targets are skipped — CI does not touch the network.
+cargo run -q --release -p ah-lint -- --md --deny-warnings
+
 echo "==> rustdoc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> doctests"
+# The public ring/WAL API examples in the rustdoc (SPSC Producer/Consumer,
+# the MPSC merge ring, WalWriter/recovery) are executable. The workspace
+# test run above already includes them; this named pass exists so a
+# filtered `cargo test` invocation elsewhere can never silently drop
+# the examples-stay-true gate.
+cargo test --workspace --doc -q
 
 echo "==> benches compile"
 cargo bench --workspace --no-run -q
@@ -49,12 +64,14 @@ echo "==> telemetry determinism gate"
 # never silently drop it.
 cargo test --release --test telemetry -q
 
-echo "==> SPSC ring model check (exhaustive, release)"
-# vendor/interleave explores every interleaving of the producer/consumer
-# lifecycle within the configured bounds: the real ring must be clean and
-# every seeded ordering mutant must be caught with a replayable
-# counterexample. The two heavy clean-ring tests are ignored in debug
-# builds and only run here, in release.
+echo "==> ring model checks: SPSC + MPSC (exhaustive, release)"
+# vendor/interleave explores every interleaving of both ring lifecycles
+# within the configured bounds: the SPSC dispatch ring and the MPSC
+# merge ring must each be clean, and every seeded ordering mutant (six
+# per ring) must be caught with a replayable counterexample. The heavy
+# clean-ring tests are ignored in debug builds and only run here, in
+# release; expect several minutes — the MPSC capacity-4 case alone
+# explores ~1M schedules.
 cargo test --release -p ah-simnet --test model_check -q
 
 echo "==> WAL crash-recovery gate"

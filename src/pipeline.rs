@@ -10,15 +10,17 @@
 //! * [`run`] — the serial reference: one vantage stack consumes the
 //!   muxed (and optionally fault-injected) stream in generation order.
 //! * [`run_parallel`] — the sharded engine: a single-threaded dispatcher
-//!   replays every *global* (cross-source order-dependent) decision —
-//!   fault injection, aggregator watermark/sweep clocks, per-router
-//!   samplers and flow-cache clocks — and stamps the verdicts onto each
-//!   packet, then hands the packet to one of N worker shards over a
-//!   lock-free SPSC ring ([`ah_simnet::ring`]). Sharding is by source IP,
-//!   so all per-source state is shard-local; shard outputs merge with
-//!   order-insensitive operators and both engines produce **bitwise
-//!   identical** [`RunOutput`]s (see `ARCHITECTURE.md` for the proof
-//!   sketch and [`RunOutput::fingerprint`] for the check).
+//!   does nothing but drive the traffic mux and hand each raw packet to
+//!   the worker shard owning its source IP over a lock-free SPSC ring
+//!   ([`ah_simnet::ring`]). Every decision that once required global
+//!   stream order — fault injection, aggregator reordering verdicts,
+//!   per-router sampling, flow-cache lateness — is a pure function of
+//!   the *per-source* (or per-key) subsequence, so each shard recomputes
+//!   its own slice of them independently. Shard results return over a
+//!   bounded MPSC merge ring ([`ah_simnet::mpsc`]) and fold with
+//!   order-insensitive operators, so both engines produce **bitwise
+//!   identical** [`RunOutput`]s (see `ARCHITECTURE.md` §11 for the
+//!   proof sketch and [`RunOutput::fingerprint`] for the check).
 //!
 //! Tap experiments (Figures 1/2) are inherently two-phase: the paper
 //! derives the hitter list from darknet detection *before* counting
@@ -41,15 +43,14 @@ use ah_net::packet::{PacketMeta, ScanClass};
 use ah_net::time::Ts;
 use ah_obs::{Exporter, Recorder};
 use ah_simnet::faults::{FaultInjector, FaultPlan, InjectorStats};
+use ah_simnet::mpsc::{mpsc, MpscConsumer};
 use ah_simnet::ring::ring;
 use ah_simnet::rng::hash64;
 use ah_simnet::scenario::{Scenario, ScenarioConfig};
 use ah_simnet::world::World;
-use ah_telescope::capture::{
-    CaptureOutcome, CaptureStats, CaptureSummary, DarkSpace, Telescope, TelescopeDispatch,
-};
+use ah_telescope::capture::{CaptureOutcome, CaptureStats, CaptureSummary, DarkSpace, Telescope};
 use ah_telescope::daily::{DailyTracker, DayStats};
-use ah_telescope::event::{AggDecision, AggregatorStats, DarknetEvent};
+use ah_telescope::event::{AggregatorStats, DarknetEvent};
 use ah_wal::record::{fnv1a_fold, RunMeta, RunSeal, WalRecord, FNV_OFFSET};
 use ah_wal::{RecoveredLog, WalWriter, WalWriterConfig};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -117,7 +118,8 @@ impl RunOptions {
 ///
 /// Telemetry is **observation-only**: nothing the pipeline computes ever
 /// reads an instrument back, and the exporter is ticked at deterministic
-/// *stream positions* (packets delivered), never wall-clock time — so a
+/// *stream positions* (packets delivered, or packets generated on the
+/// sharded engine), never wall-clock time — so a
 /// run with a live recorder produces a [`RunOutput`] bitwise identical
 /// to the same run with [`Telemetry::disabled`]. `tests/telemetry.rs`
 /// holds both engines to exactly this standard.
@@ -357,7 +359,11 @@ impl Vantage {
         }
     }
 
-    /// Serial engine: every vantage point runs its own clocks.
+    /// Feed one delivered packet to every vantage point. Both engines
+    /// run this exact path: every downstream decision is a pure function
+    /// of the per-source (or per-key) subsequence, so a shard consuming
+    /// only its sources computes exactly what the serial engine does
+    /// (see `ARCHITECTURE.md` §11).
     fn consume(&mut self, pkt: &PacketMeta) {
         let outcome = self.telescope.observe(pkt);
         self.track(pkt, outcome);
@@ -369,40 +375,6 @@ impl Vantage {
         }
         if let Some(g) = self.gn.as_mut() {
             g.observe(pkt, payload_hint(pkt.src, pkt.dst_port()));
-        }
-    }
-
-    /// Parallel engine: the dispatcher already ran every clock; replay
-    /// its verdicts from the message flags.
-    fn consume_decided(&mut self, pkt: &PacketMeta, flags: u8) {
-        let decision = if flags & F_AGG_QUARANTINE != 0 {
-            AggDecision::Quarantine
-        } else {
-            AggDecision::Accept { late: flags & F_AGG_LATE != 0 }
-        };
-        let outcome = self.telescope.observe_decided(pkt, decision);
-        self.track(pkt, outcome);
-        if let Some(m) = self.merit.as_mut() {
-            m.observe_decided(pkt, flags & F_MERIT_SAMPLED != 0, flags & F_MERIT_LATE != 0);
-        }
-        if let Some(c) = self.cu.as_mut() {
-            c.observe_decided(pkt, flags & F_CU_SAMPLED != 0, flags & F_CU_LATE != 0);
-        }
-        if let Some(g) = self.gn.as_mut() {
-            g.observe(pkt, payload_hint(pkt.src, pkt.dst_port()));
-        }
-    }
-
-    fn apply(&mut self, msg: PipeMsg) {
-        match msg {
-            PipeMsg::Pkt(pkt, flags) => self.consume_decided(&pkt, flags),
-            PipeMsg::AggSweep(now) => self.telescope.advance(now),
-            PipeMsg::FlowSweep { cu, router, now } => {
-                let isp = if cu { self.cu.as_mut() } else { self.merit.as_mut() };
-                if let Some(m) = isp {
-                    m.sweep_router(router, now);
-                }
-            }
         }
     }
 
@@ -436,35 +408,59 @@ impl Vantage {
 
 // --- The sharded engine ------------------------------------------------
 
-/// Per-ring slot count. Broadcast sweeps are rare (every half-timeout of
-/// simulated time), so rings mostly carry 1/N of the packet stream.
+/// Per-shard SPSC ring slot count; each ring carries the raw packets of
+/// 1/N of the source space.
 const RING_CAPACITY: usize = 4096;
 
-const F_AGG_QUARANTINE: u8 = 1;
-const F_AGG_LATE: u8 = 2;
-const F_MERIT_SAMPLED: u8 = 4;
-const F_MERIT_LATE: u8 = 8;
-const F_CU_SAMPLED: u8 = 16;
-const F_CU_LATE: u8 = 32;
-
-/// One message on a shard's ring: a packet with the dispatcher's verdict
-/// flags, or a broadcast clock event every shard must apply at this exact
-/// stream position.
-#[derive(Debug, Clone, Copy)]
-enum PipeMsg {
-    Pkt(PacketMeta, u8),
-    /// The event aggregator's implicit sweep fired at `Ts`.
-    AggSweep(Ts),
-    /// One border router's flow-cache inactive sweep fired.
-    FlowSweep {
-        cu: bool,
-        router: RouterId,
-        now: Ts,
-    },
+/// One shard's complete result, shipped back to the merge stage over the
+/// MPSC ring.
+struct ShardResult {
+    out: Box<ShardOut>,
+    /// Ledger of the shard-local fault injector (`None` on clean runs,
+    /// and in [`run_parallel_wal`] where the dispatcher owns the single
+    /// global injector).
+    injector: Option<InjectorStats>,
+    /// Packets this shard delivered to its vantage points.
+    delivered: u64,
 }
 
 fn shard_of(src: Ipv4Addr4, threads: usize) -> usize {
     (hash64(u64::from(src.to_u32())) % threads as u64) as usize
+}
+
+/// Drain the MPSC merge ring, then join the shard threads. Arrival order
+/// on the ring is irrelevant — every merge in [`finalize_run`] is
+/// commutative and event/record order is re-canonicalized there — so the
+/// consumer simply folds results in whatever order shards finish.
+/// Joining *after* the drain still propagates shard panics: a panicking
+/// shard's producer handle counts itself closed on unwind, so the drain
+/// terminates.
+fn collect_shards<'scope>(
+    mut merge_rx: MpscConsumer<ShardResult>,
+    handles: Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
+) -> Vec<ShardResult> {
+    let mut results = Vec::with_capacity(handles.len());
+    while let Some(r) = merge_rx.pop_wait() {
+        results.push(r);
+    }
+    for h in handles {
+        // ah-lint: allow(panic-path, reason = "a panicking shard thread must propagate the panic rather than silently drop a shard's output")
+        h.join().expect("pipeline shard thread");
+    }
+    results
+}
+
+/// Sum the shard-local injector ledgers; `None` when the run is clean.
+/// Every [`InjectorStats`] field is a plain count over a disjoint slice
+/// of the source space, so the per-shard ledgers sum to exactly the
+/// serial injector's.
+fn merge_injector_stats(results: &[ShardResult]) -> Option<InjectorStats> {
+    let mut it = results.iter().filter_map(|r| r.injector.as_ref());
+    let mut acc = *it.next()?;
+    for s in it {
+        acc.merge(s);
+    }
+    Some(acc)
 }
 
 /// Merge shard outputs and finalize. The serial engine passes a single
@@ -581,7 +577,12 @@ fn finalize_run(
     // files always cover the completed run.
     health.export_metrics(&tel.recorder);
     if let Some(ex) = tel.exporter.as_mut() {
-        ex.export_now(delivered);
+        // The closing snapshot's position must not run backwards past any
+        // periodic tick: the serial and WAL engines tick at *delivered*
+        // positions (which duplication faults can push past `generated`),
+        // the non-WAL sharded engine at *generated* positions (which drop
+        // faults can push past `delivered`). The max covers both.
+        ex.export_now(delivered.max(generated));
     }
     RunOutput {
         world,
@@ -690,14 +691,15 @@ pub fn run_with_recorder(cfg: ScenarioConfig, opts: RunOptions, tel: &mut Teleme
 
 /// Run the same pipeline on `threads` worker shards.
 ///
-/// A single-threaded dispatcher drives the mux and fault injector (the
-/// only stages whose behavior depends on total stream order), replays the
-/// aggregator and flow-cache clocks via [`TelescopeDispatch`] and
-/// [`ah_flow::router::FlowDispatch`], stamps each packet with the
-/// verdicts, and ships it to the shard owning its source IP. Broadcast
-/// sweep messages are enqueued to *every* shard before the packet that
-/// triggered them, so each shard observes clock events at the same stream
-/// positions the serial engine does.
+/// The dispatcher is a pure router: it drives the traffic mux and pushes
+/// each raw packet onto the SPSC ring of the shard owning the packet's
+/// source IP. Each shard runs its *own* fault injector (fault verdicts
+/// are keyed by source and per-source sequence number, so a shard's
+/// substream reproduces the serial verdicts exactly — see
+/// [`ah_simnet::faults`]) and its own vantage stack, whose reordering,
+/// sampling, and lateness decisions are all per-key pure. Shard results
+/// return over a bounded MPSC merge ring ([`ah_simnet::mpsc`]) and fold
+/// commutatively.
 ///
 /// The output is bitwise identical to [`run`] with the same inputs;
 /// `threads == 0` or `1` still goes through the sharded path (with one
@@ -708,10 +710,10 @@ pub fn run_parallel(cfg: ScenarioConfig, opts: RunOptions, threads: usize) -> Ru
 
 /// [`run_parallel`] with live telemetry. Dispatcher-side instruments add
 /// stall timing (how long the dispatcher blocked on a full shard ring)
-/// and per-shard ring-occupancy high-water marks on top of the stage
-/// instruments the shards register themselves. Message order on every
-/// ring is identical with telemetry on or off, so the output stays
-/// bitwise identical to [`run`] / [`run_parallel`].
+/// and per-shard occupancy high-water marks for both ring kinds on top
+/// of the stage instruments the shards register themselves. Packet order
+/// on every ring is identical with telemetry on or off, so the output
+/// stays bitwise identical to [`run`] / [`run_parallel`].
 pub fn run_parallel_with_recorder(
     cfg: ScenarioConfig,
     opts: RunOptions,
@@ -724,140 +726,104 @@ pub fn run_parallel_with_recorder(
     let world = sc.world.clone();
     let rec = tel.recorder.clone();
 
-    // Dispatcher-side clocks. The ISP models here are never observed —
-    // they exist to answer the pure `disposition` routing query.
-    let mut tele = TelescopeDispatch::new(
-        world.config.dark,
-        ah_telescope::timeout::paper_default(),
-        bogon_filter(),
-    );
-    tele.set_recorder(&rec);
-    let merit_model = opts.merit_isp.then(|| merit_isp(&world, opts.sampling_rate));
-    let cu_model = opts.cu_isp.then(|| cu_isp(&world, opts.sampling_rate));
-    let mut merit_dispatch = merit_model.as_ref().map(IspModel::dispatch);
-    let mut cu_dispatch = cu_model.as_ref().map(IspModel::dispatch);
-    if let Some(d) = merit_dispatch.as_mut() {
-        d.set_recorder(&rec);
-    }
-    if let Some(d) = cu_dispatch.as_mut() {
-        d.set_recorder(&rec);
-    }
-    let m_packets = rec.counter("ah_pipeline_mux_packets_delivered_total");
-    let m_bytes = rec.counter("ah_pipeline_mux_bytes_delivered_total");
     let m_stalls = rec.counter("ah_pipeline_dispatch_stalls_total");
     let m_stall_us = rec.histogram("ah_pipeline_dispatch_stall_us", ah_obs::LATENCY_US_BUCKETS);
     // Stall timing needs a try-push-then-spin sequence instead of a plain
-    // spinning push; both deliver the message at the same stream position,
+    // spinning push; both deliver the packet at the same stream position,
     // so the split is gated on the recorder rather than always paid.
     let time_stalls = rec.is_enabled();
 
     let mut producers = Vec::with_capacity(threads);
     let mut consumers = Vec::with_capacity(threads);
     for _ in 0..threads {
-        let (tx, rx) = ring::<PipeMsg>(RING_CAPACITY);
+        let (tx, rx) = ring::<PacketMeta>(RING_CAPACITY);
         producers.push(tx);
         consumers.push(rx);
     }
+    let (merge_txs, merge_rx) = mpsc::<ShardResult>(threads, threads);
 
     let mut generated = 0u64;
-    let mut delivered = 0u64;
-    let mut injector = opts.faults.map(FaultInjector::new);
-
-    let (inj_stats, shards) = std::thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let world_ref = &world;
         let opts_ref = &opts;
         let rec_ref = &rec;
         let handles: Vec<_> = consumers
             .into_iter()
-            .map(|mut rx| {
+            .zip(merge_txs)
+            .enumerate()
+            .map(|(i, (mut rx, mut mtx))| {
                 s.spawn(move || {
                     let mut v = Vantage::build(world_ref, opts_ref, rec_ref);
-                    while let Some(msg) = rx.pop_wait() {
-                        v.apply(msg);
+                    let m_packets = rec_ref.counter("ah_pipeline_mux_packets_delivered_total");
+                    let m_bytes = rec_ref.counter("ah_pipeline_mux_bytes_delivered_total");
+                    // Shard-local injector: fault verdicts are a pure
+                    // function of (source, per-source index), so this
+                    // shard's substream yields exactly the serial
+                    // decisions for its slice of the source space.
+                    let mut injector = opts_ref.faults.map(FaultInjector::new);
+                    let mut delivered = 0u64;
+                    {
+                        let mut consume = |pkt: &PacketMeta| {
+                            delivered += 1;
+                            m_packets.inc();
+                            m_bytes.add(u64::from(pkt.wire_len));
+                            v.consume(pkt);
+                        };
+                        while let Some(pkt) = rx.pop_wait() {
+                            match injector.as_mut() {
+                                Some(inj) => inj.apply(&pkt, &mut consume),
+                                None => consume(&pkt),
+                            }
+                        }
+                        if let Some(inj) = injector.as_mut() {
+                            inj.flush(&mut consume);
+                        }
                     }
-                    v.into_shard_out()
+                    mtx.push(ShardResult {
+                        out: Box::new(v.into_shard_out()),
+                        injector: injector.map(|i| i.stats()),
+                        delivered,
+                    });
+                    // Publish before reading the peak: the high-water
+                    // mark updates on reservation, and this shard's
+                    // final reservation is the interesting one.
+                    mtx.flush();
+                    let shard = i.to_string();
+                    rec_ref
+                        .gauge_with(
+                            "ah_pipeline_merge_ring_occupancy_hwm",
+                            &[("shard", shard.as_str())],
+                        )
+                        .set(mtx.high_water_mark() as i64);
+                    mtx.close();
                 })
             })
             .collect();
 
         {
             let exporter = &mut tel.exporter;
-            let mut consume = |pkt: &PacketMeta| {
-                let mut flags = 0u8;
-                if let Some((decision, sweep)) = tele.decide(pkt) {
-                    match decision {
-                        AggDecision::Quarantine => flags |= F_AGG_QUARANTINE,
-                        AggDecision::Accept { late } => {
-                            if late {
-                                flags |= F_AGG_LATE;
-                            }
-                        }
-                    }
-                    if let Some(now) = sweep {
-                        for p in producers.iter_mut() {
-                            p.push(PipeMsg::AggSweep(now));
-                        }
-                    }
-                }
-                if let (Some(m), Some(d)) = (merit_model.as_ref(), merit_dispatch.as_mut()) {
-                    if let Some(stamp) = d.decide(pkt.ts, m.disposition(pkt)) {
-                        if stamp.sampled {
-                            flags |= F_MERIT_SAMPLED;
-                            if stamp.late {
-                                flags |= F_MERIT_LATE;
-                            }
-                        }
-                        if let Some(now) = stamp.sweep {
-                            for p in producers.iter_mut() {
-                                p.push(PipeMsg::FlowSweep { cu: false, router: stamp.router, now });
-                            }
-                        }
-                    }
-                }
-                if let (Some(c), Some(d)) = (cu_model.as_ref(), cu_dispatch.as_mut()) {
-                    if let Some(stamp) = d.decide(pkt.ts, c.disposition(pkt)) {
-                        if stamp.sampled {
-                            flags |= F_CU_SAMPLED;
-                            if stamp.late {
-                                flags |= F_CU_LATE;
-                            }
-                        }
-                        if let Some(now) = stamp.sweep {
-                            for p in producers.iter_mut() {
-                                p.push(PipeMsg::FlowSweep { cu: true, router: stamp.router, now });
-                            }
-                        }
-                    }
-                }
-                delivered += 1;
-                m_packets.inc();
-                m_bytes.add(u64::from(pkt.wire_len));
+            sc.mux.drive(|pkt| {
+                generated += 1;
                 let shard = shard_of(pkt.src, threads);
-                let msg = PipeMsg::Pkt(*pkt, flags);
                 if time_stalls {
-                    if let Err(back) = producers[shard].try_push(msg) {
+                    if let Err(back) = producers[shard].try_push(*pkt) {
                         let t0 = std::time::Instant::now();
                         producers[shard].push(back);
                         m_stalls.inc();
                         m_stall_us.observe(t0.elapsed().as_micros() as u64);
                     }
                 } else {
-                    producers[shard].push(msg);
+                    producers[shard].push(*pkt);
                 }
                 if let Some(ex) = exporter.as_mut() {
-                    ex.maybe_export(delivered);
-                }
-            };
-            sc.mux.drive(|pkt| {
-                generated += 1;
-                match injector.as_mut() {
-                    Some(inj) => inj.apply(pkt, &mut consume),
-                    None => consume(pkt),
+                    // The dispatcher never sees post-fault deliveries,
+                    // so periodic snapshots tick at *generated* stream
+                    // positions on this engine — still deterministic
+                    // and monotone; the closing snapshot in
+                    // `finalize_run` covers the end of stream.
+                    ex.maybe_export(generated);
                 }
             });
-            if let Some(inj) = injector.as_mut() {
-                inj.flush(&mut consume);
-            }
         }
         for (i, p) in producers.into_iter().enumerate() {
             // Read the peak occupancy before close() consumes the
@@ -867,11 +833,11 @@ pub fn run_parallel_with_recorder(
                 .set(p.high_water_mark() as i64);
             p.close();
         }
-        let shards: Vec<ShardOut> =
-            // ah-lint: allow(panic-path, reason = "a panicking shard thread must propagate the panic rather than silently drop a shard's output")
-            handles.into_iter().map(|h| h.join().expect("pipeline shard thread")).collect();
-        (injector.as_ref().map(|i| i.stats()), shards)
+        collect_shards(merge_rx, handles)
     });
+    let delivered: u64 = results.iter().map(|r| r.delivered).sum();
+    let inj_stats = merge_injector_stats(&results);
+    let shards: Vec<ShardOut> = results.into_iter().map(|r| *r.out).collect();
     finalize_run(world, days, generated, delivered, inj_stats, shards, &opts, tel)
 }
 
@@ -1275,12 +1241,19 @@ pub fn resume_wal(
     drive_wal_serial(cfg, opts, wal, tel, writer, Some((feed.vantage, feed.packets, feed.hash)))
 }
 
-/// Parallel durable run: the sharded engine of
-/// [`run_parallel_with_recorder`] with the dispatcher appending every
-/// delivered packet to the write-ahead log before shipping it to its
-/// shard. Dispatcher order equals serial delivered order, so the log is
-/// byte-identical to the one [`run_wal`] writes — a log written at 8
-/// threads resumes and replays exactly like one written at 1.
+/// Parallel durable run: the sharded engine with the dispatcher owning
+/// the run's *single* fault injector and appending every delivered
+/// packet to the write-ahead log before shipping it — already post-fault
+/// — to the shard owning its source. The shards are pure consumers.
+///
+/// Keeping the injector on the dispatcher here (unlike
+/// [`run_parallel_with_recorder`], where it is sharded) preserves the
+/// journaling invariant: dispatcher append order equals serial delivered
+/// order, so the log is *byte-identical* to the one [`run_wal`] writes —
+/// a log written at 8 threads resumes and replays exactly like one
+/// written at 1, and the determinism suite pins the segment bytes
+/// themselves. The vantage points downstream are per-key pure, so the
+/// shards reproduce the serial output from their post-fault substreams.
 pub fn run_parallel_wal(
     cfg: ScenarioConfig,
     opts: RunOptions,
@@ -1297,33 +1270,17 @@ pub fn run_parallel_wal(
     let mut sc = Scenario::build(cfg);
     let world = sc.world.clone();
     let rec = tel.recorder.clone();
-
-    let mut tele = TelescopeDispatch::new(
-        world.config.dark,
-        ah_telescope::timeout::paper_default(),
-        bogon_filter(),
-    );
-    tele.set_recorder(&rec);
-    let merit_model = opts.merit_isp.then(|| merit_isp(&world, opts.sampling_rate));
-    let cu_model = opts.cu_isp.then(|| cu_isp(&world, opts.sampling_rate));
-    let mut merit_dispatch = merit_model.as_ref().map(IspModel::dispatch);
-    let mut cu_dispatch = cu_model.as_ref().map(IspModel::dispatch);
-    if let Some(d) = merit_dispatch.as_mut() {
-        d.set_recorder(&rec);
-    }
-    if let Some(d) = cu_dispatch.as_mut() {
-        d.set_recorder(&rec);
-    }
     let m_packets = rec.counter("ah_pipeline_mux_packets_delivered_total");
     let m_bytes = rec.counter("ah_pipeline_mux_bytes_delivered_total");
 
     let mut producers = Vec::with_capacity(threads);
     let mut consumers = Vec::with_capacity(threads);
     for _ in 0..threads {
-        let (tx, rx) = ring::<PipeMsg>(RING_CAPACITY);
+        let (tx, rx) = ring::<PacketMeta>(RING_CAPACITY);
         producers.push(tx);
         consumers.push(rx);
     }
+    let (merge_txs, merge_rx) = mpsc::<ShardResult>(threads, threads);
 
     let mut generated = 0u64;
     let mut delivered = 0u64;
@@ -1333,19 +1290,25 @@ pub fn run_parallel_wal(
     let stop = std::cell::Cell::new(false);
     let mut injector = opts.faults.map(FaultInjector::new);
 
-    let (inj_stats, shards) = std::thread::scope(|s| {
+    let (inj_stats, results) = std::thread::scope(|s| {
         let world_ref = &world;
         let opts_ref = &opts;
         let rec_ref = &rec;
         let handles: Vec<_> = consumers
             .into_iter()
-            .map(|mut rx| {
+            .zip(merge_txs)
+            .map(|(mut rx, mut mtx)| {
                 s.spawn(move || {
                     let mut v = Vantage::build(world_ref, opts_ref, rec_ref);
-                    while let Some(msg) = rx.pop_wait() {
-                        v.apply(msg);
+                    while let Some(pkt) = rx.pop_wait() {
+                        v.consume(&pkt);
                     }
-                    v.into_shard_out()
+                    mtx.push(ShardResult {
+                        out: Box::new(v.into_shard_out()),
+                        injector: None,
+                        delivered: 0,
+                    });
+                    mtx.close();
                 })
             })
             .collect();
@@ -1359,52 +1322,6 @@ pub fn run_parallel_wal(
                 if stop_ref.get() || io_err.is_some() {
                     return;
                 }
-                let mut flags = 0u8;
-                if let Some((decision, sweep)) = tele.decide(pkt) {
-                    match decision {
-                        AggDecision::Quarantine => flags |= F_AGG_QUARANTINE,
-                        AggDecision::Accept { late } => {
-                            if late {
-                                flags |= F_AGG_LATE;
-                            }
-                        }
-                    }
-                    if let Some(now) = sweep {
-                        for p in producers.iter_mut() {
-                            p.push(PipeMsg::AggSweep(now));
-                        }
-                    }
-                }
-                if let (Some(m), Some(d)) = (merit_model.as_ref(), merit_dispatch.as_mut()) {
-                    if let Some(stamp) = d.decide(pkt.ts, m.disposition(pkt)) {
-                        if stamp.sampled {
-                            flags |= F_MERIT_SAMPLED;
-                            if stamp.late {
-                                flags |= F_MERIT_LATE;
-                            }
-                        }
-                        if let Some(now) = stamp.sweep {
-                            for p in producers.iter_mut() {
-                                p.push(PipeMsg::FlowSweep { cu: false, router: stamp.router, now });
-                            }
-                        }
-                    }
-                }
-                if let (Some(c), Some(d)) = (cu_model.as_ref(), cu_dispatch.as_mut()) {
-                    if let Some(stamp) = d.decide(pkt.ts, c.disposition(pkt)) {
-                        if stamp.sampled {
-                            flags |= F_CU_SAMPLED;
-                            if stamp.late {
-                                flags |= F_CU_LATE;
-                            }
-                        }
-                        if let Some(now) = stamp.sweep {
-                            for p in producers.iter_mut() {
-                                p.push(PipeMsg::FlowSweep { cu: true, router: stamp.router, now });
-                            }
-                        }
-                    }
-                }
                 delivered += 1;
                 scratch.clear();
                 WalRecord::Packet(*pkt).encode_payload(&mut scratch);
@@ -1416,8 +1333,7 @@ pub fn run_parallel_wal(
                 }
                 m_packets.inc();
                 m_bytes.add(u64::from(pkt.wire_len));
-                let shard = shard_of(pkt.src, threads);
-                producers[shard].push(PipeMsg::Pkt(*pkt, flags));
+                producers[shard_of(pkt.src, threads)].push(*pkt);
                 if let Some(ex) = exporter.as_mut() {
                     ex.maybe_export(delivered);
                 }
@@ -1445,10 +1361,7 @@ pub fn run_parallel_wal(
         for p in producers.into_iter() {
             p.close();
         }
-        let shards: Vec<ShardOut> =
-            // ah-lint: allow(panic-path, reason = "a panicking shard thread must propagate the panic rather than silently drop a shard's output")
-            handles.into_iter().map(|h| h.join().expect("pipeline shard thread")).collect();
-        (injector.as_ref().map(|i| i.stats()), shards)
+        (injector.as_ref().map(|i| i.stats()), collect_shards(merge_rx, handles))
     });
     if let Some(e) = io_err {
         return Err(e);
@@ -1458,6 +1371,7 @@ pub fn run_parallel_wal(
         return Ok(WalOutcome::Suspended { delivered, durable_seq: writer.durable_seq() });
     }
     writer.seal(RunSeal { generated, delivered, packet_hash, injector: inj_stats })?;
+    let shards: Vec<ShardOut> = results.into_iter().map(|r| *r.out).collect();
     let out = finalize_run(world, days, generated, delivered, inj_stats, shards, &opts, tel);
     Ok(WalOutcome::Completed(Box::new(out)))
 }

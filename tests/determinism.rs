@@ -176,6 +176,62 @@ fn check_wal_equivalence(seed: u64, faults: Option<FaultPlan>, tag: &str) {
     }
 }
 
+/// Every log file in `dir`, as (name, bytes), sorted by name.
+fn journal_bytes(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("wal dir readable")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            let name = e.file_name().to_string_lossy().into_owned();
+            (name, std::fs::read(e.path()).expect("file readable"))
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+/// The sharded engine journals in **dispatcher order**, before packets
+/// fan out to shards — so the log a parallel run writes is not merely
+/// equivalent to the serial one, it is the same bytes. This is what
+/// makes a log resumable and replayable at any thread count: the WAL
+/// never records how many shards produced it. Compare every segment
+/// file and the index, byte for byte.
+#[test]
+fn parallel_wal_journal_is_byte_identical_to_serial() {
+    let opts = || {
+        RunOptions::full()
+            .with_thresholds(test_thresholds())
+            .with_faults(FaultPlan::uniform(0.01, 7))
+    };
+    let cfg = || ScenarioConfig::tiny(2, 24);
+    let mut tel = Telemetry::disabled();
+
+    let serial_dir = wal_dir("journal-serial");
+    finished(
+        pipeline::run_wal(cfg(), opts(), &WalRun::new(&serial_dir), &mut tel),
+        "journal: serial",
+    );
+    let serial = journal_bytes(&serial_dir);
+    assert!(!serial.is_empty(), "serial run wrote no journal files");
+
+    for threads in [2, 8] {
+        let par_dir = wal_dir(&format!("journal-par{threads}"));
+        finished(
+            pipeline::run_parallel_wal(cfg(), opts(), threads, &WalRun::new(&par_dir), &mut tel),
+            &format!("journal: {threads} threads"),
+        );
+        let parallel = journal_bytes(&par_dir);
+        let serial_names: Vec<&String> = serial.iter().map(|(n, _)| n).collect();
+        let parallel_names: Vec<&String> = parallel.iter().map(|(n, _)| n).collect();
+        assert_eq!(serial_names, parallel_names, "{threads} threads: journal file set");
+        for ((name, want), (_, got)) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(want, got, "{threads} threads: {name} bytes diverged from serial");
+        }
+        let _ = std::fs::remove_dir_all(&par_dir);
+    }
+    let _ = std::fs::remove_dir_all(&serial_dir);
+}
+
 #[test]
 fn wal_live_replay_and_resume_are_bitwise_identical_clean() {
     check_wal_equivalence(21, None, "wal-clean");

@@ -443,9 +443,22 @@ fn exported_metrics_cover_every_layer() {
     for name in &names {
         assert!(valid_metric_name(name), "bad metric name registered: {name}");
     }
-    // Ring occupancy: one gauge per shard on the 8-thread run.
+    // Ring occupancy: one gauge per shard on the 8-thread run, for both
+    // the dispatch rings and the MPSC merge ring's producer side.
     let rings = snap.samples.iter().filter(|s| s.name == "ah_pipeline_ring_occupancy_hwm").count();
     assert_eq!(rings, 8, "expected one ring-occupancy gauge per shard");
+    let merge: Vec<_> =
+        snap.samples.iter().filter(|s| s.name == "ah_pipeline_merge_ring_occupancy_hwm").collect();
+    assert_eq!(merge.len(), 8, "expected one merge-ring gauge per shard");
+    for s in merge {
+        match s.value {
+            // Every shard pushes exactly one ShardResult, so its peak
+            // reservation count is at least one slot (and bounded by
+            // the ring capacity, which equals the thread count here).
+            Value::Gauge(v) => assert!((1..=8).contains(&v), "merge HWM out of range: {v}"),
+            _ => panic!("merge ring metric is not a gauge"),
+        }
+    }
     // Cross-check the mux throughput counter against the run itself: a
     // clean run delivers every generated packet.
     let mux = snap

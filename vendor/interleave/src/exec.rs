@@ -20,7 +20,12 @@
 //! of a finite store buffer. Release-class stores snapshot the
 //! storer's vector clock; acquire-class loads join the snapshot of the
 //! store they read, which is exactly the C11 release/acquire
-//! synchronizes-with edge. `SeqCst` additionally joins through a
+//! synchronizes-with edge. An RMW's store also carries forward the
+//! snapshot of the store it read from — the C++20 *release sequence*:
+//! a chain of `fetch_add`s headed by a release operation keeps that
+//! head's snapshot alive, whatever each link's own ordering, so an
+//! acquire load of the last link synchronizes with every release
+//! operation in the chain. `SeqCst` additionally joins through a
 //! global clock (a sound approximation of the single total order; the
 //! workspace lint forbids `SeqCst` anyway). Plain [`cell`] accesses are
 //! not synchronization: they carry FastTrack-style read/write clocks
@@ -565,7 +570,17 @@ pub(crate) fn op_rmw(loc: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u
             let sync = g.atomics[loc].stores[latest].sync.clone();
             g.threads[me].clock.join(&sync);
         }
-        let sync = if is_release(ord) { g.threads[me].clock.clone() } else { VClock::new() };
+        // C++20 [atomics.order]: an RMW continues the release sequence
+        // of the store it reads from, whatever the RMW's own ordering.
+        // Its store therefore carries the predecessor's sync snapshot
+        // forward (joined with this thread's clock iff release-class),
+        // so an acquire load of the *last* fetch_add in a chain
+        // synchronizes with every release operation in the chain — the
+        // edge counted-close protocols (e.g. the MPSC merge ring's)
+        // depend on.
+        let mut sync = if is_release(ord) { g.threads[me].clock.clone() } else { VClock::new() };
+        let prev_sync = g.atomics[loc].stores[latest].sync.clone();
+        sync.join(&prev_sync);
         if ord == Ordering::SeqCst {
             let clk = g.threads[me].clock.clone();
             g.sc_clock.join(&clk);

@@ -163,6 +163,65 @@ fn stale_depth_zero_forces_latest_reads() {
     assert!(outcomes.contains(&2) && outcomes.contains(&0));
 }
 
+/// C++20 release sequences: a relaxed `fetch_add` that reads a release
+/// store continues its release sequence, so an acquire load of the
+/// RMW's result still synchronizes with the original release store.
+/// Counted-close protocols (every producer bumps a shared counter, the
+/// consumer acquires the final count) depend on exactly this edge.
+#[test]
+fn rmw_continues_the_release_sequence() {
+    let outcome = Checker::new().check(|| {
+        let data = Arc::new(shadow::Cell::new(0u64));
+        let flag = Arc::new(shadow::AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let f3 = Arc::clone(&flag);
+        let publisher = shadow::thread::spawn(move || {
+            d2.with_mut(|p| unsafe { *p = 42 });
+            f2.store(1, Ordering::Release);
+        });
+        let bumper = shadow::thread::spawn(move || {
+            // Relaxed on purpose: the RMW itself publishes nothing, but
+            // it must keep the publisher's release sequence alive.
+            f3.fetch_add(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            data.with(|p| unsafe { assert_eq!(*p, 42) });
+        }
+        publisher.join();
+        bumper.join();
+    });
+    outcome.assert_exhaustive_clean();
+}
+
+/// A plain relaxed *store* (not an RMW) to the same location breaks
+/// the release sequence: reading it with Acquire yields no edge to the
+/// earlier release store, and the data read races.
+#[test]
+fn plain_store_breaks_the_release_sequence() {
+    let outcome = Checker::new().check(|| {
+        let data = Arc::new(shadow::Cell::new(0u64));
+        let flag = Arc::new(shadow::AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let f3 = Arc::clone(&flag);
+        let publisher = shadow::thread::spawn(move || {
+            d2.with_mut(|p| unsafe { *p = 42 });
+            f2.store(1, Ordering::Release);
+        });
+        let clobberer = shadow::thread::spawn(move || {
+            if f3.load(Ordering::Relaxed) == 1 {
+                f3.store(2, Ordering::Relaxed);
+            }
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            data.with(|p| unsafe { std::ptr::read(p) });
+        }
+        publisher.join();
+        clobberer.join();
+    });
+    let failure = outcome.failure.expect("broken release sequence must race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+}
+
 /// The same model, same bounds, explores the same number of schedules:
 /// exploration is deterministic, which is what makes counterexample
 /// schedules replayable.
