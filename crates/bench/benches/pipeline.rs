@@ -86,6 +86,22 @@ fn ring_occupancy(threads: usize) -> (Vec<i64>, f64) {
     (hwm, secs)
 }
 
+/// One run of the widest configuration with a live [`ah_trace::Tracer`]
+/// at the binary's default journey sampling (1-in-64 sources),
+/// returning the wall clock and the number of trace events recorded —
+/// the price of tracing *on*. (Tracing *off* is every other
+/// configuration: the noop tracer rides the same hot paths.)
+fn traced_run(threads: usize) -> (f64, usize) {
+    let trace_cfg = ah_trace::TraceConfig { seed: SEED, ..ah_trace::TraceConfig::default() };
+    let mut tel = Telemetry::disabled().with_tracer(ah_trace::Tracer::new(trace_cfg));
+    let t0 = Instant::now();
+    black_box(pipeline::run_parallel_with_recorder(cfg(), RunOptions::full(), threads, &mut tel));
+    let secs = t0.elapsed().as_secs_f64();
+    let snap = tel.tracer.snapshot();
+    let events = snap.tracks.iter().map(|t| t.events.len()).sum();
+    (secs, events)
+}
+
 /// Best-of-three wall clock per configuration, written as JSON.
 ///
 /// The host core count is recorded alongside the numbers: on a
@@ -145,6 +161,23 @@ fn write_summary(generated: u64) {
         metrics_secs,
         metrics_pps,
         if serial_pps > 0.0 { metrics_pps / serial_pps } else { 1.0 }
+    ));
+    let (trace_secs, trace_events) = traced_run(widest);
+    let trace_pps = generated as f64 / trace_secs;
+    eprintln!(
+        "[bench] parallel_{widest} with live tracer: {trace_secs:.3}s, {trace_pps:.0} pkts/s, \
+         {trace_events} events"
+    );
+    lines.push(format!(
+        concat!(
+            "    {{\"engine\": \"parallel_trace\", \"threads\": {}, \"seconds\": {:.6}, ",
+            "\"packets_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}, \"trace_events\": {}}}"
+        ),
+        widest,
+        trace_secs,
+        trace_pps,
+        if serial_pps > 0.0 { trace_pps / serial_pps } else { 1.0 },
+        trace_events
     ));
     let ring_json: Vec<String> = ring_hwm.iter().map(|v| v.to_string()).collect();
     // An undersized host cannot produce a meaningful parallel speedup

@@ -89,6 +89,8 @@ fn main() {
     let mut out = PathBuf::from("out");
     let mut metrics: Option<PathBuf> = None;
     let mut metrics_interval = 100_000u64;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_sample = 64u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -124,13 +126,25 @@ fn main() {
                 i += 1;
                 metrics_interval = parse_flag(&args, i, "--metrics-interval", "integer");
             }
+            "--trace-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("error: --trace-out requires a file path (e.g. out/trace.json)");
+                    std::process::exit(2);
+                };
+                trace_out = Some(PathBuf::from(path));
+            }
+            "--trace-sample" => {
+                i += 1;
+                trace_sample = parse_flag(&args, i, "--trace-sample", "integer");
+            }
             id => ids.push(id.to_string()),
         }
         i += 1;
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR] [--threads N] [--metrics PATH] [--metrics-interval N]"
+            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR] [--threads N] [--metrics PATH] [--metrics-interval N] [--trace-out PATH] [--trace-sample N]"
         );
         std::process::exit(2);
     }
@@ -143,7 +157,7 @@ fn main() {
     }
     let spans = Spans::default().scaled(scale);
     let mut runs = Runs::new(spans, seed).with_threads(threads);
-    if let Some(base) = metrics {
+    let mut tel = if let Some(base) = metrics {
         if let Some(dir) = base.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir).ok();
         }
@@ -154,7 +168,20 @@ fn main() {
             exporter.jsonl_path().display(),
             exporter.prom_path().display()
         );
-        runs = runs.with_telemetry(Telemetry::with_exporter(rec, exporter));
+        Telemetry::with_exporter(rec, exporter)
+    } else {
+        Telemetry::disabled()
+    };
+    if trace_out.is_some() {
+        tel.tracer = ah_trace::Tracer::new(ah_trace::TraceConfig {
+            seed,
+            sample_one_in: trace_sample,
+            ..ah_trace::TraceConfig::default()
+        });
+        eprintln!("[trace] spans on, following ~1-in-{trace_sample} source journeys");
+    }
+    if tel.exporter.is_some() || tel.tracer.is_enabled() {
+        runs = runs.with_telemetry(tel);
     }
     let mut ctx = Ctx { runs, out, seed };
     std::fs::create_dir_all(&ctx.out).ok();
@@ -192,6 +219,25 @@ fn main() {
             ex.jsonl_path().display(),
             ex.io_errors()
         );
+    }
+    if let Some(path) = trace_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).ok();
+        }
+        let snap = ctx.runs.telemetry().tracer.snapshot();
+        match ah_trace::export::write_artifacts(&snap, &path) {
+            Ok(folded) => {
+                eprintln!("[trace] chrome trace -> {}", path.display());
+                eprintln!("[trace] folded stacks -> {}", folded.display());
+                if snap.dropped > 0 {
+                    eprintln!("[trace] {} events dropped (buffers full)", snap.dropped);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing trace artifacts: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

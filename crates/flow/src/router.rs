@@ -220,6 +220,8 @@ pub struct IspModel {
     sampling_rate: u64,
     /// Packets that stayed internal (cache-served etc.), per day.
     internal_by_day: HashMap<u64, u64>,
+    /// Trace handle (inert until [`IspModel::set_tracer`]).
+    tracer: ah_trace::Tracer,
 }
 
 impl IspModel {
@@ -235,6 +237,7 @@ impl IspModel {
                 .collect(),
             sampling_rate: cfg.sampling_rate,
             internal_by_day: HashMap::new(),
+            tracer: ah_trace::Tracer::noop(),
         }
     }
 
@@ -253,6 +256,14 @@ impl IspModel {
         for r in &mut self.routers {
             r.set_recorder(rec);
         }
+    }
+
+    /// Attach a tracer: sampled packet journeys get an
+    /// `ah_flow_router_observe` instant as they cross a border router,
+    /// and cache sweeps get an `ah_flow_router_sweep` span.
+    /// Observation-only: routing, sampling and export are unchanged.
+    pub fn set_tracer(&mut self, tracer: &ah_trace::Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Border router by id.
@@ -283,6 +294,10 @@ impl IspModel {
         let disposition = self.disposition(pkt);
         match disposition {
             Disposition::Border(id, dir) => {
+                let journey = self.tracer.journey_id(pkt.src.to_u32());
+                if journey != 0 {
+                    self.tracer.journey_instant("ah_flow_router_observe", journey);
+                }
                 if let Some(r) = self.router_mut(id) {
                     r.observe(pkt, dir);
                 }
@@ -297,6 +312,7 @@ impl IspModel {
 
     /// Sweep all flow caches as of `now`.
     pub fn sweep(&mut self, now: Ts) {
+        let _trace = self.tracer.span("ah_flow_router_sweep");
         for r in &mut self.routers {
             r.cache.sweep(now);
         }

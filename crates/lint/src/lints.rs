@@ -60,7 +60,7 @@ fn escape_json(s: &str) -> String {
 pub const LINTS: &[(&str, &str)] = &[
     ("panic-path", "no unwrap/expect/panic!/todo!/unimplemented!/unreachable! in non-test library code"),
     ("atomic-ordering", "SeqCst/Relaxed atomic orderings only at sites justified by an ORDERING:/SAFETY: comment"),
-    ("metric-name", "metric registration literals must satisfy ah_obs::valid_metric_name"),
+    ("metric-name", "metric registration and ah-trace span/track name literals must satisfy the ah_<crate>_<subsystem>_<name> scheme"),
     ("unsafe-safety-comment", "unsafe blocks/impls/traits need a SAFETY: comment; unsafe fns need a '# Safety' doc section"),
     ("doc-header", "crate roots must carry #![warn(missing_docs)]; every module file must open with a doc comment"),
     ("doc-link", "markdown links must resolve: relative paths exist, #anchors match a heading"),
@@ -396,6 +396,12 @@ fn atomic_ordering(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 const METRIC_FNS: &[&str] =
     &["counter", "counter_with", "gauge", "gauge_with", "histogram", "histogram_with"];
 
+/// ah-trace registration points whose first string-literal argument is a
+/// span/instant/track name. Shares the metric naming scheme
+/// (`ah_trace::valid_trace_name` is the same predicate as
+/// `ah_obs::valid_metric_name`), so violations report as `metric-name`.
+const TRACE_FNS: &[&str] = &["span", "journey_span", "instant", "journey_instant", "set_track"];
+
 fn metric_name(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     let code = code_tokens(ctx);
     for (i, t) in code.iter().enumerate() {
@@ -403,7 +409,9 @@ fn metric_name(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
             continue;
         }
         let Tok::Ident(name) = &t.kind else { continue };
-        if !METRIC_FNS.contains(&name.as_str()) {
+        let is_metric = METRIC_FNS.contains(&name.as_str());
+        let is_trace = TRACE_FNS.contains(&name.as_str());
+        if !is_metric && !is_trace {
             continue;
         }
         if code.get(i + 1).map(|t| &t.kind) != Some(&Tok::Punct('(')) {
@@ -411,12 +419,13 @@ fn metric_name(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
         }
         let Some(Tok::Str(lit)) = code.get(i + 2).map(|t| &t.kind) else { continue };
         if !ah_obs::valid_metric_name(lit) {
+            let kind = if is_metric { "metric" } else { "trace span/track" };
             out.push(ctx.diag(
                 t.line,
                 "metric-name",
                 format!(
-                    "metric name \"{lit}\" violates the ah_<crate>_<subsystem>_<name> scheme \
-                     (ah_obs::valid_metric_name)"
+                    "{kind} name \"{lit}\" violates the ah_<crate>_<subsystem>_<name> scheme \
+                     (ah_obs::valid_metric_name / ah_trace::valid_trace_name)"
                 ),
             ));
         }

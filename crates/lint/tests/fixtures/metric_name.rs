@@ -10,6 +10,16 @@ pub fn register(rec: &Recorder) {
     rec.gauge_with("ah_flow_cache_occupancy", &[("router", "r1")]);
 }
 
+pub fn trace_spans(tracer: &ah_trace::Tracer) {
+    let _s = tracer.span("ah_pipeline_mux_drive");
+    let _t = tracer.span("drive"); //~ metric-name
+    tracer.journey_span("ah_pipeline_dispatch_route", 7);
+    tracer.journey_instant("dispatch_route", 7); //~ metric-name
+    tracer.instant("ah_pipeline_dispatch_stall");
+    tracer.set_track("ah_pipeline_shard_worker", 1);
+    tracer.set_track("Shard_Worker", 1); //~ metric-name
+}
+
 pub fn non_literal_names_are_out_of_scope(rec: &Recorder, suffix: &str) {
     // Only string literals are statically checkable; dynamic names are
     // covered by the runtime JSONL check in scripts/ci.sh.

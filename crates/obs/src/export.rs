@@ -305,6 +305,44 @@ mod tests {
     }
 
     #[test]
+    fn empty_snapshot_exports_cleanly() {
+        // A recorder with nothing registered still produces valid output
+        // on both serializers: a JSONL object with an empty samples array
+        // and an empty (but not malformed) Prometheus page.
+        let snap = Snapshot::default();
+        assert_eq!(
+            to_jsonl_line(&snap, 0, 0, 0),
+            "{\"seq\":0,\"pos\":0,\"ts_ms\":0,\"samples\":[]}"
+        );
+        assert_eq!(to_prometheus(&snap), "");
+        assert_eq!(Recorder::new().snapshot(), snap);
+    }
+
+    #[test]
+    fn prometheus_label_ordering_is_stable() {
+        // Registration order of label pairs must not leak into the
+        // exposition text: the registry keys on sorted label sets, so two
+        // recorders built with permuted label slices serialize
+        // byte-identically — a scraper sees one stable series, not two.
+        let build = |labels: &[(&str, &str)]| {
+            let rec = Recorder::new();
+            rec.counter_with("ah_test_stage_packets_total", labels).add(9);
+            rec.gauge_with("ah_test_stage_depth_current", labels).set(4);
+            rec.snapshot()
+        };
+        let forward = build(&[("router", "r1"), ("shard", "3")]);
+        let reversed = build(&[("shard", "3"), ("router", "r1")]);
+        assert_eq!(forward, reversed, "label registration order changed the snapshot");
+        assert_eq!(to_prometheus(&forward), to_prometheus(&reversed));
+        assert_eq!(to_jsonl_line(&forward, 1, 2, 3), to_jsonl_line(&reversed, 1, 2, 3));
+        // Labels render sorted by key, and re-serializing the same
+        // snapshot is byte-stable.
+        let text = to_prometheus(&forward);
+        assert!(text.contains("ah_test_stage_packets_total{router=\"r1\",shard=\"3\"} 9\n"));
+        assert_eq!(text, to_prometheus(&forward));
+    }
+
+    #[test]
     fn jsonl_schema() {
         let line = to_jsonl_line(&demo_snapshot(), 5, 10_000, 123);
         assert!(line.starts_with("{\"seq\":5,\"pos\":10000,\"ts_ms\":123,\"samples\":["));

@@ -246,6 +246,10 @@ pub struct FaultInjector {
     /// Phase offset of the outage schedule, derived from the seed.
     outage_phase: u64,
     stats: InjectorStats,
+    /// Trace handle for journey-fate instants; noop unless attached via
+    /// [`FaultInjector::set_tracer`]. Observation-only: the tracer draws
+    /// nothing from the decision RNGs and no verdict depends on it.
+    tracer: ah_trace::Tracer,
 }
 
 impl FaultInjector {
@@ -263,7 +267,16 @@ impl FaultInjector {
             seq: 0,
             outage_phase,
             stats: InjectorStats::default(),
+            tracer: ah_trace::Tracer::noop(),
         }
+    }
+
+    /// Attach a tracer: sampled packet journeys (`Tracer::journey_id`)
+    /// get an `ah_simnet_faults_*` instant whenever a fault verdict
+    /// alters their fate (drop, outage, duplicate, reorder, discard).
+    /// Observation-only — verdicts and delivery order are unchanged.
+    pub fn set_tracer(&mut self, tracer: &ah_trace::Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The plan in force.
@@ -308,7 +321,7 @@ impl FaultInjector {
     /// Apply byte-level mutations; returns the packet to deliver, or
     /// `None` when the mutated bytes no longer parse. `rng` is the
     /// packet's own decision stream.
-    fn mutate(&mut self, rng: &mut Rng64, pkt: &PacketMeta) -> Option<PacketMeta> {
+    fn mutate(&mut self, rng: &mut Rng64, pkt: &PacketMeta, journey: u64) -> Option<PacketMeta> {
         if rng.chance(self.plan.truncate) {
             let bytes = pkt.to_bytes();
             let cut = rng.range(1, bytes.len().max(2) as u64) as usize;
@@ -316,6 +329,9 @@ impl FaultInjector {
                 Ok(p) => return Some(p),
                 Err(_) => {
                     self.stats.truncated_discarded += 1;
+                    if journey != 0 {
+                        self.tracer.journey_instant("ah_simnet_faults_discard", journey);
+                    }
                     return None;
                 }
             }
@@ -331,6 +347,9 @@ impl FaultInjector {
                 }
                 Err(_) => {
                     self.stats.corrupt_discarded += 1;
+                    if journey != 0 {
+                        self.tracer.journey_instant("ah_simnet_faults_discard", journey);
+                    }
                     return None;
                 }
             }
@@ -364,8 +383,14 @@ impl FaultInjector {
     pub fn apply(&mut self, pkt: &PacketMeta, emit: &mut impl FnMut(&PacketMeta)) {
         self.stats.input += 1;
         self.release_until(pkt.ts, emit);
+        // Journey tag for trace instants only: a pure hash of the source
+        // (no RNG draws), zero when tracing is off or unsampled.
+        let journey = self.tracer.journey_id(pkt.src.to_u32());
         if self.in_outage(pkt.ts) {
             self.stats.outage_dropped += 1;
+            if journey != 0 {
+                self.tracer.journey_instant("ah_simnet_faults_outage", journey);
+            }
             return;
         }
         let n = self.counters.entry(pkt.src.to_u32()).or_insert(0);
@@ -374,17 +399,26 @@ impl FaultInjector {
         let mut rng = Rng64::new(packet_decision_seed(self.plan.seed, pkt.src.to_u32(), draw));
         if rng.chance(self.plan.drop) {
             self.stats.dropped += 1;
+            if journey != 0 {
+                self.tracer.journey_instant("ah_simnet_faults_drop", journey);
+            }
             return;
         }
         let mut copies = 1;
         if rng.chance(self.plan.duplicate) {
             self.stats.duplicated += 1;
+            if journey != 0 {
+                self.tracer.journey_instant("ah_simnet_faults_duplicate", journey);
+            }
             copies = 2;
         }
         for _ in 0..copies {
-            let Some(out) = self.mutate(&mut rng, pkt) else { continue };
+            let Some(out) = self.mutate(&mut rng, pkt, journey) else { continue };
             if self.plan.max_skew.0 > 0 && rng.chance(self.plan.reorder) {
                 self.stats.reordered += 1;
+                if journey != 0 {
+                    self.tracer.journey_instant("ah_simnet_faults_reorder", journey);
+                }
                 let skew = Dur(rng.range(1, self.plan.max_skew.0 + 1));
                 self.seq += 1;
                 self.held.push(Reverse(Held { release: pkt.ts + skew, seq: self.seq, pkt: out }));

@@ -167,6 +167,8 @@ pub struct Telescope {
     m_packets: ah_obs::Counter,
     m_bytes: ah_obs::Counter,
     m_filtered: ah_obs::Counter,
+    /// Trace handle (inert until [`Telescope::set_tracer`]).
+    tracer: ah_trace::Tracer,
 }
 
 /// What happened to a packet offered to the telescope.
@@ -210,6 +212,7 @@ impl Telescope {
             m_packets: ah_obs::Counter::default(),
             m_bytes: ah_obs::Counter::default(),
             m_filtered: ah_obs::Counter::default(),
+            tracer: ah_trace::Tracer::noop(),
         }
     }
 
@@ -221,6 +224,16 @@ impl Telescope {
         self.m_bytes = rec.counter("ah_telescope_capture_bytes_total");
         self.m_filtered = rec.counter("ah_telescope_capture_filtered_total");
         self.aggregator.set_recorder(rec);
+    }
+
+    /// Attach a tracer: sampled packet journeys get an
+    /// `ah_telescope_capture_observe` instant as they enter the dark
+    /// space, and the aggregator's timed sweeps get an
+    /// `ah_telescope_agg_sweep` span. Observation-only — capture and
+    /// event semantics are unchanged.
+    pub fn set_tracer(&mut self, tracer: &ah_trace::Tracer) {
+        self.tracer = tracer.clone();
+        self.aggregator.set_tracer(tracer);
     }
 
     /// Packets dropped by the source filter so far.
@@ -245,6 +258,10 @@ impl Telescope {
         let Some(idx) = self.dark.index_of(pkt.dst) else {
             return CaptureOutcome::NotDark;
         };
+        let journey = self.tracer.journey_id(pkt.src.to_u32());
+        if journey != 0 {
+            self.tracer.journey_instant("ah_telescope_capture_observe", journey);
+        }
         if self.source_filter.contains(pkt.src) {
             self.filtered_packets += 1;
             self.m_filtered.inc();

@@ -233,6 +233,8 @@ pub struct EventAggregator {
     m_events_total: Counter,
     m_sweeps: Counter,
     m_sweep_us: Histogram,
+    /// Trace handle (inert until [`EventAggregator::set_tracer`]).
+    tracer: ah_trace::Tracer,
 }
 
 impl EventAggregator {
@@ -264,6 +266,7 @@ impl EventAggregator {
             m_events_total: Counter::default(),
             m_sweeps: Counter::default(),
             m_sweep_us: Histogram::default(),
+            tracer: ah_trace::Tracer::noop(),
         }
     }
 
@@ -282,6 +285,13 @@ impl EventAggregator {
         self.m_sweeps = rec.counter("ah_telescope_agg_sweeps_total");
         self.m_sweep_us =
             rec.histogram("ah_telescope_agg_sweep_duration_us", ah_obs::LATENCY_US_BUCKETS);
+    }
+
+    /// Attach a tracer: every timed expiry sweep emits an
+    /// `ah_telescope_agg_sweep` span on the sweeping thread's track.
+    /// Observation-only — sweep timing and event contents are unchanged.
+    pub fn set_tracer(&mut self, tracer: &ah_trace::Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Number of currently active (unexpired) events.
@@ -401,6 +411,7 @@ impl EventAggregator {
     pub fn advance(&mut self, now: Ts) {
         self.m_sweeps.inc();
         let _span = self.m_sweep_us.time();
+        let _trace = self.tracer.span("ah_telescope_agg_sweep");
         self.last_sweep = now;
         self.watermark = self.watermark.max(now);
         let expire_after = Dur(self.timeout.0 + self.reorder_window.0);

@@ -1,0 +1,443 @@
+//! First-party Chrome trace-event schema validator.
+//!
+//! CI must be able to assert that an emitted trace is loadable without
+//! reaching for external tooling, so this module carries a minimal
+//! recursive-descent JSON reader (the same spirit as the hand-rolled
+//! reader in `tests/telemetry.rs`) and a validator that enforces the
+//! subset of the trace-event format our exporter produces:
+//!
+//! * the root is an object with a `traceEvents` array;
+//! * every event has a `ph` phase string, and `B`/`E`/`i` events carry
+//!   `name`/`pid`/`tid`/`ts`;
+//! * per track (`pid`,`tid`), timestamps of `cat:"span"` events are
+//!   non-decreasing in array order and `B`/`E` events balance with
+//!   stack discipline (each `E` names the innermost open span);
+//! * span names satisfy [`crate::valid_trace_name`];
+//! * flow events (`s`/`t`/`f`) carry an `id`, and every flow chain has
+//!   a start and ≥ 2 points.
+//!
+//! The `ah-trace` binary (`src/main.rs`) wraps this for `scripts/ci.sh`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Minimal JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64; trace timestamps fit losslessly).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, val: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-utf8 number"))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. Validating only
+                    // the scalar's own bytes keeps the reader linear.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("non-utf8 string")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("truncated utf-8 scalar"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("non-utf8 string"))?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut r = Reader { bytes: text.as_bytes(), pos: 0 };
+    let v = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(r.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Summary statistics of a validated trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    /// Total trace events (including metadata and flows).
+    pub events: usize,
+    /// Distinct (pid, tid) tracks that carried span events.
+    pub tracks: usize,
+    /// Span count (`B` events).
+    pub spans: usize,
+    /// Instant count (`i` events, `cat:"span"` only).
+    pub instants: usize,
+    /// Distinct flow (journey) ids.
+    pub flow_ids: BTreeSet<u64>,
+    /// Distinct span/instant names seen.
+    pub names: BTreeSet<String>,
+}
+
+fn event_context(idx: usize, ev: &Json) -> String {
+    let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+    format!("event #{idx} ({name})")
+}
+
+/// Validate Chrome trace-event JSON produced by [`crate::export`] (see
+/// module docs for the exact contract). Returns summary stats on
+/// success and a human-readable reason on the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let root = parse_json(text)?;
+    let Some(Json::Arr(events)) = root.get("traceEvents") else {
+        return Err("root object lacks a traceEvents array".to_string());
+    };
+    let mut stats = TraceStats { events: events.len(), ..TraceStats::default() };
+    // Per (pid, tid): open-span name stack + last span-event timestamp.
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    // Flow id → (starts, total points).
+    let mut flows: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    for (idx, ev) in events.iter().enumerate() {
+        let ctx = event_context(idx, ev);
+        let Some(ph) = ev.get("ph").and_then(Json::as_str) else {
+            return Err(format!("{ctx}: missing ph"));
+        };
+        match ph {
+            "B" | "E" | "i" => {
+                let Some(name) = ev.get("name").and_then(Json::as_str) else {
+                    return Err(format!("{ctx}: missing name"));
+                };
+                let (Some(pid), Some(tid), Some(ts)) = (
+                    ev.get("pid").and_then(Json::as_num),
+                    ev.get("tid").and_then(Json::as_num),
+                    ev.get("ts").and_then(Json::as_num),
+                ) else {
+                    return Err(format!("{ctx}: missing pid/tid/ts"));
+                };
+                let cat = ev.get("cat").and_then(Json::as_str).unwrap_or("span");
+                if cat != "span" {
+                    continue;
+                }
+                let track = (pid as u64, tid as u64);
+                if let Some(&prev) = last_ts.get(&track) {
+                    if ts < prev {
+                        return Err(format!(
+                            "{ctx}: ts {ts} < {prev} — non-monotonic on track {track:?}"
+                        ));
+                    }
+                }
+                last_ts.insert(track, ts);
+                let base = name.split('/').next().unwrap_or(name);
+                if !crate::valid_trace_name(base) {
+                    return Err(format!("{ctx}: span name violates the naming scheme"));
+                }
+                stats.names.insert(name.to_string());
+                let stack = stacks.entry(track).or_default();
+                match ph {
+                    "B" => {
+                        stats.spans += 1;
+                        stack.push(name.to_string());
+                    }
+                    "E" => match stack.pop() {
+                        Some(top) if top == name => {}
+                        Some(top) => {
+                            return Err(format!(
+                                "{ctx}: E does not match innermost open span ({top})"
+                            ));
+                        }
+                        None => return Err(format!("{ctx}: E with no open span")),
+                    },
+                    _ => stats.instants += 1,
+                }
+            }
+            "s" | "t" | "f" => {
+                let Some(id) = ev.get("id").and_then(Json::as_num) else {
+                    return Err(format!("{ctx}: flow event missing id"));
+                };
+                let entry = flows.entry(id as u64).or_insert((0, 0));
+                if ph == "s" {
+                    entry.0 += 1;
+                }
+                entry.1 += 1;
+            }
+            "M" => {}
+            other => return Err(format!("{ctx}: unsupported phase {other:?}")),
+        }
+    }
+    for (track, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("track {track:?}: span {open:?} never ends (unbalanced B/E)"));
+        }
+    }
+    for (id, (starts, points)) in &flows {
+        if *starts != 1 {
+            return Err(format!("flow {id}: {starts} start events (want exactly 1)"));
+        }
+        if *points < 2 {
+            return Err(format!("flow {id}: only {points} point(s) (want ≥ 2)"));
+        }
+    }
+    stats.tracks = stacks.len();
+    stats.flow_ids = flows.keys().copied().collect();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v =
+            parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\n\"y\"","c":true,"d":null}"#).expect("parse");
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x\n\"y\""));
+        let Some(Json::Arr(items)) = v.get("a") else { panic!("array") };
+        assert_eq!(items[2].as_num(), Some(-300.0));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+
+    fn wrap(events: &str) -> String {
+        format!("{{\"traceEvents\":[{events}]}}")
+    }
+
+    #[test]
+    fn accepts_balanced_trace() {
+        let json = wrap(
+            r#"{"name":"ah_t_a_b","ph":"B","ts":1,"pid":1,"tid":0},
+               {"name":"ah_t_a_b","ph":"E","ts":2,"pid":1,"tid":0}"#,
+        );
+        let stats = validate_chrome_trace(&json).expect("valid");
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.tracks, 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_non_monotonic() {
+        let open = wrap(r#"{"name":"ah_t_a_b","ph":"B","ts":1,"pid":1,"tid":0}"#);
+        assert!(validate_chrome_trace(&open).unwrap_err().contains("never ends"));
+        let nonmono = wrap(
+            r#"{"name":"ah_t_a_b","ph":"B","ts":5,"pid":1,"tid":0},
+               {"name":"ah_t_a_b","ph":"E","ts":4,"pid":1,"tid":0}"#,
+        );
+        assert!(validate_chrome_trace(&nonmono).unwrap_err().contains("non-monotonic"));
+        let crossed = wrap(
+            r#"{"name":"ah_t_a_b","ph":"B","ts":1,"pid":1,"tid":0},
+               {"name":"ah_t_a_c","ph":"B","ts":2,"pid":1,"tid":0},
+               {"name":"ah_t_a_b","ph":"E","ts":3,"pid":1,"tid":0}"#,
+        );
+        assert!(validate_chrome_trace(&crossed).unwrap_err().contains("innermost"));
+    }
+
+    #[test]
+    fn rejects_bad_span_names_and_flows() {
+        let bad_name = wrap(r#"{"name":"route","ph":"i","ts":1,"pid":1,"tid":0}"#);
+        assert!(validate_chrome_trace(&bad_name).unwrap_err().contains("naming scheme"));
+        let lone_flow = wrap(r#"{"name":"j","ph":"s","id":9,"ts":1,"pid":1,"tid":0}"#);
+        assert!(validate_chrome_trace(&lone_flow).unwrap_err().contains("point"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Synchronization facade for the trace buffers, mirroring the
+//! `RingSync` idiom in `crates/simnet/src/ring.rs`.
+//!
+//! The buffer protocol (`crate::buffer`) is generic over [`TraceSync`],
+//! whose associated `Ordering` constants *are* the memory-ordering
+//! contract: slot words are stored with [`TraceSync::SLOT_WRITE`]
+//! *before* the published length is stored with
+//! [`TraceSync::LEN_PUBLISH`], and a reader that loads the length with
+//! [`TraceSync::LEN_OBSERVE`] therefore happens-after every slot write
+//! below it. Production code uses [`StdSync`] (real
+//! `std::sync::atomic`, zero overhead — every facade call is a
+//! monomorphized inline passthrough); a model-check harness can
+//! instantiate the identical protocol over shadow atomics and explore
+//! the orderings exhaustively, exactly as the SPSC/MPSC rings do.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Facade over the one atomic word type the trace buffer needs.
+///
+/// Implemented by `std::sync::atomic::AtomicU64` for production and by
+/// a checker's shadow atomic in a model harness.
+pub trait TraceAtomicU64: Send + Sync {
+    /// Construct with an initial value.
+    fn new(v: u64) -> Self;
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomic store.
+    fn store(&self, v: u64, order: Ordering);
+    /// Atomic fetch-add (overflow drop counter only).
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64;
+}
+
+impl TraceAtomicU64 for AtomicU64 {
+    #[inline]
+    fn new(v: u64) -> Self {
+        AtomicU64::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+    #[inline]
+    fn store(&self, v: u64, order: Ordering) {
+        AtomicU64::store(self, v, order)
+    }
+    #[inline]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_add(self, v, order)
+    }
+}
+
+/// The trace-buffer synchronization contract.
+///
+/// One writer (the thread that owns the buffer) appends events; any
+/// thread may snapshot a consistent prefix. The defaults are the proven
+/// orderings; overriding one in a test facade creates a seeded mutant a
+/// model checker must catch.
+pub trait TraceSync: 'static {
+    /// Atomic u64 (slot words, published length, drop counter).
+    type AtomicU64: TraceAtomicU64;
+
+    /// Writer stores the four words of an event slot with this
+    /// ordering before publishing the length.
+    /// ORDERING: `Relaxed` is the contract, not a weakening — the slot
+    /// stores are sequenced-before the `LEN_PUBLISH` release store on
+    /// the writer thread, so the release/acquire edge on `len` is the
+    /// only synchronizing access the data needs.
+    const SLOT_WRITE: Ordering = Ordering::Relaxed;
+    /// Reader loads slot words with this ordering after observing the
+    /// length.
+    /// ORDERING: `Relaxed` is the contract — the `LEN_OBSERVE` acquire
+    /// load happens-after every slot write below the observed length,
+    /// so these loads cannot see uninitialized or torn words.
+    const SLOT_READ: Ordering = Ordering::Relaxed;
+    /// Writer publishes the new event count with this ordering
+    /// (contract: `Release` — makes all preceding slot writes visible
+    /// to a reader that observes the new length).
+    const LEN_PUBLISH: Ordering = Ordering::Release;
+    /// Reader observes the published event count with this ordering
+    /// (contract: `Acquire`).
+    const LEN_OBSERVE: Ordering = Ordering::Acquire;
+}
+
+/// Production facade: real `std::sync::atomic` with the contract
+/// orderings. Zero overhead — every call inlines to the plain atomic
+/// op.
+#[derive(Debug)]
+pub struct StdSync;
+
+impl TraceSync for StdSync {
+    type AtomicU64 = AtomicU64;
+}

@@ -92,6 +92,7 @@ pub struct WalWriter {
     sealed: bool,
     scratch: Vec<u8>,
     metrics: WriterMetrics,
+    tracer: ah_trace::Tracer,
 }
 
 impl WalWriter {
@@ -164,6 +165,7 @@ impl WalWriter {
             sealed: false,
             scratch: Vec::new(),
             metrics: WriterMetrics::new(rec),
+            tracer: ah_trace::Tracer::noop(),
         };
         w.push_index_entry();
         write_index(dir, &w.index)?;
@@ -209,6 +211,7 @@ impl WalWriter {
             sealed: false,
             scratch: Vec::new(),
             metrics: WriterMetrics::new(rec),
+            tracer: ah_trace::Tracer::noop(),
         };
         for &(base, ref p) in &segs {
             let bytes = if base == seg_base { seg_bytes } else { fs::metadata(p)?.len() };
@@ -230,6 +233,15 @@ impl WalWriter {
         write_index(dir, &w.index)?;
         w.metrics.durable.set(w.durable_seq as i64);
         Ok(w)
+    }
+
+    /// Attach a tracer: group commits, fsyncs, segment rotations and the
+    /// final seal each get spans (`ah_wal_writer_commit`,
+    /// `ah_wal_writer_fsync`, `ah_wal_writer_rotate`,
+    /// `ah_wal_writer_seal`). Observation-only: the bytes on disk and
+    /// the durability watermark are unchanged.
+    pub fn set_tracer(&mut self, tracer: &ah_trace::Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The WAL directory this writer appends to.
@@ -289,8 +301,12 @@ impl WalWriter {
     /// budget. A no-op when nothing is pending.
     pub fn commit(&mut self) -> io::Result<()> {
         if !self.pending.is_empty() {
+            let _commit = self.tracer.span("ah_wal_writer_commit");
             self.file.write_all(&self.pending)?;
-            self.file.sync_data()?;
+            {
+                let _fsync = self.tracer.span("ah_wal_writer_fsync");
+                self.file.sync_data()?;
+            }
             self.seg_bytes += self.pending.len() as u64;
             self.seg_frames += self.pending_frames as u64;
             self.durable_seq = self.next_seq;
@@ -311,6 +327,7 @@ impl WalWriter {
     /// Append the run's seal record, force a final commit, and mark the
     /// log sealed in the segment index. Further appends fail.
     pub fn seal(&mut self, seal: crate::record::RunSeal) -> io::Result<()> {
+        let _trace = self.tracer.span("ah_wal_writer_seal");
         self.append(&WalRecord::Seal(seal))?;
         self.commit()?;
         self.sealed = true;
@@ -363,6 +380,7 @@ impl WalWriter {
     }
 
     fn rotate(&mut self) -> io::Result<()> {
+        let _trace = self.tracer.span("ah_wal_writer_rotate");
         self.file.sync_data()?;
         self.sync_index_tail();
         self.seg_base = self.next_seq;

@@ -7,7 +7,11 @@
 # The pipeline summary records packets/sec and speedup per thread count
 # plus the host core count — on a single-core host the parallel engine
 # can only exhibit its dispatch overhead, so interpret speedups against
-# host_cpus. The WAL summary records append MB/s and frames/s, recovery
+# host_cpus. It also measures a parallel_trace configuration (widest
+# thread count with a live ah-trace tracer at the default 1-in-64
+# journey sampling); every other configuration runs with the noop
+# tracer, so the delta is the price of tracing ON and the plain
+# parallel numbers carry the trace-off cost (see BENCH.md). The WAL summary records append MB/s and frames/s, recovery
 # time after a torn tail, and the wall clock of plain vs durable vs
 # replayed pipeline runs.
 set -euo pipefail

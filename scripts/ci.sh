@@ -132,4 +132,38 @@ if [ -n "$bad" ]; then
 fi
 echo "    $(grep -oE '"name":"[^"]+"' "$METRICS_DIR/metrics.jsonl" | sort -u | wc -l) metric names conform"
 
+echo "==> trace gate"
+# Tracing is observation-only (ARCHITECTURE.md §12). First the full
+# determinism + schema matrix (tests/trace.rs) by name, so a filtered
+# `cargo test` elsewhere can never drop it; then the shipped binary: a
+# traced durable run must emit a Chrome trace that passes the
+# first-party validator (target/release/ah-trace) with sampled packet
+# journeys, the dispatcher-to-detector span chain and WAL I/O spans —
+# while printing the exact output fingerprint of an untraced run.
+cargo test --release --test trace -q
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$METRICS_DIR" "$TRACE_DIR"' EXIT
+trace_bin=(target/release/aggressive-scanners --days 1 --threads 4)
+fp_plain=$("${trace_bin[@]}" 2>/dev/null | awk -F': ' '/^output fingerprint/{print $2}')
+# Sample 1-in-32 sources: dense enough for journeys at every layer,
+# sparse enough that the bounded per-thread buffers keep the end-of-run
+# detector spans on a 1-day traced WAL run.
+fp_traced=$("${trace_bin[@]}" --wal-dir "$TRACE_DIR/wal" \
+  --trace-out "$TRACE_DIR/trace.json" --trace-sample 32 2>/dev/null \
+  | awk -F': ' '/^output fingerprint/{print $2}')
+[ -n "$fp_plain" ] || { echo "error: untraced run printed no fingerprint"; exit 1; }
+if [ "$fp_traced" != "$fp_plain" ]; then
+  echo "error: tracing changed the output fingerprint:"
+  echo "    untraced $fp_plain"
+  echo "    traced   ${fp_traced:-<none>}"
+  exit 1
+fi
+[ -s "$TRACE_DIR/trace.folded" ] || { echo "error: folded-stack export missing or empty"; exit 1; }
+target/release/ah-trace check "$TRACE_DIR/trace.json" --require-journey \
+  --require ah_pipeline_dispatch_route --require ah_pipeline_shard_consume \
+  --require ah_pipeline_vantage_consume --require ah_telescope_capture_observe \
+  --require ah_pipeline_detector_ingest --require ah_pipeline_wal_append \
+  --require ah_wal_writer_commit --require ah_wal_writer_fsync
+echo "    traced and untraced runs both fingerprint $fp_plain"
+
 echo "CI gate passed."

@@ -7,8 +7,10 @@
 #   1. cargo flamegraph (cargo-flamegraph installed) -> flamegraph.svg
 #   2. perf record + perf script                     -> perf-pipeline.data
 #      (+ flamegraph.svg when the FlameGraph scripts are on PATH)
-#   3. neither available -> explain and exit 0 so CI and air-gapped
-#      containers are not broken by a missing profiler.
+#   3. neither available -> first-party ah-trace span profile: run the
+#      binary with --trace-out and keep the folded-stack export
+#      (flamegraph.pl input; also loadable in Perfetto as Chrome JSON).
+#      Works on air-gapped hosts with no profiler installed.
 #
 # Usage: scripts/flamegraph.sh [extra args passed to the binary]
 #   e.g. scripts/flamegraph.sh --days 3 --threads 8
@@ -47,9 +49,17 @@ if command -v perf >/dev/null 2>&1; then
   exit 0
 fi
 
-echo "==> no profiler available (need cargo-flamegraph or perf); skipping."
-echo "    Install one of:"
-echo "      cargo install flamegraph   # cargo-flamegraph"
-echo "      apt/dnf install linux-perf # perf"
-echo "    This is a no-op, not a failure, so air-gapped hosts stay green."
+echo "==> no sampling profiler (cargo-flamegraph/perf); using the ah-trace span profile"
+cargo build --release --bin aggressive-scanners
+target/release/aggressive-scanners "${BIN_ARGS[@]}" \
+  --trace-out "$OUT_DIR/trace-pipeline.json" --trace-sample 16
+echo "==> wrote $OUT_DIR/trace-pipeline.json   (open in Perfetto / chrome://tracing)"
+echo "==> wrote $OUT_DIR/trace-pipeline.folded (flamegraph.pl input)"
+if command -v flamegraph.pl >/dev/null 2>&1; then
+  flamegraph.pl --countname us "$OUT_DIR/trace-pipeline.folded" > "$OUT_DIR/flamegraph.svg"
+  echo "==> wrote $OUT_DIR/flamegraph.svg"
+else
+  echo "    For an SVG: flamegraph.pl --countname us $OUT_DIR/trace-pipeline.folded > $OUT_DIR/flamegraph.svg"
+  echo "    (spans are coarser than sampled stacks; install cargo-flamegraph or perf for CPU profiles)"
+fi
 exit 0

@@ -6,6 +6,7 @@
 //!                     [--threads N] [--days N] [--seed N] [--fault-rate F]
 //!                     [--wal-dir DIR] [--resume] [--replay]
 //!                     [--suspend-after N] [--crash-after N]
+//!                     [--trace-out PATH] [--trace-sample N]
 //! ```
 //!
 //! Runs one full-vantage scenario (telescope + both ISPs + honeypots) on
@@ -25,6 +26,15 @@
 //! aborts the process with a deliberately torn tail — the CI
 //! crash-recovery gate uses the pair to prove that an interrupted run,
 //! resumed, prints the same output fingerprint as an uninterrupted one.
+//!
+//! With `--trace-out PATH` every stage also emits structured spans into
+//! per-thread [`ah_trace`] buffers; on exit the run writes a Chrome
+//! trace-event JSON at `PATH` (load it in Perfetto / `chrome://tracing`)
+//! and a folded-stack file at `PATH` with extension `.folded`
+//! (flamegraph input). `--trace-sample N` follows roughly 1-in-`N`
+//! source IPs end to end as causal packet journeys (default 64; seeded
+//! by `--seed`). Tracing, like metrics, is observation-only — the
+//! fingerprint is identical with it on or off (see `tests/trace.rs`).
 //!
 //! For the paper's tables and figures use the `experiment` binary in
 //! `crates/bench`, which takes the same two metrics flags.
@@ -59,6 +69,8 @@ fn main() {
     let mut replay = false;
     let mut suspend_after: Option<u64> = None;
     let mut crash_after: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_sample = 64u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -108,9 +120,21 @@ fn main() {
                 i += 1;
                 crash_after = Some(parse(&args, i, "--crash-after"));
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out =
+                    Some(PathBuf::from(args.get(i).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("error: --trace-out requires a file path (e.g. out/trace.json)");
+                        std::process::exit(2);
+                    })));
+            }
+            "--trace-sample" => {
+                i += 1;
+                trace_sample = parse(&args, i, "--trace-sample");
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: aggressive-scanners [--metrics PATH] [--metrics-interval N] [--threads N] [--days N] [--seed N] [--fault-rate F] [--wal-dir DIR] [--resume] [--replay] [--suspend-after N] [--crash-after N]"
+                    "usage: aggressive-scanners [--metrics PATH] [--metrics-interval N] [--threads N] [--days N] [--seed N] [--fault-rate F] [--wal-dir DIR] [--resume] [--replay] [--suspend-after N] [--crash-after N] [--trace-out PATH] [--trace-sample N]"
                 );
                 return;
             }
@@ -146,6 +170,14 @@ fn main() {
         }
         None => Telemetry::disabled(),
     };
+    if trace_out.is_some() {
+        tel.tracer = ah_trace::Tracer::new(ah_trace::TraceConfig {
+            seed,
+            sample_one_in: trace_sample,
+            ..ah_trace::TraceConfig::default()
+        });
+        eprintln!("[trace] spans on, following ~1-in-{trace_sample} source journeys");
+    }
 
     let mut opts = RunOptions::full();
     if fault_rate > 0.0 {
@@ -212,5 +244,25 @@ fn main() {
             ex.jsonl_path().display(),
             ex.io_errors()
         );
+    }
+    if let Some(path) = trace_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).ok();
+        }
+        let snap = tel.tracer.snapshot();
+        match ah_trace::export::write_artifacts(&snap, &path) {
+            Ok(folded) => {
+                println!();
+                println!("[trace] chrome trace -> {}", path.display());
+                println!("[trace] folded stacks -> {}", folded.display());
+                if snap.dropped > 0 {
+                    println!("[trace] {} events dropped (buffers full)", snap.dropped);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: writing trace artifacts: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -51,6 +51,7 @@ use ah_simnet::world::World;
 use ah_telescope::capture::{CaptureOutcome, CaptureStats, CaptureSummary, DarkSpace, Telescope};
 use ah_telescope::daily::{DailyTracker, DayStats};
 use ah_telescope::event::{AggregatorStats, DarknetEvent};
+use ah_trace::Tracer;
 use ah_wal::record::{fnv1a_fold, RunMeta, RunSeal, WalRecord, FNV_OFFSET};
 use ah_wal::{RecoveredLog, WalWriter, WalWriterConfig};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -129,23 +130,34 @@ pub struct Telemetry {
     /// Periodic snapshot writer (JSONL + Prometheus text files); `None`
     /// means metrics are kept in memory only.
     pub exporter: Option<Exporter>,
+    /// Span/journey tracer threaded through every stage ([`ah_trace`]).
+    /// Noop by default; like the recorder it is observation-only, so a
+    /// live tracer leaves the [`RunOutput`] bitwise identical
+    /// (`tests/trace.rs` holds both engines to this).
+    pub tracer: Tracer,
 }
 
 impl Telemetry {
-    /// No-op telemetry: a noop recorder, no exporter. All instrument
-    /// operations compile to a null-check on this path.
+    /// No-op telemetry: a noop recorder, no exporter, a noop tracer. All
+    /// instrument operations compile to a null-check on this path.
     pub fn disabled() -> Telemetry {
-        Telemetry { recorder: Recorder::noop(), exporter: None }
+        Telemetry { recorder: Recorder::noop(), exporter: None, tracer: Tracer::noop() }
     }
 
     /// Record metrics on `recorder` without writing snapshot files.
     pub fn new(recorder: Recorder) -> Telemetry {
-        Telemetry { recorder, exporter: None }
+        Telemetry { recorder, exporter: None, tracer: Tracer::noop() }
     }
 
     /// Record metrics and export periodic snapshots.
     pub fn with_exporter(recorder: Recorder, exporter: Exporter) -> Telemetry {
-        Telemetry { recorder, exporter: Some(exporter) }
+        Telemetry { recorder, exporter: Some(exporter), tracer: Tracer::noop() }
+    }
+
+    /// Attach a span tracer (builder-style).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Telemetry {
+        self.tracer = tracer;
+        self
     }
 }
 
@@ -297,6 +309,7 @@ struct Vantage {
     cu: Option<IspModel>,
     gn: Option<GreyNoise>,
     not_dark: u64,
+    tracer: Tracer,
 }
 
 /// Everything a shard hands back for the order-insensitive merge.
@@ -313,21 +326,24 @@ struct ShardOut {
 }
 
 impl Vantage {
-    fn build(world: &World, opts: &RunOptions, rec: &Recorder) -> Vantage {
+    fn build(world: &World, opts: &RunOptions, rec: &Recorder, tracer: &Tracer) -> Vantage {
         let mut telescope = Telescope::with_source_filter(
             world.config.dark,
             ah_telescope::timeout::paper_default(),
             bogon_filter(),
         );
         telescope.set_recorder(rec);
+        telescope.set_tracer(tracer);
         let merit = opts.merit_isp.then(|| {
             let mut m = merit_isp(world, opts.sampling_rate);
             m.set_recorder(rec);
+            m.set_tracer(tracer);
             m
         });
         let cu = opts.cu_isp.then(|| {
             let mut c = cu_isp(world, opts.sampling_rate);
             c.set_recorder(rec);
+            c.set_tracer(tracer);
             c
         });
         let gn = opts.greynoise.then(|| {
@@ -347,7 +363,15 @@ impl Vantage {
             g.set_recorder(rec);
             g
         });
-        Vantage { telescope, tracker: DailyTracker::new(), merit, cu, gn, not_dark: 0 }
+        Vantage {
+            telescope,
+            tracker: DailyTracker::new(),
+            merit,
+            cu,
+            gn,
+            not_dark: 0,
+            tracer: tracer.clone(),
+        }
     }
 
     fn track(&mut self, pkt: &PacketMeta, outcome: CaptureOutcome) {
@@ -365,6 +389,11 @@ impl Vantage {
     /// only its sources computes exactly what the serial engine does
     /// (see `ARCHITECTURE.md` §11).
     fn consume(&mut self, pkt: &PacketMeta) {
+        // Journey sampling is a pure hash of the source address: it draws
+        // no randomness and feeds nothing back into the pipeline.
+        let journey = self.tracer.journey_id(pkt.src.to_u32());
+        let _trace = (journey != 0)
+            .then(|| self.tracer.journey_span("ah_pipeline_vantage_consume", journey));
         let outcome = self.telescope.observe(pkt);
         self.track(pkt, outcome);
         if let Some(m) = self.merit.as_mut() {
@@ -436,9 +465,11 @@ fn shard_of(src: Ipv4Addr4, threads: usize) -> usize {
 /// shard's producer handle counts itself closed on unwind, so the drain
 /// terminates.
 fn collect_shards<'scope>(
+    tracer: &Tracer,
     mut merge_rx: MpscConsumer<ShardResult>,
     handles: Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
 ) -> Vec<ShardResult> {
+    let _trace = tracer.span("ah_pipeline_merge_collect");
     let mut results = Vec::with_capacity(handles.len());
     while let Some(r) = merge_rx.pop_wait() {
         results.push(r);
@@ -512,8 +543,17 @@ fn finalize_run(
         thresholds: opts.thresholds,
         dark_size: DarkSpace::new(world.config.dark).size(),
     });
-    for ev in &events {
-        detector.ingest(ev);
+    {
+        let _pass = tel.tracer.span("ah_pipeline_detector_pass");
+        for ev in &events {
+            let journey = tel.tracer.journey_id(ev.key.src.to_u32());
+            if journey != 0 {
+                // Journey endpoint: a sampled source's packets become
+                // darknet events and land in the detector here.
+                tel.tracer.journey_instant("ah_pipeline_detector_ingest", journey);
+            }
+            detector.ingest(ev);
+        }
     }
 
     let merit = merge_flow_parts(merit_parts);
@@ -647,13 +687,17 @@ pub fn run_with_recorder(cfg: ScenarioConfig, opts: RunOptions, tel: &mut Teleme
     let days = cfg.days;
     let mut sc = Scenario::build(cfg);
     let world = sc.world.clone();
-    let mut vantage = Vantage::build(&world, &opts, &tel.recorder);
+    let mut vantage = Vantage::build(&world, &opts, &tel.recorder, &tel.tracer);
     let m_packets = tel.recorder.counter("ah_pipeline_mux_packets_delivered_total");
     let m_bytes = tel.recorder.counter("ah_pipeline_mux_bytes_delivered_total");
+    let tracer = tel.tracer.clone();
 
     let mut generated = 0u64;
     let mut delivered = 0u64;
     let mut injector = opts.faults.map(FaultInjector::new);
+    if let Some(inj) = injector.as_mut() {
+        inj.set_tracer(&tracer);
+    }
     {
         let exporter = &mut tel.exporter;
         let mut consume = |pkt: &PacketMeta| {
@@ -665,6 +709,7 @@ pub fn run_with_recorder(cfg: ScenarioConfig, opts: RunOptions, tel: &mut Teleme
                 ex.maybe_export(delivered);
             }
         };
+        let _drive = tracer.span("ah_pipeline_mux_drive");
         sc.mux.drive(|pkt| {
             generated += 1;
             match injector.as_mut() {
@@ -725,6 +770,7 @@ pub fn run_parallel_with_recorder(
     let mut sc = Scenario::build(cfg);
     let world = sc.world.clone();
     let rec = tel.recorder.clone();
+    let tracer = tel.tracer.clone();
 
     let m_stalls = rec.counter("ah_pipeline_dispatch_stalls_total");
     let m_stall_us = rec.histogram("ah_pipeline_dispatch_stall_us", ah_obs::LATENCY_US_BUCKETS);
@@ -747,13 +793,15 @@ pub fn run_parallel_with_recorder(
         let world_ref = &world;
         let opts_ref = &opts;
         let rec_ref = &rec;
+        let tracer_ref = &tracer;
         let handles: Vec<_> = consumers
             .into_iter()
             .zip(merge_txs)
             .enumerate()
             .map(|(i, (mut rx, mut mtx))| {
                 s.spawn(move || {
-                    let mut v = Vantage::build(world_ref, opts_ref, rec_ref);
+                    tracer_ref.set_track("ah_pipeline_shard_worker", i as u64 + 1);
+                    let mut v = Vantage::build(world_ref, opts_ref, rec_ref, tracer_ref);
                     let m_packets = rec_ref.counter("ah_pipeline_mux_packets_delivered_total");
                     let m_bytes = rec_ref.counter("ah_pipeline_mux_bytes_delivered_total");
                     // Shard-local injector: fault verdicts are a pure
@@ -761,6 +809,9 @@ pub fn run_parallel_with_recorder(
                     // shard's substream yields exactly the serial
                     // decisions for its slice of the source space.
                     let mut injector = opts_ref.faults.map(FaultInjector::new);
+                    if let Some(inj) = injector.as_mut() {
+                        inj.set_tracer(tracer_ref);
+                    }
                     let mut delivered = 0u64;
                     {
                         let mut consume = |pkt: &PacketMeta| {
@@ -770,6 +821,10 @@ pub fn run_parallel_with_recorder(
                             v.consume(pkt);
                         };
                         while let Some(pkt) = rx.pop_wait() {
+                            let journey = tracer_ref.journey_id(pkt.src.to_u32());
+                            let _pop = (journey != 0).then(|| {
+                                tracer_ref.journey_span("ah_pipeline_shard_consume", journey)
+                            });
                             match injector.as_mut() {
                                 Some(inj) => inj.apply(&pkt, &mut consume),
                                 None => consume(&pkt),
@@ -802,12 +857,18 @@ pub fn run_parallel_with_recorder(
 
         {
             let exporter = &mut tel.exporter;
+            tracer.set_track("ah_pipeline_dispatch_main", 0);
+            let _drive = tracer.span("ah_pipeline_mux_drive");
             sc.mux.drive(|pkt| {
                 generated += 1;
                 let shard = shard_of(pkt.src, threads);
+                let journey = tracer.journey_id(pkt.src.to_u32());
+                let _route = (journey != 0)
+                    .then(|| tracer.journey_span("ah_pipeline_dispatch_route", journey));
                 if time_stalls {
                     if let Err(back) = producers[shard].try_push(*pkt) {
                         let t0 = std::time::Instant::now();
+                        tracer.instant("ah_pipeline_dispatch_stall");
                         producers[shard].push(back);
                         m_stalls.inc();
                         m_stall_us.observe(t0.elapsed().as_micros() as u64);
@@ -833,7 +894,7 @@ pub fn run_parallel_with_recorder(
                 .set(p.high_water_mark() as i64);
             p.close();
         }
-        collect_shards(merge_rx, handles)
+        collect_shards(&tracer, merge_rx, handles)
     });
     let delivered: u64 = results.iter().map(|r| r.delivered).sum();
     let inj_stats = merge_injector_stats(&results);
@@ -970,6 +1031,7 @@ struct WalDrive<'a> {
     crash_after: Option<u64>,
     stop: bool,
     io_err: Option<io::Error>,
+    tracer: Tracer,
 }
 
 fn wal_deliver(d: &mut WalDrive<'_>, pkt: &PacketMeta) {
@@ -998,6 +1060,10 @@ fn wal_deliver(d: &mut WalDrive<'_>, pkt: &PacketMeta) {
             d.io_err = Some(e);
             d.stop = true;
             return;
+        }
+        let journey = d.tracer.journey_id(pkt.src.to_u32());
+        if journey != 0 {
+            d.tracer.journey_instant("ah_pipeline_wal_append", journey);
         }
         d.m_packets.inc();
         d.m_bytes.add(u64::from(pkt.wire_len));
@@ -1046,14 +1112,19 @@ fn drive_wal_serial(
     let days = cfg.days;
     let mut sc = Scenario::build(cfg);
     let world = sc.world.clone();
+    writer.set_tracer(&tel.tracer);
     let (mut vantage, prefix, prefix_hash) = match recovered {
         Some((v, n, h)) => (v, n, h),
-        None => (Vantage::build(&world, &opts, &tel.recorder), 0, FNV_OFFSET),
+        None => (Vantage::build(&world, &opts, &tel.recorder, &tel.tracer), 0, FNV_OFFSET),
     };
     let m_packets = tel.recorder.counter("ah_pipeline_mux_packets_delivered_total");
     let m_bytes = tel.recorder.counter("ah_pipeline_mux_bytes_delivered_total");
     let mut generated = 0u64;
     let mut injector = opts.faults.map(FaultInjector::new);
+    if let Some(inj) = injector.as_mut() {
+        inj.set_tracer(&tel.tracer);
+    }
+    let drive_span = tel.tracer.span("ah_pipeline_mux_drive");
     let mut d = WalDrive {
         vantage: &mut vantage,
         writer: &mut writer,
@@ -1069,6 +1140,7 @@ fn drive_wal_serial(
         crash_after: wal.crash_after,
         stop: false,
         io_err: None,
+        tracer: tel.tracer.clone(),
     };
     while !d.stop && d.io_err.is_none() {
         let Some(pkt) = sc.mux.next_packet() else { break };
@@ -1088,6 +1160,7 @@ fn drive_wal_serial(
     let suspended = d.stop;
     let io_err = d.io_err.take();
     drop(d);
+    drop(drive_span);
     if let Some(e) = io_err {
         return Err(e);
     }
@@ -1132,8 +1205,10 @@ fn feed_from_wal(
     tel: &mut Telemetry,
 ) -> io::Result<WalFeed> {
     let world = World::new(cfg.world.clone());
-    let mut vantage = Vantage::build(&world, opts, &tel.recorder);
+    let mut vantage = Vantage::build(&world, opts, &tel.recorder, &tel.tracer);
     let m_replay = tel.recorder.counter("ah_wal_replay_packets_total");
+    let tracer = tel.tracer.clone();
+    let _scan = tracer.span("ah_wal_recover_scan");
     let mut meta: Option<RunMeta> = None;
     let mut packets = 0u64;
     let mut hash = FNV_OFFSET;
@@ -1142,6 +1217,10 @@ fn feed_from_wal(
         WalRecord::Packet(p) => {
             packets += 1;
             hash = fnv1a_fold(hash, payload);
+            let journey = tracer.journey_id(p.src.to_u32());
+            if journey != 0 {
+                tracer.journey_instant("ah_wal_replay_packet", journey);
+            }
             vantage.consume(&p);
             m_replay.inc();
         }
@@ -1270,6 +1349,8 @@ pub fn run_parallel_wal(
     let mut sc = Scenario::build(cfg);
     let world = sc.world.clone();
     let rec = tel.recorder.clone();
+    let tracer = tel.tracer.clone();
+    writer.set_tracer(&tracer);
     let m_packets = rec.counter("ah_pipeline_mux_packets_delivered_total");
     let m_bytes = rec.counter("ah_pipeline_mux_bytes_delivered_total");
 
@@ -1289,18 +1370,27 @@ pub fn run_parallel_wal(
     let mut io_err: Option<io::Error> = None;
     let stop = std::cell::Cell::new(false);
     let mut injector = opts.faults.map(FaultInjector::new);
+    if let Some(inj) = injector.as_mut() {
+        inj.set_tracer(&tracer);
+    }
 
     let (inj_stats, results) = std::thread::scope(|s| {
         let world_ref = &world;
         let opts_ref = &opts;
         let rec_ref = &rec;
+        let tracer_ref = &tracer;
         let handles: Vec<_> = consumers
             .into_iter()
             .zip(merge_txs)
-            .map(|(mut rx, mut mtx)| {
+            .enumerate()
+            .map(|(i, (mut rx, mut mtx))| {
                 s.spawn(move || {
-                    let mut v = Vantage::build(world_ref, opts_ref, rec_ref);
+                    tracer_ref.set_track("ah_pipeline_shard_worker", i as u64 + 1);
+                    let mut v = Vantage::build(world_ref, opts_ref, rec_ref, tracer_ref);
                     while let Some(pkt) = rx.pop_wait() {
+                        let journey = tracer_ref.journey_id(pkt.src.to_u32());
+                        let _pop = (journey != 0)
+                            .then(|| tracer_ref.journey_span("ah_pipeline_shard_consume", journey));
                         v.consume(&pkt);
                     }
                     mtx.push(ShardResult {
@@ -1326,10 +1416,16 @@ pub fn run_parallel_wal(
                 scratch.clear();
                 WalRecord::Packet(*pkt).encode_payload(&mut scratch);
                 packet_hash = fnv1a_fold(packet_hash, &scratch);
+                let journey = tracer.journey_id(pkt.src.to_u32());
+                let _route = (journey != 0)
+                    .then(|| tracer.journey_span("ah_pipeline_dispatch_route", journey));
                 if let Err(e) = writer.append_payload(&scratch) {
                     *io_err = Some(e);
                     stop_ref.set(true);
                     return;
+                }
+                if journey != 0 {
+                    tracer.journey_instant("ah_pipeline_wal_append", journey);
                 }
                 m_packets.inc();
                 m_bytes.add(u64::from(pkt.wire_len));
@@ -1344,6 +1440,8 @@ pub fn run_parallel_wal(
                     stop_ref.set(true);
                 }
             };
+            tracer.set_track("ah_pipeline_dispatch_main", 0);
+            let _drive = tracer.span("ah_pipeline_mux_drive");
             while !stop.get() {
                 let Some(pkt) = sc.mux.next_packet() else { break };
                 generated += 1;
@@ -1361,7 +1459,7 @@ pub fn run_parallel_wal(
         for p in producers.into_iter() {
             p.close();
         }
-        (injector.as_ref().map(|i| i.stats()), collect_shards(merge_rx, handles))
+        (injector.as_ref().map(|i| i.stats()), collect_shards(&tracer, merge_rx, handles))
     });
     if let Some(e) = io_err {
         return Err(e);

@@ -1,0 +1,171 @@
+//! Trace determinism and trace-artifact schema checks.
+//!
+//! The contract under test (`ARCHITECTURE.md` §12): tracing is
+//! observation-only. Attaching a live [`ah_trace::Tracer`] — spans on
+//! every layer plus sampled packet journeys — must leave
+//! [`RunOutput::fingerprint`] bitwise identical on both engines, clean
+//! or faulted, and on the durable (WAL) paths. On top of that, the
+//! Chrome trace-event export must pass the first-party validator
+//! ([`ah_trace::check`]): balanced `B`/`E` stacks, per-track monotonic
+//! timestamps, scheme-conforming span names, and flow chains with a
+//! single start and at least two points.
+
+use aggressive_scanners::pipeline::{self, RunOptions, RunOutput, Telemetry, WalRun};
+use aggressive_scanners::simnet::faults::FaultPlan;
+use aggressive_scanners::simnet::scenario::ScenarioConfig;
+use ah_trace::{check, export, TraceConfig, Tracer};
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::tiny(1, 33)
+}
+
+fn opts(faulted: bool) -> RunOptions {
+    let o = RunOptions::full();
+    if faulted {
+        o.with_faults(FaultPlan::uniform(0.01, 33))
+    } else {
+        o
+    }
+}
+
+/// A live tracer following ~1-in-`sample` source journeys, seeded like
+/// the scenario so the sampled set is reproducible.
+fn tracer(sample: u64) -> Tracer {
+    Tracer::new(TraceConfig { seed: 33, sample_one_in: sample, ..TraceConfig::default() })
+}
+
+fn run_with(tel: &mut Telemetry, threads: usize, faulted: bool) -> RunOutput {
+    if threads <= 1 {
+        pipeline::run_with_recorder(scenario(), opts(faulted), tel)
+    } else {
+        pipeline::run_parallel_with_recorder(scenario(), opts(faulted), threads, tel)
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-trace-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+// --- Determinism --------------------------------------------------------
+
+#[test]
+fn tracing_does_not_perturb_output() {
+    for (threads, faulted) in [(1, false), (1, true), (8, false), (8, true)] {
+        let baseline = run_with(&mut Telemetry::disabled(), threads, faulted).fingerprint();
+        let mut tel = Telemetry::disabled().with_tracer(tracer(4));
+        let traced = run_with(&mut tel, threads, faulted).fingerprint();
+        assert_eq!(
+            baseline, traced,
+            "tracing changed the output at threads={threads} faulted={faulted}"
+        );
+        let snap = tel.tracer.snapshot();
+        let events: usize = snap.tracks.iter().map(|t| t.events.len()).sum();
+        assert!(events > 0, "live tracer recorded nothing at threads={threads}");
+    }
+}
+
+// --- Chrome trace schema + causal journeys ------------------------------
+
+#[test]
+fn traced_parallel_run_exports_causal_journeys() {
+    let mut tel = Telemetry::disabled().with_tracer(tracer(16));
+    run_with(&mut tel, 4, true);
+    let snap = tel.tracer.snapshot();
+    let json = export::to_chrome_trace(&snap);
+    let stats = check::validate_chrome_trace(&json).expect("chrome trace validates");
+    // One track for the dispatcher plus one per shard worker.
+    assert!(stats.tracks >= 3, "expected dispatcher + shard tracks, got {}", stats.tracks);
+    assert!(!stats.flow_ids.is_empty(), "no sampled packet journeys in the trace");
+    // A journey must be visible at every layer from mux to detector.
+    for name in [
+        "ah_pipeline_mux_drive",
+        "ah_pipeline_dispatch_route",
+        "ah_pipeline_shard_consume",
+        "ah_pipeline_vantage_consume",
+        "ah_telescope_capture_observe",
+        "ah_telescope_agg_sweep",
+        "ah_flow_router_observe",
+        "ah_pipeline_merge_collect",
+        "ah_pipeline_detector_pass",
+        "ah_pipeline_detector_ingest",
+    ] {
+        assert!(stats.names.contains(name), "span {name} missing from the trace");
+    }
+    // The injector's fate instants ride the same journeys.
+    assert!(
+        stats.names.iter().any(|n| n.starts_with("ah_simnet_faults_")),
+        "faulted traced run shows no injector fate instants"
+    );
+
+    // Folded-stack export: every line is `stack <self-us>`.
+    let folded = export::to_folded_stacks(&snap);
+    assert!(!folded.is_empty(), "folded-stack export is empty");
+    for line in folded.lines() {
+        let (stack, n) = line.rsplit_once(' ').expect("stack and self-time");
+        assert!(!stack.is_empty());
+        n.parse::<u64>().expect("numeric self-time");
+    }
+}
+
+// --- WAL I/O visibility --------------------------------------------------
+
+#[test]
+fn traced_wal_run_covers_wal_io_and_stays_deterministic() {
+    let dir = temp_dir("wal");
+    let baseline = pipeline::run(scenario(), opts(false)).fingerprint();
+
+    let mut tel = Telemetry::disabled().with_tracer(tracer(16));
+    let mut wal = WalRun::new(&dir);
+    // Small batches and segments so the traced window contains several
+    // group commits and at least one rotation.
+    wal.writer.group_commit_frames = 512;
+    wal.writer.segment_bytes = 64 << 10;
+    let out = pipeline::run_wal(scenario(), opts(false), &wal, &mut tel)
+        .expect("durable run")
+        .completed()
+        .expect("run completed");
+    assert_eq!(out.fingerprint(), baseline, "tracing changed the durable run's output");
+
+    let stats = check::validate_chrome_trace(&export::to_chrome_trace(&tel.tracer.snapshot()))
+        .expect("durable-run trace validates");
+    for name in [
+        "ah_pipeline_mux_drive",
+        "ah_pipeline_wal_append",
+        "ah_wal_writer_commit",
+        "ah_wal_writer_fsync",
+        "ah_wal_writer_rotate",
+        "ah_wal_writer_seal",
+    ] {
+        assert!(stats.names.contains(name), "span {name} missing from the WAL trace");
+    }
+
+    // Replay the sealed log traced: recovery scan + per-packet replay
+    // instants, same fingerprint.
+    let mut tel2 = Telemetry::disabled().with_tracer(tracer(16));
+    let replayed = pipeline::replay_wal(scenario(), opts(false), &dir, &mut tel2).expect("replay");
+    assert_eq!(replayed.fingerprint(), baseline, "traced replay diverged");
+    let stats2 = check::validate_chrome_trace(&export::to_chrome_trace(&tel2.tracer.snapshot()))
+        .expect("replay trace validates");
+    assert!(stats2.names.contains("ah_wal_recover_scan"));
+    assert!(stats2.names.contains("ah_wal_replay_packet"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn traced_parallel_wal_matches_serial() {
+    let dir = temp_dir("pwal");
+    let mut tel = Telemetry::disabled().with_tracer(tracer(16));
+    let out = pipeline::run_parallel_wal(scenario(), opts(false), 4, &WalRun::new(&dir), &mut tel)
+        .expect("parallel durable run")
+        .completed()
+        .expect("run completed");
+    assert_eq!(out.fingerprint(), pipeline::run(scenario(), opts(false)).fingerprint());
+    let stats = check::validate_chrome_trace(&export::to_chrome_trace(&tel.tracer.snapshot()))
+        .expect("parallel WAL trace validates");
+    for name in ["ah_pipeline_dispatch_route", "ah_pipeline_wal_append", "ah_wal_writer_commit"] {
+        assert!(stats.names.contains(name), "span {name} missing");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
