@@ -102,6 +102,24 @@ fn traced_run(threads: usize) -> (f64, usize) {
     (secs, events)
 }
 
+/// One run of the widest configuration with tagged-allocator
+/// accounting on, returning the wall clock and the end-of-run memory
+/// report — the price and the payoff of `--mem-report`. The peak
+/// window is rebased first so per-tag peaks describe this run, not
+/// everything the bench process allocated before it.
+fn mem_run(threads: usize) -> (f64, ah_mem::MemReport) {
+    ah_mem::set_accounting(true);
+    ah_mem::reset_window();
+    let mut tel = Telemetry::disabled().with_mem(100_000);
+    let t0 = Instant::now();
+    let out = pipeline::run_parallel_with_recorder(cfg(), RunOptions::full(), threads, &mut tel);
+    let secs = t0.elapsed().as_secs_f64();
+    let report = out.mem.clone().unwrap_or_default();
+    black_box(out);
+    ah_mem::set_accounting(false);
+    (secs, report)
+}
+
 /// Best-of-three wall clock per configuration, written as JSON.
 ///
 /// The host core count is recorded alongside the numbers: on a
@@ -179,6 +197,25 @@ fn write_summary(generated: u64) {
         if serial_pps > 0.0 { trace_pps / serial_pps } else { 1.0 },
         trace_events
     ));
+    let (mem_secs, mem_report) = mem_run(widest);
+    let mem_pps = generated as f64 / mem_secs;
+    eprintln!(
+        "[bench] parallel_{widest} with memory accounting: {mem_secs:.3}s, {mem_pps:.0} pkts/s, \
+         peak rss {} bytes",
+        mem_report.peak_rss_bytes()
+    );
+    lines.push(format!(
+        concat!(
+            "    {{\"engine\": \"parallel_mem\", \"threads\": {}, \"seconds\": {:.6}, ",
+            "\"packets_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3}}}"
+        ),
+        widest,
+        mem_secs,
+        mem_pps,
+        if serial_pps > 0.0 { mem_pps / serial_pps } else { 1.0 },
+    ));
+    let tag_peaks: Vec<String> =
+        mem_report.tags().map(|(tag, s)| format!("\"{}\": {}", tag.name(), s.peak_bytes)).collect();
     let ring_json: Vec<String> = ring_hwm.iter().map(|v| v.to_string()).collect();
     // An undersized host cannot produce a meaningful parallel speedup
     // curve, only dispatch/ring overhead; label the summary so a
@@ -202,10 +239,15 @@ fn write_summary(generated: u64) {
          \"generated_packets\": {generated},\n  \"host_cpus\": {host_cpus},\n  \
          \"wall_seconds\": {:.3},\n  \
          \"ring_occupancy_hwm\": {{\"threads\": {widest}, \"slots\": [{}]}},\n  \
+         \"memory\": {{\"threads\": {widest}, \"peak_rss_bytes\": {}, \
+         \"global_peak_live_bytes\": {}, \"tag_peak_bytes\": {{{}}}}},\n  \
          \"configs\": [\n{}\n  ]\n}}\n",
         git_commit(),
         wall0.elapsed().as_secs_f64(),
         ring_json.join(", "),
+        mem_report.peak_rss_bytes(),
+        mem_report.global.peak_bytes,
+        tag_peaks.join(", "),
         lines.join(",\n")
     );
     let path =

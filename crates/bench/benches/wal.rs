@@ -225,6 +225,31 @@ fn write_summary() {
     });
     let log_bytes = dir_bytes(&wal_live);
     let _ = std::fs::remove_dir_all(&wal_live);
+
+    // One accounted durable run: where does the WAL path put its
+    // memory, and what does the whole process peak at? The window is
+    // rebased first so peaks describe this run alone.
+    ah_mem::set_accounting(true);
+    ah_mem::reset_window();
+    let wal_mem = bench_dir("sum-mem");
+    let mut tel_mem = Telemetry::disabled().with_mem(100_000);
+    let t0 = Instant::now();
+    let out =
+        pipeline::run_wal(cfg(), RunOptions::darknet_only(), &WalRun::new(&wal_mem), &mut tel_mem)
+            .expect("accounted durable run")
+            .completed()
+            .expect("no suspension points");
+    let mem_secs = t0.elapsed().as_secs_f64();
+    let mem_report = out.mem.clone().unwrap_or_default();
+    black_box(out);
+    ah_mem::set_accounting(false);
+    let _ = std::fs::remove_dir_all(&wal_mem);
+    eprintln!(
+        "[bench] accounted durable run: {mem_secs:.3}s, peak rss {} bytes",
+        mem_report.peak_rss_bytes()
+    );
+    let tag_peaks: Vec<String> =
+        mem_report.tags().map(|(tag, s)| format!("\"{}\": {}", tag.name(), s.peak_bytes)).collect();
     eprintln!(
         "[bench] pipeline darknet({PIPELINE_DAYS}d): plain {plain_secs:.3}s, durable \
          {live_secs:.3}s ({:+.1}% overhead), replay {replay_secs:.3}s ({:.2}x faster than \
@@ -240,12 +265,18 @@ fn write_summary() {
          \"captured_packets\": {delivered}, \"log_bytes\": {log_bytes}, \
          \"plain_seconds\": {plain_secs:.6}, \"durable_seconds\": {live_secs:.6}, \
          \"replay_seconds\": {replay_secs:.6}, \"durable_overhead_pct\": {:.2}, \
-         \"replay_speedup_vs_simulate\": {:.3}}}\n}}\n",
+         \"replay_speedup_vs_simulate\": {:.3}}},\n  \
+         \"memory\": {{\"accounted_durable_seconds\": {mem_secs:.6}, \
+         \"peak_rss_bytes\": {}, \"global_peak_live_bytes\": {}, \
+         \"tag_peak_bytes\": {{{}}}}}\n}}\n",
         git_commit(),
         wall0.elapsed().as_secs_f64(),
         size_lines.join(",\n"),
         (live_secs / plain_secs - 1.0) * 100.0,
         plain_secs / replay_secs,
+        mem_report.peak_rss_bytes(),
+        mem_report.global.peak_bytes,
+        tag_peaks.join(", "),
     );
     let path = std::env::var("BENCH_WAL_OUT").unwrap_or_else(|_| "BENCH_wal.json".to_string());
     match std::fs::write(&path, &json) {

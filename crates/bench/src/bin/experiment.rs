@@ -3,6 +3,8 @@
 //! ```text
 //! experiment <id>... [--days-scale F] [--seed N] [--out DIR] [--threads N]
 //!                    [--metrics PATH] [--metrics-interval N]
+//!                    [--trace-out PATH] [--trace-sample N]
+//!                    [--mem-report] [--mem-interval N]
 //!   ids: table1..table9  fig1..fig6  whatif  health  all
 //!
 //! `--threads N` (N >= 2) routes the single-pass simulation runs through
@@ -13,6 +15,12 @@
 //! exposition, latest snapshot). `--metrics-interval N` exports every N
 //! delivered packets (default 100000). Telemetry is observation-only:
 //! all tables and figures are bitwise identical with it on or off.
+//!
+//! `--mem-report` turns on the tagged allocator's per-subsystem
+//! accounting and prints a live/peak/cumulative memory table (plus the
+//! process peak RSS) after the last experiment. `--mem-interval N`
+//! refreshes the `ah_mem_*` gauges every N delivered packets (default
+//! 100000). Accounting is observation-only too.
 //! ```
 //!
 //! Each experiment prints a paper-mirroring text table and writes CSV
@@ -91,6 +99,8 @@ fn main() {
     let mut metrics_interval = 100_000u64;
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_sample = 64u64;
+    let mut mem_report = false;
+    let mut mem_interval = 100_000u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -138,15 +148,30 @@ fn main() {
                 i += 1;
                 trace_sample = parse_flag(&args, i, "--trace-sample", "integer");
             }
+            "--mem-report" => mem_report = true,
+            "--mem-interval" => {
+                i += 1;
+                mem_interval = parse_flag(&args, i, "--mem-interval", "integer");
+            }
             id => ids.push(id.to_string()),
         }
         i += 1;
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR] [--threads N] [--metrics PATH] [--metrics-interval N] [--trace-out PATH] [--trace-sample N]"
+            "usage: experiment <table1..table9|fig1..fig6|whatif|health|all>... [--days-scale F] [--seed N] [--out DIR] [--threads N] [--metrics PATH] [--metrics-interval N] [--trace-out PATH] [--trace-sample N] [--mem-report] [--mem-interval N]"
         );
         std::process::exit(2);
+    }
+    for (flag, value) in [
+        ("--metrics-interval", metrics_interval),
+        ("--trace-sample", trace_sample),
+        ("--mem-interval", mem_interval),
+    ] {
+        if value == 0 {
+            eprintln!("error: {flag} must be at least 1 (0 would disable the stream it paces)");
+            std::process::exit(2);
+        }
     }
     if ids.iter().any(|s| s == "all") {
         ids = (1..=9)
@@ -180,7 +205,12 @@ fn main() {
         });
         eprintln!("[trace] spans on, following ~1-in-{trace_sample} source journeys");
     }
-    if tel.exporter.is_some() || tel.tracer.is_enabled() {
+    if mem_report {
+        ah_mem::set_accounting(true);
+        tel = tel.with_mem(mem_interval);
+        eprintln!("[mem] per-subsystem accounting on, refresh every {mem_interval} packets");
+    }
+    if tel.exporter.is_some() || tel.tracer.is_enabled() || tel.mem.is_some() {
         runs = runs.with_telemetry(tel);
     }
     let mut ctx = Ctx { runs, out, seed };
@@ -238,6 +268,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if mem_report {
+        // Cached run outputs are still alive here, so this is a
+        // whole-process snapshot, not a drained-run leak check (the
+        // scanner binary's `--mem-report` does that).
+        eprint!("{}", ah_mem::report().render());
     }
 }
 

@@ -16,6 +16,7 @@
 use crate::cache::{CacheStats, FlowCache};
 use crate::record::FlowRecord;
 use crate::sampler::Sampler;
+use ah_mem::{MemScope, Tag};
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::PacketMeta;
 use ah_net::prefix::{Prefix, PrefixMap, PrefixSet};
@@ -253,6 +254,9 @@ impl IspModel {
     /// and `ah_flow_cache_*` for every router's flow cache).
     /// Observation-only: routing, sampling and export are unchanged.
     pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        // Instruments are interned in the recorder, which outlives any
+        // run — charge them to Obs, not the run-scoped Flow tag.
+        let _mem = MemScope::enter(Tag::Obs);
         for r in &mut self.routers {
             r.set_recorder(rec);
         }
@@ -291,6 +295,10 @@ impl IspModel {
 
     /// Process one packet through the ISP.
     pub fn observe(&mut self, pkt: &PacketMeta) -> Disposition {
+        // Deliberately NO memory scope on this per-packet path; the
+        // engine's tagged consume path brackets the call with
+        // `ah_mem::tag_swap` when accounting is on (see
+        // `ah_telescope::Telescope::observe` for the rationale).
         let disposition = self.disposition(pkt);
         match disposition {
             Disposition::Border(id, dir) => {
@@ -312,6 +320,7 @@ impl IspModel {
 
     /// Sweep all flow caches as of `now`.
     pub fn sweep(&mut self, now: Ts) {
+        let _mem = MemScope::enter(Tag::Flow);
         let _trace = self.tracer.span("ah_flow_router_sweep");
         for r in &mut self.routers {
             r.cache.sweep(now);
@@ -335,6 +344,7 @@ impl IspModel {
 
     /// End the measurement: flush all caches into a dataset.
     pub fn finish(mut self) -> FlowDataset {
+        let _mem = MemScope::enter(Tag::Flow);
         let mut records = Vec::new();
         let mut router_days = HashMap::new();
         for r in &mut self.routers {

@@ -402,6 +402,12 @@ const METRIC_FNS: &[&str] =
 /// `ah_obs::valid_metric_name`), so violations report as `metric-name`.
 const TRACE_FNS: &[&str] = &["span", "journey_span", "instant", "journey_instant", "set_track"];
 
+/// Memory-observability helpers (`src/pipeline.rs`) whose first
+/// string-literal argument is an `ah_mem_*` gauge/counter name. They are
+/// deliberately name-first so this pass sees the same
+/// `ident ( "literal"` shape as the recorder methods.
+const MEM_FNS: &[&str] = &["mem_gauge", "mem_counter"];
+
 fn metric_name(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     let code = code_tokens(ctx);
     for (i, t) in code.iter().enumerate() {
@@ -409,7 +415,7 @@ fn metric_name(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
             continue;
         }
         let Tok::Ident(name) = &t.kind else { continue };
-        let is_metric = METRIC_FNS.contains(&name.as_str());
+        let is_metric = METRIC_FNS.contains(&name.as_str()) || MEM_FNS.contains(&name.as_str());
         let is_trace = TRACE_FNS.contains(&name.as_str());
         if !is_metric && !is_trace {
             continue;

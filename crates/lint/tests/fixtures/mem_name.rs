@@ -1,0 +1,29 @@
+//! Fixture: metric-name coverage for the ah-mem helper idiom.
+//!
+//! The pipeline's memory helpers take the metric name first so the
+//! `ident ( "literal"` token shape matches the recorder methods and
+//! this pass can check `ah_mem_*` names statically.
+
+use ah_obs::Recorder;
+
+fn mem_gauge(name: &'static str, rec: &Recorder, tag: &str, value: i64) {
+    rec.gauge_with(name, &[("tag", tag)]).set(value);
+}
+
+fn mem_counter(name: &'static str, rec: &Recorder) -> ah_obs::Counter {
+    rec.counter(name)
+}
+
+pub fn refresh(rec: &Recorder) {
+    mem_gauge("ah_mem_tag_live_bytes", rec, "mux", 1);
+    mem_gauge("ah_mem_live", rec, "mux", 1); //~ metric-name
+    mem_gauge("mem_tag_live_bytes", rec, "mux", 1); //~ metric-name
+    mem_counter("ah_mem_refresh_ticks_total", rec).inc();
+    mem_counter("ah_mem_Refresh_ticks_total", rec).inc(); //~ metric-name
+}
+
+pub fn non_literal_names_are_out_of_scope(rec: &Recorder, tag: &str) {
+    // Dynamic names fall to the runtime JSONL check in scripts/ci.sh.
+    let name = format!("ah_mem_dynamic_{tag}");
+    rec.counter(&name);
+}

@@ -61,6 +61,11 @@ fn fixture_metric_name() {
 }
 
 #[test]
+fn fixture_mem_name() {
+    check_fixture("mem_name.rs", false);
+}
+
+#[test]
 fn fixture_unsafe_safety() {
     check_fixture("unsafe_safety.rs", false);
 }

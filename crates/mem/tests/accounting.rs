@@ -1,0 +1,240 @@
+//! Exactness tests for the tagged allocator, run with [`TaggedSystem`]
+//! installed as this binary's global allocator.
+//!
+//! Accounts are process-global, so every test takes a shared mutex and
+//! asserts on *deltas* against a snapshot taken under the lock — the
+//! test harness's own (unscoped) allocations land in `Tag::Other` and
+//! never perturb the per-subsystem deltas these tests measure.
+
+use ah_mem::{MemScope, Tag, TaggedSystem};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+#[global_allocator]
+static ALLOC: TaggedSystem = TaggedSystem::new();
+
+/// Serialize tests (global accounts + global enable switch) and leave
+/// accounting enabled for the guard's lifetime.
+fn lock_enabled() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match GATE.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    ah_mem::set_accounting(true);
+    guard
+}
+
+fn live(tag: Tag) -> (i64, i64) {
+    let st = ah_mem::tag_stats(tag);
+    (st.live_bytes, st.live_allocs)
+}
+
+#[test]
+fn scoped_alloc_charges_and_free_drains() {
+    let _gate = lock_enabled();
+    let before = live(Tag::Telescope);
+    let buf = {
+        let _scope = MemScope::enter(Tag::Telescope);
+        vec![7u8; 1 << 20]
+    };
+    let during = live(Tag::Telescope);
+    assert!(during.0 >= before.0 + (1 << 20), "live bytes did not grow: {during:?}");
+    assert!(during.1 > before.1, "live allocs did not grow");
+    drop(buf); // freed outside the scope — header tag, not scope, drives the debit
+    assert_eq!(live(Tag::Telescope), before, "telescope account did not drain");
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn tag_swap_pair_matches_scope_semantics() {
+    let _gate = lock_enabled();
+    let before = live(Tag::Flow);
+    let prev = ah_mem::tag_swap(Tag::Flow);
+    let buf = vec![3u8; 1 << 18];
+    ah_mem::tag_restore(prev);
+    let after_restore = vec![5u8; 1 << 18]; // no longer charged to Flow
+    let during = live(Tag::Flow);
+    assert!(during.0 >= before.0 + (1 << 18), "swap did not route the charge: {during:?}");
+    assert!(during.0 < before.0 + (2 << 18), "restore did not end the scope: {during:?}");
+    drop(buf);
+    drop(after_restore);
+    assert_eq!(live(Tag::Flow), before, "flow account did not drain");
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn disabled_tag_swap_is_inert() {
+    let _gate = lock_enabled();
+    ah_mem::set_accounting(false);
+    let before = live(Tag::Merge);
+    let prev = ah_mem::tag_swap(Tag::Merge);
+    let buf = vec![9u8; 1 << 18];
+    ah_mem::tag_restore(prev);
+    drop(buf);
+    assert_eq!(live(Tag::Merge), before, "disabled swap still charged the account");
+}
+
+#[test]
+fn peak_tracks_high_water() {
+    let _gate = lock_enabled();
+    let base_live = live(Tag::Wal).0;
+    let sz = 3 << 20;
+    {
+        let _scope = MemScope::enter(Tag::Wal);
+        let buf = vec![1u8; sz];
+        drop(buf);
+    }
+    let st = ah_mem::tag_stats(Tag::Wal);
+    assert!(
+        st.peak_bytes >= base_live + sz as i64,
+        "peak {} below high water {}",
+        st.peak_bytes,
+        base_live + sz as i64
+    );
+    assert!(st.total_bytes >= sz as u64);
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn realloc_keeps_original_tag() {
+    let _gate = lock_enabled();
+    let before = live(Tag::Flow);
+    let mut v: Vec<u64> = {
+        let _scope = MemScope::enter(Tag::Flow);
+        Vec::with_capacity(64)
+    };
+    // Growth happens outside any scope: the charge must follow the
+    // block's header tag, not the (absent) current scope.
+    for i in 0..100_000u64 {
+        v.push(i);
+    }
+    let during = live(Tag::Flow);
+    assert!(during.0 >= before.0 + 800_000, "realloc growth not charged to flow: {during:?}");
+    drop(v);
+    assert_eq!(live(Tag::Flow), before, "flow account did not drain after realloc growth");
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn disabled_accounting_charges_nothing() {
+    let _gate = lock_enabled();
+    ah_mem::set_accounting(false);
+    let before = live(Tag::Merge);
+    let buf = {
+        let _scope = MemScope::enter(Tag::Merge);
+        vec![2u8; 1 << 16]
+    };
+    assert_eq!(live(Tag::Merge), before, "disabled accounting still charged");
+    drop(buf);
+    assert_eq!(live(Tag::Merge), before);
+}
+
+#[test]
+fn free_after_disable_still_drains() {
+    let _gate = lock_enabled();
+    let before = live(Tag::Detectors);
+    let buf = {
+        let _scope = MemScope::enter(Tag::Detectors);
+        vec![3u8; 1 << 18]
+    };
+    assert!(live(Tag::Detectors).0 > before.0);
+    ah_mem::set_accounting(false);
+    drop(buf); // charged bit in the header, not the switch, drives the debit
+    assert_eq!(live(Tag::Detectors), before, "charged block did not drain after disable");
+}
+
+#[test]
+fn cross_thread_free_returns_to_charged_tag() {
+    let _gate = lock_enabled();
+    let before = live(Tag::Mux);
+    let handle = std::thread::spawn(|| {
+        let _scope = MemScope::enter(Tag::Mux);
+        vec![5u8; 1 << 19]
+    });
+    let buf = handle.join().expect("allocator thread");
+    assert!(live(Tag::Mux).0 >= before.0 + (1 << 19));
+    drop(buf); // freed on the main thread, outside any scope
+    assert_eq!(live(Tag::Mux), before, "cross-thread free missed the mux account");
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn zeroed_allocs_are_zero_and_charged() {
+    let _gate = lock_enabled();
+    let before = live(Tag::Trace);
+    let buf = {
+        let _scope = MemScope::enter(Tag::Trace);
+        vec![0u64; 1 << 15] // vec! of zeros routes through alloc_zeroed
+    };
+    assert!(buf.iter().all(|&b| b == 0), "alloc_zeroed region not zeroed");
+    assert!(live(Tag::Trace).0 >= before.0 + (8 << 15));
+    drop(buf);
+    assert_eq!(live(Tag::Trace), before);
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn global_account_aggregates_tags() {
+    let _gate = lock_enabled();
+    let before = ah_mem::global_stats().live_bytes;
+    let a = {
+        let _scope = MemScope::enter(Tag::Mux);
+        vec![1u8; 1 << 16]
+    };
+    let b = {
+        let _scope = MemScope::enter(Tag::Wal);
+        vec![2u8; 1 << 16]
+    };
+    let during = ah_mem::global_stats().live_bytes;
+    assert!(during >= before + (2 << 16), "global account missed tagged traffic");
+    drop((a, b));
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn reset_window_rebases_peak_and_totals() {
+    let _gate = lock_enabled();
+    {
+        let _scope = MemScope::enter(Tag::Merge);
+        let buf = vec![9u8; 1 << 20];
+        drop(buf);
+    }
+    assert!(ah_mem::tag_stats(Tag::Merge).peak_bytes >= 1 << 20);
+    ah_mem::reset_window();
+    let st = ah_mem::tag_stats(Tag::Merge);
+    assert_eq!(st.peak_bytes, st.live_bytes, "peak not rebased to live");
+    assert_eq!(st.total_bytes, 0);
+    assert_eq!(st.total_allocs, 0);
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn leak_check_reports_only_outstanding_run_tags() {
+    let _gate = lock_enabled();
+    let baseline: Vec<(Tag, i64)> = ah_mem::leak_check(0);
+    let held = {
+        let _scope = MemScope::enter(Tag::Telescope);
+        vec![4u8; 1 << 20]
+    };
+    let leaks = ah_mem::leak_check(1 << 10);
+    let tele_leak = leaks.iter().find(|(t, _)| *t == Tag::Telescope);
+    assert!(tele_leak.is_some(), "held telescope block not reported: {leaks:?}");
+    drop(held);
+    assert_eq!(ah_mem::leak_check(0), baseline, "drained state still reports leaks");
+    ah_mem::set_accounting(false);
+}
+
+#[test]
+fn report_snapshot_is_consistent() {
+    let _gate = lock_enabled();
+    let rep = ah_mem::report();
+    // VmHWM (when present) is a kernel-truth upper bound-ish figure;
+    // peak_rss_bytes must pick it or fall back to the tracked peak.
+    match rep.vm_hwm_bytes {
+        Some(v) => assert_eq!(rep.peak_rss_bytes(), v),
+        None => assert_eq!(rep.peak_rss_bytes(), rep.global.peak_bytes.max(0) as u64),
+    }
+    let rendered = rep.render();
+    assert!(rendered.contains("telescope"));
+    ah_mem::set_accounting(false);
+}

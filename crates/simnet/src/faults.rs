@@ -37,6 +37,7 @@
 //! in every sharding.
 
 use crate::rng::{hash64, Rng64};
+use ah_mem::Tag;
 use ah_net::packet::{PacketMeta, Transport};
 use ah_net::time::{Dur, Ts};
 use std::cmp::Reverse;
@@ -393,7 +394,15 @@ impl FaultInjector {
             }
             return;
         }
-        let n = self.counters.entry(pkt.src.to_u32()).or_insert(0);
+        // The per-source decision counters are the injector's own
+        // state; the `emit` delivery path re-tags downstream. Manual
+        // tag swap on the per-packet path (see `ah_mem::tag_swap`).
+        let n = {
+            let prev = ah_mem::tag_swap(Tag::Mux);
+            let n = self.counters.entry(pkt.src.to_u32()).or_insert(0);
+            ah_mem::tag_restore(prev);
+            n
+        };
         let draw = *n;
         *n += 1;
         let mut rng = Rng64::new(packet_decision_seed(self.plan.seed, pkt.src.to_u32(), draw));
@@ -421,7 +430,11 @@ impl FaultInjector {
                 }
                 let skew = Dur(rng.range(1, self.plan.max_skew.0 + 1));
                 self.seq += 1;
+                // The reorder buffer belongs to the injector, not to
+                // whatever stage the delivery callback runs next.
+                let prev = ah_mem::tag_swap(Tag::Mux);
                 self.held.push(Reverse(Held { release: pkt.ts + skew, seq: self.seq, pkt: out }));
+                ah_mem::tag_restore(prev);
             } else {
                 self.deliver(&out, emit);
             }

@@ -4,6 +4,7 @@
 //! their packet streams into one globally time-ordered stream using a
 //! binary heap with exactly one outstanding entry per live actor.
 
+use ah_mem::{MemScope, Tag};
 use ah_net::packet::PacketMeta;
 use ah_net::time::Ts;
 use std::cmp::Reverse;
@@ -75,6 +76,9 @@ impl TrafficMux {
 
     /// Next packet in global time order.
     pub fn next_packet(&mut self) -> Option<PacketMeta> {
+        // Actor emission and heap churn are the mux's own memory
+        // traffic; the caller's delivery path re-tags downstream.
+        let _mem = MemScope::enter(Tag::Mux);
         let entry = self.heap.pop()?;
         let idx = entry.idx.0;
         let pkt = self.actors[idx].emit();

@@ -345,6 +345,9 @@ impl ScenarioConfig {
 impl Scenario {
     /// Assemble the world and actor population.
     pub fn build(cfg: ScenarioConfig) -> Scenario {
+        // The whole substrate — world model, actor population, mux heap
+        // — is charged to the mux account.
+        let _mem = ah_mem::MemScope::enter(ah_mem::Tag::Mux);
         let world = World::new(cfg.world.clone());
         let space = Arc::new(world.observable().clone());
         let mut rng = Rng64::new(cfg.seed);

@@ -1,6 +1,7 @@
 //! Dark-space capture: filtering, classification and running statistics.
 
 use crate::dstset::DstSet;
+use ah_mem::{MemScope, Tag};
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::{PacketMeta, ScanClass};
 use ah_net::prefix::Prefix;
@@ -220,6 +221,9 @@ impl Telescope {
     /// this telescope and `ah_telescope_agg_*` to its event aggregator.
     /// Observation-only: capture and event semantics are unchanged.
     pub fn set_recorder(&mut self, rec: &ah_obs::Recorder) {
+        // Instruments are interned in the recorder, which outlives any
+        // run — charge them to Obs, not the run-scoped Telescope tag.
+        let _mem = MemScope::enter(Tag::Obs);
         self.m_packets = rec.counter("ah_telescope_capture_packets_total");
         self.m_bytes = rec.counter("ah_telescope_capture_bytes_total");
         self.m_filtered = rec.counter("ah_telescope_capture_filtered_total");
@@ -255,6 +259,11 @@ impl Telescope {
     /// `Telescope` instance and merging afterwards reproduces the
     /// serial result exactly (`ARCHITECTURE.md` §11).
     pub fn observe(&mut self, pkt: &PacketMeta) -> CaptureOutcome {
+        // Deliberately NO memory scope here: this is the hottest
+        // function in the pipeline, and even a disabled tag check per
+        // packet is measurable. The engine's tagged consume path
+        // (`pipeline::Vantage::consume::<true>`) brackets this call
+        // with `ah_mem::tag_swap` when accounting is on.
         let Some(idx) = self.dark.index_of(pkt.dst) else {
             return CaptureOutcome::NotDark;
         };
@@ -282,16 +291,19 @@ impl Telescope {
 
     /// Expire idle events as of `now` (see [`crate::event::EventAggregator::advance`]).
     pub fn advance(&mut self, now: ah_net::time::Ts) {
+        let _mem = MemScope::enter(Tag::Telescope);
         self.aggregator.advance(now);
     }
 
     /// Drain completed darknet events.
     pub fn drain_events(&mut self) -> Vec<crate::event::DarknetEvent> {
+        let _mem = MemScope::enter(Tag::Telescope);
         self.aggregator.drain_completed()
     }
 
     /// Close all active events and return everything outstanding.
     pub fn flush(&mut self) -> Vec<crate::event::DarknetEvent> {
+        let _mem = MemScope::enter(Tag::Telescope);
         self.aggregator.flush()
     }
 

@@ -1,0 +1,104 @@
+//! Exit-code contract of the `ah-trace check` CLI.
+//!
+//! The `trace` gate in `scripts/ci.sh` relies on three behaviors: a
+//! valid trace file exits 0, a malformed file exits 1, and a missing
+//! `--require` span exits 1 — with usage errors distinct at 2. These
+//! tests pin that contract by running the real binary
+//! (`CARGO_BIN_EXE_ah-trace`) against artifacts written by the real
+//! exporter.
+
+use ah_trace::{export, TraceConfig, Tracer};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A fresh per-test scratch directory under the target tmpdir.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-trace-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Write a small but real trace (two spans, one instant) via the
+/// exporter and return the Chrome-trace JSON path.
+fn write_valid_trace(dir: &Path) -> PathBuf {
+    let tracer = Tracer::new(TraceConfig { seed: 3, sample_one_in: 0, buf_capacity: 256 });
+    {
+        let _outer = tracer.span("ah_trace_cli_outer");
+        let _inner = tracer.span("ah_trace_cli_inner");
+        tracer.instant("ah_trace_cli_mark");
+    }
+    let path = dir.join("trace.json");
+    export::write_artifacts(&tracer.snapshot(), &path).expect("write trace artifacts");
+    path
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ah-trace")).args(args).output().expect("run ah-trace")
+}
+
+#[test]
+fn valid_trace_exits_zero() {
+    let dir = temp_dir("valid");
+    let path = write_valid_trace(&dir);
+    let out = run(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OK"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn required_span_present_exits_zero() {
+    let dir = temp_dir("require-ok");
+    let path = write_valid_trace(&dir);
+    let out = run(&["check", path.to_str().unwrap(), "--require", "ah_trace_cli_inner"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_required_span_exits_one() {
+    let dir = temp_dir("require-missing");
+    let path = write_valid_trace(&dir);
+    let out = run(&["check", path.to_str().unwrap(), "--require", "ah_trace_cli_absent"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ah_trace_cli_absent"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_trace_exits_one() {
+    let dir = temp_dir("malformed");
+    let path = dir.join("broken.json");
+    std::fs::write(&path, "{\"traceEvents\": [{\"ph\": \"E\"").expect("write file");
+    let out = run(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("INVALID"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let dir = temp_dir("missing-file");
+    let path = dir.join("does-not-exist.json");
+    let out = run(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [&[][..], &["frobnicate"][..], &["check"][..]] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage"), "args: {args:?}");
+    }
+    // A dangling --require (no name) is a usage error too.
+    let dir = temp_dir("usage");
+    let path = write_valid_trace(&dir);
+    let out = run(&["check", path.to_str().unwrap(), "--require"]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

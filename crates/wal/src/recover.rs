@@ -119,6 +119,9 @@ pub fn recover(
     rec: &Recorder,
     mut on_record: impl FnMut(u64, &[u8], WalRecord),
 ) -> io::Result<RecoveredLog> {
+    // The scan buffers and rebuilt index are recovery's own memory
+    // traffic; `on_record` consumers re-tag via their own scopes.
+    let _mem = ah_mem::MemScope::enter(ah_mem::Tag::Wal);
     let segs = segment_paths(dir)?;
     let prior_index = if segs.is_empty() { None } else { read_index(dir)? };
 
@@ -272,6 +275,8 @@ impl<'a> RecoverMetrics<'a> {
     }
 
     fn apply(&self, s: &RecoveryStats, next_seq: u64) {
+        // Instruments live in the recorder, which outlives the run.
+        let _mem = ah_mem::MemScope::enter(ah_mem::Tag::Obs);
         self.rec.counter("ah_wal_recover_runs_total").inc();
         self.rec.counter("ah_wal_recover_frames_valid_total").add(s.frames_valid);
         self.rec.counter("ah_wal_recover_frames_torn_total").add(s.torn_frames);

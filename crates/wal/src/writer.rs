@@ -19,6 +19,7 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
+use ah_mem::{MemScope, Tag};
 use ah_obs::{Counter, Gauge, Recorder};
 
 use crate::frame::{append_frame, FRAME_HEADER_BYTES};
@@ -62,6 +63,9 @@ struct WriterMetrics {
 
 impl WriterMetrics {
     fn new(rec: &Recorder) -> WriterMetrics {
+        // Instruments are interned in the recorder, which outlives any
+        // run — charge them to Obs, not the run-scoped Wal tag.
+        let _mem = MemScope::enter(Tag::Obs);
         WriterMetrics {
             frames: rec.counter("ah_wal_writer_frames_total"),
             bytes: rec.counter("ah_wal_writer_bytes_total"),
@@ -141,6 +145,7 @@ impl WalWriter {
     /// # Ok::<(), std::io::Error>(())
     /// ```
     pub fn create(dir: &Path, cfg: WalWriterConfig, rec: &Recorder) -> io::Result<WalWriter> {
+        let _mem = MemScope::enter(Tag::Wal);
         fs::create_dir_all(dir)?;
         if !segment_paths(dir)?.is_empty() {
             return Err(io::Error::new(
@@ -183,6 +188,7 @@ impl WalWriter {
         next_seq: u64,
         rec: &Recorder,
     ) -> io::Result<WalWriter> {
+        let _mem = MemScope::enter(Tag::Wal);
         let segs = segment_paths(dir)?;
         let Some(&(seg_base, ref path)) = segs.last() else {
             return WalWriter::create(dir, cfg, rec);
@@ -269,6 +275,7 @@ impl WalWriter {
     /// after the enclosing group commit (automatic every
     /// `group_commit_frames` appends, or via [`WalWriter::commit`]).
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<u64> {
+        let _mem = MemScope::enter(Tag::Wal);
         self.scratch.clear();
         rec.encode_payload(&mut self.scratch);
         let payload = std::mem::take(&mut self.scratch);
@@ -279,6 +286,7 @@ impl WalWriter {
 
     /// Append one pre-encoded frame payload; returns its sequence number.
     pub fn append_payload(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let _mem = MemScope::enter(Tag::Wal);
         if self.sealed {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "append to sealed WAL"));
         }
@@ -300,6 +308,7 @@ impl WalWriter {
     /// durable watermark, then rotate if the segment crossed its size
     /// budget. A no-op when nothing is pending.
     pub fn commit(&mut self) -> io::Result<()> {
+        let _mem = MemScope::enter(Tag::Wal);
         if !self.pending.is_empty() {
             let _commit = self.tracer.span("ah_wal_writer_commit");
             self.file.write_all(&self.pending)?;
@@ -327,6 +336,7 @@ impl WalWriter {
     /// Append the run's seal record, force a final commit, and mark the
     /// log sealed in the segment index. Further appends fail.
     pub fn seal(&mut self, seal: crate::record::RunSeal) -> io::Result<()> {
+        let _mem = MemScope::enter(Tag::Wal);
         let _trace = self.tracer.span("ah_wal_writer_seal");
         self.append(&WalRecord::Seal(seal))?;
         self.commit()?;

@@ -11,9 +11,13 @@
 # thread count with a live ah-trace tracer at the default 1-in-64
 # journey sampling); every other configuration runs with the noop
 # tracer, so the delta is the price of tracing ON and the plain
-# parallel numbers carry the trace-off cost (see BENCH.md). The WAL summary records append MB/s and frames/s, recovery
-# time after a torn tail, and the wall clock of plain vs durable vs
-# replayed pipeline runs.
+# parallel numbers carry the trace-off cost (see BENCH.md). A
+# parallel_mem configuration runs the same widest-thread workload with
+# tagged-allocator accounting on; its per-tag peak bytes and the
+# process peak RSS land in the summary's "memory" object. The WAL
+# summary records append MB/s and frames/s, recovery time after a torn
+# tail, the wall clock of plain vs durable vs replayed pipeline runs,
+# and the memory profile of an accounted durable run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

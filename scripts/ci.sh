@@ -166,4 +166,33 @@ target/release/ah-trace check "$TRACE_DIR/trace.json" --require-journey \
   --require ah_wal_writer_commit --require ah_wal_writer_fsync
 echo "    traced and untraced runs both fingerprint $fp_plain"
 
+echo "==> memory gate"
+# Tagged-allocator accounting is observation-only (ARCHITECTURE.md §13).
+# First the full determinism + leak matrix (tests/memory.rs) by name, so
+# a filtered `cargo test` elsewhere can never drop it; then the shipped
+# binary: a run with --mem-report must print the exact output
+# fingerprint of a plain run, print a per-tag memory report with a
+# nonzero peak RSS, and pass its own end-of-run leak check (every
+# run-scoped tag drained back to ~0 live bytes after the output drops).
+cargo test --release --test memory -q
+MEM_DIR="$(mktemp -d)"
+trap 'rm -rf "$METRICS_DIR" "$TRACE_DIR" "$MEM_DIR"' EXIT
+mem_bin=(target/release/aggressive-scanners --days 1 --threads 4)
+fp_unaccounted=$("${mem_bin[@]}" 2>/dev/null | awk -F': ' '/^output fingerprint/{print $2}')
+"${mem_bin[@]}" --mem-report >"$MEM_DIR/report.txt" 2>&1 \
+  || { echo "error: --mem-report run failed (leak check?)"; cat "$MEM_DIR/report.txt"; exit 1; }
+fp_accounted=$(awk -F': ' '/^output fingerprint/{print $2}' "$MEM_DIR/report.txt")
+[ -n "$fp_unaccounted" ] || { echo "error: unaccounted run printed no fingerprint"; exit 1; }
+if [ "$fp_accounted" != "$fp_unaccounted" ]; then
+  echo "error: memory accounting changed the output fingerprint:"
+  echo "    unaccounted $fp_unaccounted"
+  echo "    accounted   ${fp_accounted:-<none>}"
+  exit 1
+fi
+grep -q '^\[mem\] leak check ok' "$MEM_DIR/report.txt" \
+  || { echo "error: leak check line missing from --mem-report output"; exit 1; }
+rss=$(awk '/^peak rss/{print $(NF-1); exit}' "$MEM_DIR/report.txt")
+case "$rss" in (''|0) echo "error: peak RSS missing or zero in memory report"; exit 1;; esac
+echo "    accounted and unaccounted runs both fingerprint $fp_unaccounted; peak rss $rss bytes"
+
 echo "CI gate passed."

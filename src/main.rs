@@ -7,6 +7,7 @@
 //!                     [--wal-dir DIR] [--resume] [--replay]
 //!                     [--suspend-after N] [--crash-after N]
 //!                     [--trace-out PATH] [--trace-sample N]
+//!                     [--mem-report] [--mem-interval N]
 //! ```
 //!
 //! Runs one full-vantage scenario (telescope + both ISPs + honeypots) on
@@ -35,6 +36,16 @@
 //! source IPs end to end as causal packet journeys (default 64; seeded
 //! by `--seed`). Tracing, like metrics, is observation-only — the
 //! fingerprint is identical with it on or off (see `tests/trace.rs`).
+//!
+//! With `--mem-report` the tagged allocator (see `ah-mem`) starts
+//! accounting every allocation to the subsystem that made it; on exit
+//! the run prints a per-tag live/peak/cumulative table plus the
+//! process peak RSS, then verifies that every run-scoped tag drained
+//! back to ~zero live bytes (a leak fails the process with exit 1).
+//! `--mem-interval N` refreshes the `ah_mem_*` gauges every `N`
+//! delivered packets (default 100000) when metrics are also on.
+//! Accounting, like metrics and tracing, is observation-only — the
+//! fingerprint is identical with it on or off (see `tests/memory.rs`).
 //!
 //! For the paper's tables and figures use the `experiment` binary in
 //! `crates/bench`, which takes the same two metrics flags.
@@ -71,6 +82,8 @@ fn main() {
     let mut crash_after: Option<u64> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut trace_sample = 64u64;
+    let mut mem_report = false;
+    let mut mem_interval = 100_000u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -132,9 +145,14 @@ fn main() {
                 i += 1;
                 trace_sample = parse(&args, i, "--trace-sample");
             }
+            "--mem-report" => mem_report = true,
+            "--mem-interval" => {
+                i += 1;
+                mem_interval = parse(&args, i, "--mem-interval");
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: aggressive-scanners [--metrics PATH] [--metrics-interval N] [--threads N] [--days N] [--seed N] [--fault-rate F] [--wal-dir DIR] [--resume] [--replay] [--suspend-after N] [--crash-after N] [--trace-out PATH] [--trace-sample N]"
+                    "usage: aggressive-scanners [--metrics PATH] [--metrics-interval N] [--threads N] [--days N] [--seed N] [--fault-rate F] [--wal-dir DIR] [--resume] [--replay] [--suspend-after N] [--crash-after N] [--trace-out PATH] [--trace-sample N] [--mem-report] [--mem-interval N]"
                 );
                 return;
             }
@@ -144,6 +162,16 @@ fn main() {
             }
         }
         i += 1;
+    }
+    for (flag, value) in [
+        ("--metrics-interval", interval),
+        ("--trace-sample", trace_sample),
+        ("--mem-interval", mem_interval),
+    ] {
+        if value == 0 {
+            eprintln!("error: {flag} must be at least 1 (0 would disable the stream it paces)");
+            std::process::exit(2);
+        }
     }
     if (resume || replay || suspend_after.is_some() || crash_after.is_some()) && wal_dir.is_none() {
         eprintln!("error: --resume/--replay/--suspend-after/--crash-after need --wal-dir");
@@ -177,6 +205,11 @@ fn main() {
             ..ah_trace::TraceConfig::default()
         });
         eprintln!("[trace] spans on, following ~1-in-{trace_sample} source journeys");
+    }
+    if mem_report {
+        ah_mem::set_accounting(true);
+        tel = tel.with_mem(mem_interval);
+        eprintln!("[mem] per-subsystem accounting on, refresh every {mem_interval} packets");
     }
 
     let mut opts = RunOptions::full();
@@ -263,6 +296,26 @@ fn main() {
                 eprintln!("error: writing trace artifacts: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+    if mem_report {
+        let report = out.mem.clone().unwrap_or_else(ah_mem::report);
+        println!();
+        print!("{}", report.render());
+        // Leak gate: once the run's output is gone, every run-scoped
+        // tag must have drained back to (approximately) zero live
+        // bytes. The epsilon absorbs interned span/metric names that
+        // were charged to a run tag before their owner registered them.
+        drop(out);
+        let leaks = ah_mem::leak_check(16 * 1024);
+        if leaks.is_empty() {
+            println!("[mem] leak check ok: run-scoped tags drained");
+        } else {
+            for (tag, bytes) in &leaks {
+                eprintln!("[mem] leak: tag {} holds {bytes} live bytes after shutdown", tag.name());
+            }
+            eprintln!("error: memory leak check failed");
+            std::process::exit(1);
         }
     }
 }

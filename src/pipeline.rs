@@ -38,6 +38,7 @@ use ah_flow::record::FlowRecord;
 use ah_flow::router::{canonical_record_key, FlowDataset, IspConfig, IspModel, RouterId};
 use ah_flow::v9::{encode_v9, V9Decoder};
 use ah_intel::greynoise::{GnEntry, GreyNoise, IngestStats, PayloadHint};
+use ah_mem::{MemScope, Tag};
 use ah_net::ipv4::Ipv4Addr4;
 use ah_net::packet::{PacketMeta, ScanClass};
 use ah_net::time::Ts;
@@ -135,23 +136,28 @@ pub struct Telemetry {
     /// live tracer leaves the [`RunOutput`] bitwise identical
     /// (`tests/trace.rs` holds both engines to this).
     pub tracer: Tracer,
+    /// Periodic memory-account refresher ([`ah_mem`] → `ah_mem_*`
+    /// gauges + peak-pressure trace instants), ticked at the same
+    /// deterministic stream positions as the exporter. `None` means
+    /// memory telemetry refreshes only once, at finalization.
+    pub mem: Option<MemPulse>,
 }
 
 impl Telemetry {
     /// No-op telemetry: a noop recorder, no exporter, a noop tracer. All
     /// instrument operations compile to a null-check on this path.
     pub fn disabled() -> Telemetry {
-        Telemetry { recorder: Recorder::noop(), exporter: None, tracer: Tracer::noop() }
+        Telemetry { recorder: Recorder::noop(), exporter: None, tracer: Tracer::noop(), mem: None }
     }
 
     /// Record metrics on `recorder` without writing snapshot files.
     pub fn new(recorder: Recorder) -> Telemetry {
-        Telemetry { recorder, exporter: None, tracer: Tracer::noop() }
+        Telemetry { recorder, exporter: None, tracer: Tracer::noop(), mem: None }
     }
 
     /// Record metrics and export periodic snapshots.
     pub fn with_exporter(recorder: Recorder, exporter: Exporter) -> Telemetry {
-        Telemetry { recorder, exporter: Some(exporter), tracer: Tracer::noop() }
+        Telemetry { recorder, exporter: Some(exporter), tracer: Tracer::noop(), mem: None }
     }
 
     /// Attach a span tracer (builder-style).
@@ -159,6 +165,81 @@ impl Telemetry {
         self.tracer = tracer;
         self
     }
+
+    /// Refresh memory-account telemetry every `every` delivered/generated
+    /// packets (builder-style). Meaningful only when [`ah_mem`]
+    /// accounting is enabled and this process runs under the
+    /// [`ah_mem::TaggedSystem`] allocator (the workspace binaries do).
+    pub fn with_mem(mut self, every: u64) -> Telemetry {
+        self.mem = Some(MemPulse::new(every));
+        self
+    }
+}
+
+/// Position-driven memory-telemetry pulse: every `every` stream
+/// positions, copy the [`ah_mem`] accounts into `ah_mem_*` gauges and
+/// drop a peak-pressure instant on the trace when the global live-bytes
+/// high-water mark moved. Like the exporter, it advances on stream
+/// positions — never wall-clock — and reads nothing back, so it cannot
+/// perturb the run.
+#[derive(Debug)]
+pub struct MemPulse {
+    every: u64,
+    next: u64,
+    peak_seen: i64,
+}
+
+impl MemPulse {
+    /// Refresh every `every` stream positions (clamped to ≥1).
+    pub fn new(every: u64) -> MemPulse {
+        let every = every.max(1);
+        MemPulse { every, next: every, peak_seen: 0 }
+    }
+
+    /// Called with the current stream position from each engine loop.
+    fn tick(&mut self, pos: u64, rec: &Recorder, tracer: &Tracer) {
+        if pos < self.next {
+            return;
+        }
+        while self.next <= pos {
+            self.next += self.every;
+        }
+        refresh_mem_metrics(rec);
+        mem_counter("ah_mem_refresh_ticks_total", rec).inc();
+        let peak = ah_mem::global_stats().peak_bytes;
+        if peak > self.peak_seen {
+            self.peak_seen = peak;
+            tracer.instant("ah_mem_peak_live");
+        }
+    }
+}
+
+/// Set one per-tag memory gauge. The metric-name literal comes first so
+/// ah-lint's metric-name pass (MEM_FNS) can check it like any
+/// counter/gauge/histogram registration.
+fn mem_gauge(name: &'static str, rec: &Recorder, tag: &str, value: i64) {
+    rec.gauge_with(name, &[("tag", tag)]).set(value);
+}
+
+/// Register/fetch an untagged memory counter (name first; see
+/// [`mem_gauge`]).
+fn mem_counter(name: &'static str, rec: &Recorder) -> ah_obs::Counter {
+    rec.counter(name)
+}
+
+/// Copy every [`ah_mem`] account into `ah_mem_*` gauges on `rec`.
+fn refresh_mem_metrics(rec: &Recorder) {
+    let report = ah_mem::report();
+    for (tag, st) in report.tags() {
+        let label = tag.name();
+        mem_gauge("ah_mem_tag_live_bytes", rec, label, st.live_bytes);
+        mem_gauge("ah_mem_tag_live_allocs", rec, label, st.live_allocs);
+        mem_gauge("ah_mem_tag_peak_bytes", rec, label, st.peak_bytes);
+        mem_gauge("ah_mem_tag_total_bytes", rec, label, st.total_bytes as i64);
+    }
+    mem_gauge("ah_mem_global_live_bytes", rec, "all", report.global.live_bytes);
+    mem_gauge("ah_mem_global_peak_bytes", rec, "all", report.global.peak_bytes);
+    mem_gauge("ah_mem_peak_rss_bytes", rec, "all", report.peak_rss_bytes() as i64);
 }
 
 /// Output of a single-pass run.
@@ -185,6 +266,11 @@ pub struct RunOutput {
     pub generated_packets: u64,
     /// Per-stage input-fate ledgers (graceful-degradation accounting).
     pub health: PipelineHealth,
+    /// End-of-run memory report (per-tag peaks + VmHWM), when [`ah_mem`]
+    /// accounting was enabled. Excluded from [`RunOutput::fingerprint`]:
+    /// memory observations vary run to run and must never define run
+    /// identity.
+    pub mem: Option<ah_mem::MemReport>,
 }
 
 /// The CU campus as an "ISP" with a single border router.
@@ -312,6 +398,22 @@ struct Vantage {
     tracer: Tracer,
 }
 
+/// Run `f` under `tag` when the engine's `TAGGED` consume flavor is
+/// active; compiles to a plain call in the untagged flavor. A manual
+/// [`ah_mem::tag_swap`] pair, not a [`MemScope`] guard, so even the
+/// tagged flavor adds no drop glue or unwind paths per packet.
+#[inline(always)]
+fn tagged<const TAGGED: bool, R>(tag: Tag, f: impl FnOnce() -> R) -> R {
+    if TAGGED {
+        let prev = ah_mem::tag_swap(tag);
+        let r = f();
+        ah_mem::tag_restore(prev);
+        r
+    } else {
+        f()
+    }
+}
+
 /// Everything a shard hands back for the order-insensitive merge.
 struct ShardOut {
     events: Vec<DarknetEvent>,
@@ -327,40 +429,53 @@ struct ShardOut {
 
 impl Vantage {
     fn build(world: &World, opts: &RunOptions, rec: &Recorder, tracer: &Tracer) -> Vantage {
-        let mut telescope = Telescope::with_source_filter(
-            world.config.dark,
-            ah_telescope::timeout::paper_default(),
-            bogon_filter(),
-        );
+        let mut telescope = {
+            let _mem = MemScope::enter(Tag::Telescope);
+            Telescope::with_source_filter(
+                world.config.dark,
+                ah_telescope::timeout::paper_default(),
+                bogon_filter(),
+            )
+        };
         telescope.set_recorder(rec);
         telescope.set_tracer(tracer);
         let merit = opts.merit_isp.then(|| {
+            let _mem = MemScope::enter(Tag::Flow);
             let mut m = merit_isp(world, opts.sampling_rate);
             m.set_recorder(rec);
             m.set_tracer(tracer);
             m
         });
         let cu = opts.cu_isp.then(|| {
+            let _mem = MemScope::enter(Tag::Flow);
             let mut c = cu_isp(world, opts.sampling_rate);
             c.set_recorder(rec);
             c.set_tracer(tracer);
             c
         });
         let gn = opts.greynoise.then(|| {
-            // GN's vetting knows the acknowledged orgs' addresses.
-            let acked = world.acked_list(64);
-            let rdns = world.rdns(64);
-            let mut vetted: HashSet<Ipv4Addr4> = HashSet::new();
-            for org in world.orgs.iter().filter(|o| o.is_acked()) {
-                for i in 0..64.min(org.size()) {
-                    let Some(ip) = org.host(i) else { continue };
-                    if acked.matches(ip, &rdns).is_some() {
-                        vetted.insert(ip);
+            let mut g = {
+                let _mem = MemScope::enter(Tag::Detectors);
+                // GN's vetting knows the acknowledged orgs' addresses.
+                let acked = world.acked_list(64);
+                let rdns = world.rdns(64);
+                let mut vetted: HashSet<Ipv4Addr4> = HashSet::new();
+                for org in world.orgs.iter().filter(|o| o.is_acked()) {
+                    for i in 0..64.min(org.size()) {
+                        let Some(ip) = org.host(i) else { continue };
+                        if acked.matches(ip, &rdns).is_some() {
+                            vetted.insert(ip);
+                        }
                     }
                 }
+                GreyNoise::new(world.sensor_set(), vetted)
+            };
+            {
+                // Instruments live in the recorder, which outlives the
+                // run — charge them to Obs, not the run-scoped tag.
+                let _mem = MemScope::enter(Tag::Obs);
+                g.set_recorder(rec);
             }
-            let mut g = GreyNoise::new(world.sensor_set(), vetted);
-            g.set_recorder(rec);
             g
         });
         Vantage {
@@ -388,22 +503,45 @@ impl Vantage {
     /// of the per-source (or per-key) subsequence, so a shard consuming
     /// only its sources computes exactly what the serial engine does
     /// (see `ARCHITECTURE.md` §11).
-    fn consume(&mut self, pkt: &PacketMeta) {
+    ///
+    /// `TAGGED` selects the memory-attribution flavor, once per run
+    /// (`ARCHITECTURE.md` §13): the `true` instantiation brackets each
+    /// stage call with an [`ah_mem::tag_swap`] pair so per-subsystem
+    /// accounts see every allocation; the `false` instantiation
+    /// compiles to exactly the pre-accounting hot path — zero added
+    /// per-packet instructions, which is what keeps the accounting-off
+    /// overhead inside its ≤1% budget. The subsystem `observe` methods
+    /// themselves carry no scopes for the same reason.
+    fn consume<const TAGGED: bool>(&mut self, pkt: &PacketMeta) {
         // Journey sampling is a pure hash of the source address: it draws
         // no randomness and feeds nothing back into the pipeline.
         let journey = self.tracer.journey_id(pkt.src.to_u32());
         let _trace = (journey != 0)
             .then(|| self.tracer.journey_span("ah_pipeline_vantage_consume", journey));
-        let outcome = self.telescope.observe(pkt);
+        let outcome = tagged::<TAGGED, _>(Tag::Telescope, || self.telescope.observe(pkt));
         self.track(pkt, outcome);
         if let Some(m) = self.merit.as_mut() {
-            m.observe(pkt);
+            tagged::<TAGGED, _>(Tag::Flow, || m.observe(pkt));
         }
         if let Some(c) = self.cu.as_mut() {
-            c.observe(pkt);
+            tagged::<TAGGED, _>(Tag::Flow, || c.observe(pkt));
         }
         if let Some(g) = self.gn.as_mut() {
-            g.observe(pkt, payload_hint(pkt.src, pkt.dst_port()));
+            tagged::<TAGGED, _>(Tag::Detectors, || {
+                g.observe(pkt, payload_hint(pkt.src, pkt.dst_port()))
+            });
+        }
+    }
+
+    /// Monomorphization dispatch for [`Vantage::consume`]: one
+    /// predictable branch per packet on a run-constant bool, instead
+    /// of tag checks inside every stage.
+    #[inline]
+    fn consume_dyn(&mut self, tagged_run: bool, pkt: &PacketMeta) {
+        if tagged_run {
+            self.consume::<true>(pkt);
+        } else {
+            self.consume::<false>(pkt);
         }
     }
 
@@ -418,6 +556,7 @@ impl Vantage {
         let merit = self.merit.map(|m| (m.cache_stats(), m.finish()));
         let cu = self.cu.map(|c| (c.cache_stats(), c.finish()));
         let gn = self.gn.map(|g| {
+            let _mem = MemScope::enter(Tag::Detectors);
             let stats = g.ingest_stats();
             (g.finalize(), stats)
         });
@@ -470,6 +609,7 @@ fn collect_shards<'scope>(
     handles: Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
 ) -> Vec<ShardResult> {
     let _trace = tracer.span("ah_pipeline_merge_collect");
+    let _mem = MemScope::enter(Tag::Merge);
     let mut results = Vec::with_capacity(handles.len());
     while let Some(r) = merge_rx.pop_wait() {
         results.push(r);
@@ -524,27 +664,34 @@ fn finalize_run(
     let mut merit_parts: Vec<_> = first.merit.into_iter().collect();
     let mut cu_parts: Vec<_> = first.cu.into_iter().collect();
     let mut gn_parts: Vec<_> = first.gn.into_iter().collect();
-    for sh in shards {
-        capture_stats.merge(&sh.capture);
-        agg.merge(&sh.agg);
-        filtered += sh.filtered;
-        not_dark += sh.not_dark;
-        tracker.absorb(sh.tracker);
-        events.extend(sh.events);
-        merit_parts.extend(sh.merit);
-        cu_parts.extend(sh.cu);
-        gn_parts.extend(sh.gn);
-    }
+    {
+        let _mem = MemScope::enter(Tag::Merge);
+        for sh in shards {
+            capture_stats.merge(&sh.capture);
+            agg.merge(&sh.agg);
+            filtered += sh.filtered;
+            not_dark += sh.not_dark;
+            tracker.absorb(sh.tracker);
+            events.extend(sh.events);
+            merit_parts.extend(sh.merit);
+            cu_parts.extend(sh.cu);
+            gn_parts.extend(sh.gn);
+        }
 
-    // Canonical ingest order: shard counts (and hash-map iteration) must
-    // not leak into the report's record table.
-    events.sort_by_key(event_sort_key);
-    let mut detector = Detector::new(DetectorConfig {
-        thresholds: opts.thresholds,
-        dark_size: DarkSpace::new(world.config.dark).size(),
-    });
+        // Canonical ingest order: shard counts (and hash-map iteration)
+        // must not leak into the report's record table.
+        events.sort_by_key(event_sort_key);
+    }
+    let mut detector = {
+        let _mem = MemScope::enter(Tag::Detectors);
+        Detector::new(DetectorConfig {
+            thresholds: opts.thresholds,
+            dark_size: DarkSpace::new(world.config.dark).size(),
+        })
+    };
     {
         let _pass = tel.tracer.span("ah_pipeline_detector_pass");
+        let _mem = MemScope::enter(Tag::Detectors);
         for ev in &events {
             let journey = tel.tracer.journey_id(ev.key.src.to_u32());
             if journey != 0 {
@@ -556,9 +703,10 @@ fn finalize_run(
         }
     }
 
-    let merit = merge_flow_parts(merit_parts);
-    let cu = merge_flow_parts(cu_parts);
-    let gn = merge_gn_parts(gn_parts);
+    let (merit, cu, gn) = {
+        let _mem = MemScope::enter(Tag::Merge);
+        (merge_flow_parts(merit_parts), merge_flow_parts(cu_parts), merge_gn_parts(gn_parts))
+    };
 
     // --- Health ledger, in pipeline order ------------------------------
     let mut health = PipelineHealth::default();
@@ -599,7 +747,10 @@ fn finalize_run(
     }
 
     let capture = CaptureSummary::from(&capture_stats);
-    let report = detector.finalize();
+    let report = {
+        let _mem = MemScope::enter(Tag::Detectors);
+        detector.finalize()
+    };
     let (gn_entries, gn_seen) = match gn {
         Some((entries, _)) => {
             let seen = entries.keys().copied().collect();
@@ -612,6 +763,18 @@ fn finalize_run(
         health.push(v9_loopback(&flows.records, &tel.recorder));
     }
     drop(merge_span);
+    // Closing memory snapshot: refresh the `ah_mem_*` gauges one last
+    // time (so the final export below carries the end-of-run accounts)
+    // and capture the structured report. Reading the accounts feeds
+    // nothing back into the pipeline, so this is determinism-neutral.
+    let mem = if ah_mem::accounting_enabled() {
+        if tel.recorder.is_enabled() {
+            refresh_mem_metrics(&tel.recorder);
+        }
+        Some(ah_mem::report())
+    } else {
+        None
+    };
     // Mirror the finished ledgers as `ah_core_health_*` gauges and flush
     // one final snapshot at the end-of-stream position so the exported
     // files always cover the completed run.
@@ -636,6 +799,7 @@ fn finalize_run(
         days,
         generated_packets: generated,
         health,
+        mem,
     }
 }
 
@@ -686,27 +850,47 @@ pub fn run(cfg: ScenarioConfig, opts: RunOptions) -> RunOutput {
 pub fn run_with_recorder(cfg: ScenarioConfig, opts: RunOptions, tel: &mut Telemetry) -> RunOutput {
     let days = cfg.days;
     let mut sc = Scenario::build(cfg);
-    let world = sc.world.clone();
+    let world = {
+        let _mem = MemScope::enter(Tag::Mux);
+        sc.world.clone()
+    };
     let mut vantage = Vantage::build(&world, &opts, &tel.recorder, &tel.tracer);
     let m_packets = tel.recorder.counter("ah_pipeline_mux_packets_delivered_total");
     let m_bytes = tel.recorder.counter("ah_pipeline_mux_bytes_delivered_total");
+    let rec = tel.recorder.clone();
     let tracer = tel.tracer.clone();
 
     let mut generated = 0u64;
     let mut delivered = 0u64;
-    let mut injector = opts.faults.map(FaultInjector::new);
+    let mut injector = {
+        let _mem = MemScope::enter(Tag::Mux);
+        opts.faults.map(FaultInjector::new)
+    };
     if let Some(inj) = injector.as_mut() {
         inj.set_tracer(&tracer);
     }
     {
+        // Pre-warm this thread's trace buffer under the Trace tag so its
+        // allocation never lands on a run-scoped account mid-stream.
+        let _mem = MemScope::enter(Tag::Trace);
+        tracer.set_track("ah_pipeline_serial_main", 0);
+    }
+    {
         let exporter = &mut tel.exporter;
+        let mem_pulse = &mut tel.mem;
+        // Pick the consume flavor once: tagged attribution only when
+        // accounting is on (ARCHITECTURE.md §13).
+        let tagged_run = ah_mem::accounting_enabled();
         let mut consume = |pkt: &PacketMeta| {
             delivered += 1;
             m_packets.inc();
             m_bytes.add(u64::from(pkt.wire_len));
-            vantage.consume(pkt);
+            vantage.consume_dyn(tagged_run, pkt);
             if let Some(ex) = exporter.as_mut() {
                 ex.maybe_export(delivered);
+            }
+            if let Some(mp) = mem_pulse.as_mut() {
+                mp.tick(delivered, &rec, &tracer);
             }
         };
         let _drive = tracer.span("ah_pipeline_mux_drive");
@@ -768,7 +952,10 @@ pub fn run_parallel_with_recorder(
     let threads = threads.max(1);
     let days = cfg.days;
     let mut sc = Scenario::build(cfg);
-    let world = sc.world.clone();
+    let world = {
+        let _mem = MemScope::enter(Tag::Mux);
+        sc.world.clone()
+    };
     let rec = tel.recorder.clone();
     let tracer = tel.tracer.clone();
 
@@ -781,12 +968,18 @@ pub fn run_parallel_with_recorder(
 
     let mut producers = Vec::with_capacity(threads);
     let mut consumers = Vec::with_capacity(threads);
-    for _ in 0..threads {
-        let (tx, rx) = ring::<PacketMeta>(RING_CAPACITY);
-        producers.push(tx);
-        consumers.push(rx);
+    {
+        let _mem = MemScope::enter(Tag::Mux);
+        for _ in 0..threads {
+            let (tx, rx) = ring::<PacketMeta>(RING_CAPACITY);
+            producers.push(tx);
+            consumers.push(rx);
+        }
     }
-    let (merge_txs, merge_rx) = mpsc::<ShardResult>(threads, threads);
+    let (merge_txs, merge_rx) = {
+        let _mem = MemScope::enter(Tag::Merge);
+        mpsc::<ShardResult>(threads, threads)
+    };
 
     let mut generated = 0u64;
     let results = std::thread::scope(|s| {
@@ -800,7 +993,10 @@ pub fn run_parallel_with_recorder(
             .enumerate()
             .map(|(i, (mut rx, mut mtx))| {
                 s.spawn(move || {
-                    tracer_ref.set_track("ah_pipeline_shard_worker", i as u64 + 1);
+                    {
+                        let _mem = MemScope::enter(Tag::Trace);
+                        tracer_ref.set_track("ah_pipeline_shard_worker", i as u64 + 1);
+                    }
                     let mut v = Vantage::build(world_ref, opts_ref, rec_ref, tracer_ref);
                     let m_packets = rec_ref.counter("ah_pipeline_mux_packets_delivered_total");
                     let m_bytes = rec_ref.counter("ah_pipeline_mux_bytes_delivered_total");
@@ -808,17 +1004,21 @@ pub fn run_parallel_with_recorder(
                     // function of (source, per-source index), so this
                     // shard's substream yields exactly the serial
                     // decisions for its slice of the source space.
-                    let mut injector = opts_ref.faults.map(FaultInjector::new);
+                    let mut injector = {
+                        let _mem = MemScope::enter(Tag::Mux);
+                        opts_ref.faults.map(FaultInjector::new)
+                    };
                     if let Some(inj) = injector.as_mut() {
                         inj.set_tracer(tracer_ref);
                     }
                     let mut delivered = 0u64;
                     {
+                        let tagged_run = ah_mem::accounting_enabled();
                         let mut consume = |pkt: &PacketMeta| {
                             delivered += 1;
                             m_packets.inc();
                             m_bytes.add(u64::from(pkt.wire_len));
-                            v.consume(pkt);
+                            v.consume_dyn(tagged_run, pkt);
                         };
                         while let Some(pkt) = rx.pop_wait() {
                             let journey = tracer_ref.journey_id(pkt.src.to_u32());
@@ -834,11 +1034,15 @@ pub fn run_parallel_with_recorder(
                             inj.flush(&mut consume);
                         }
                     }
-                    mtx.push(ShardResult {
-                        out: Box::new(v.into_shard_out()),
-                        injector: injector.map(|i| i.stats()),
-                        delivered,
-                    });
+                    let result = {
+                        let _mem = MemScope::enter(Tag::Merge);
+                        ShardResult {
+                            out: Box::new(v.into_shard_out()),
+                            injector: injector.map(|i| i.stats()),
+                            delivered,
+                        }
+                    };
+                    mtx.push(result);
                     // Publish before reading the peak: the high-water
                     // mark updates on reservation, and this shard's
                     // final reservation is the interesting one.
@@ -857,7 +1061,11 @@ pub fn run_parallel_with_recorder(
 
         {
             let exporter = &mut tel.exporter;
-            tracer.set_track("ah_pipeline_dispatch_main", 0);
+            let mem_pulse = &mut tel.mem;
+            {
+                let _mem = MemScope::enter(Tag::Trace);
+                tracer.set_track("ah_pipeline_dispatch_main", 0);
+            }
             let _drive = tracer.span("ah_pipeline_mux_drive");
             sc.mux.drive(|pkt| {
                 generated += 1;
@@ -883,6 +1091,9 @@ pub fn run_parallel_with_recorder(
                     // and monotone; the closing snapshot in
                     // `finalize_run` covers the end of stream.
                     ex.maybe_export(generated);
+                }
+                if let Some(mp) = mem_pulse.as_mut() {
+                    mp.tick(generated, &rec, &tracer);
                 }
             });
         }
@@ -1013,6 +1224,8 @@ struct WalDrive<'a> {
     vantage: &'a mut Vantage,
     writer: &'a mut WalWriter,
     exporter: &'a mut Option<Exporter>,
+    mem: &'a mut Option<MemPulse>,
+    rec: Recorder,
     m_packets: ah_obs::Counter,
     m_bytes: ah_obs::Counter,
     scratch: Vec<u8>,
@@ -1042,8 +1255,11 @@ fn wal_deliver(d: &mut WalDrive<'_>, pkt: &PacketMeta) {
         return;
     }
     d.delivered += 1;
-    d.scratch.clear();
-    WalRecord::Packet(*pkt).encode_payload(&mut d.scratch);
+    {
+        let _mem = MemScope::enter(Tag::Wal);
+        d.scratch.clear();
+        WalRecord::Packet(*pkt).encode_payload(&mut d.scratch);
+    }
     d.packet_hash = fnv1a_fold(d.packet_hash, &d.scratch);
     if d.delivered <= d.prefix {
         // Fast-forward over the recovered prefix. At the crossing, the
@@ -1067,9 +1283,12 @@ fn wal_deliver(d: &mut WalDrive<'_>, pkt: &PacketMeta) {
         }
         d.m_packets.inc();
         d.m_bytes.add(u64::from(pkt.wire_len));
-        d.vantage.consume(pkt);
+        d.vantage.consume_dyn(ah_mem::accounting_enabled(), pkt);
         if let Some(ex) = d.exporter.as_mut() {
             ex.maybe_export(d.delivered);
+        }
+        if let Some(mp) = d.mem.as_mut() {
+            mp.tick(d.delivered, &d.rec, &d.tracer);
         }
     }
     if d.crash_after == Some(d.delivered) {
@@ -1111,7 +1330,10 @@ fn drive_wal_serial(
 ) -> io::Result<WalOutcome> {
     let days = cfg.days;
     let mut sc = Scenario::build(cfg);
-    let world = sc.world.clone();
+    let world = {
+        let _mem = MemScope::enter(Tag::Mux);
+        sc.world.clone()
+    };
     writer.set_tracer(&tel.tracer);
     let (mut vantage, prefix, prefix_hash) = match recovered {
         Some((v, n, h)) => (v, n, h),
@@ -1120,15 +1342,26 @@ fn drive_wal_serial(
     let m_packets = tel.recorder.counter("ah_pipeline_mux_packets_delivered_total");
     let m_bytes = tel.recorder.counter("ah_pipeline_mux_bytes_delivered_total");
     let mut generated = 0u64;
-    let mut injector = opts.faults.map(FaultInjector::new);
+    let mut injector = {
+        let _mem = MemScope::enter(Tag::Mux);
+        opts.faults.map(FaultInjector::new)
+    };
     if let Some(inj) = injector.as_mut() {
         inj.set_tracer(&tel.tracer);
+    }
+    {
+        // Pre-warm the trace buffer under the Trace tag (see
+        // `run_with_recorder`).
+        let _mem = MemScope::enter(Tag::Trace);
+        tel.tracer.set_track("ah_pipeline_serial_main", 0);
     }
     let drive_span = tel.tracer.span("ah_pipeline_mux_drive");
     let mut d = WalDrive {
         vantage: &mut vantage,
         writer: &mut writer,
         exporter: &mut tel.exporter,
+        mem: &mut tel.mem,
+        rec: tel.recorder.clone(),
         m_packets,
         m_bytes,
         scratch: Vec::new(),
@@ -1204,10 +1437,19 @@ fn feed_from_wal(
     dir: &Path,
     tel: &mut Telemetry,
 ) -> io::Result<WalFeed> {
-    let world = World::new(cfg.world.clone());
+    let world = {
+        let _mem = MemScope::enter(Tag::Mux);
+        World::new(cfg.world.clone())
+    };
     let mut vantage = Vantage::build(&world, opts, &tel.recorder, &tel.tracer);
     let m_replay = tel.recorder.counter("ah_wal_replay_packets_total");
     let tracer = tel.tracer.clone();
+    {
+        // Pre-warm the trace buffer under the Trace tag (see
+        // `run_with_recorder`).
+        let _mem = MemScope::enter(Tag::Trace);
+        tracer.set_track("ah_pipeline_serial_main", 0);
+    }
     let _scan = tracer.span("ah_wal_recover_scan");
     let mut meta: Option<RunMeta> = None;
     let mut packets = 0u64;
@@ -1221,7 +1463,7 @@ fn feed_from_wal(
             if journey != 0 {
                 tracer.journey_instant("ah_wal_replay_packet", journey);
             }
-            vantage.consume(&p);
+            vantage.consume_dyn(ah_mem::accounting_enabled(), &p);
             m_replay.inc();
         }
         WalRecord::Event(_) | WalRecord::Flow(_) | WalRecord::Seal(_) => {}
@@ -1347,7 +1589,10 @@ pub fn run_parallel_wal(
     writer.commit()?;
 
     let mut sc = Scenario::build(cfg);
-    let world = sc.world.clone();
+    let world = {
+        let _mem = MemScope::enter(Tag::Mux);
+        sc.world.clone()
+    };
     let rec = tel.recorder.clone();
     let tracer = tel.tracer.clone();
     writer.set_tracer(&tracer);
@@ -1356,12 +1601,18 @@ pub fn run_parallel_wal(
 
     let mut producers = Vec::with_capacity(threads);
     let mut consumers = Vec::with_capacity(threads);
-    for _ in 0..threads {
-        let (tx, rx) = ring::<PacketMeta>(RING_CAPACITY);
-        producers.push(tx);
-        consumers.push(rx);
+    {
+        let _mem = MemScope::enter(Tag::Mux);
+        for _ in 0..threads {
+            let (tx, rx) = ring::<PacketMeta>(RING_CAPACITY);
+            producers.push(tx);
+            consumers.push(rx);
+        }
     }
-    let (merge_txs, merge_rx) = mpsc::<ShardResult>(threads, threads);
+    let (merge_txs, merge_rx) = {
+        let _mem = MemScope::enter(Tag::Merge);
+        mpsc::<ShardResult>(threads, threads)
+    };
 
     let mut generated = 0u64;
     let mut delivered = 0u64;
@@ -1369,7 +1620,10 @@ pub fn run_parallel_wal(
     let mut scratch: Vec<u8> = Vec::new();
     let mut io_err: Option<io::Error> = None;
     let stop = std::cell::Cell::new(false);
-    let mut injector = opts.faults.map(FaultInjector::new);
+    let mut injector = {
+        let _mem = MemScope::enter(Tag::Mux);
+        opts.faults.map(FaultInjector::new)
+    };
     if let Some(inj) = injector.as_mut() {
         inj.set_tracer(&tracer);
     }
@@ -1385,19 +1639,27 @@ pub fn run_parallel_wal(
             .enumerate()
             .map(|(i, (mut rx, mut mtx))| {
                 s.spawn(move || {
-                    tracer_ref.set_track("ah_pipeline_shard_worker", i as u64 + 1);
+                    {
+                        let _mem = MemScope::enter(Tag::Trace);
+                        tracer_ref.set_track("ah_pipeline_shard_worker", i as u64 + 1);
+                    }
                     let mut v = Vantage::build(world_ref, opts_ref, rec_ref, tracer_ref);
+                    let tagged_run = ah_mem::accounting_enabled();
                     while let Some(pkt) = rx.pop_wait() {
                         let journey = tracer_ref.journey_id(pkt.src.to_u32());
                         let _pop = (journey != 0)
                             .then(|| tracer_ref.journey_span("ah_pipeline_shard_consume", journey));
-                        v.consume(&pkt);
+                        v.consume_dyn(tagged_run, &pkt);
                     }
-                    mtx.push(ShardResult {
-                        out: Box::new(v.into_shard_out()),
-                        injector: None,
-                        delivered: 0,
-                    });
+                    let result = {
+                        let _mem = MemScope::enter(Tag::Merge);
+                        ShardResult {
+                            out: Box::new(v.into_shard_out()),
+                            injector: None,
+                            delivered: 0,
+                        }
+                    };
+                    mtx.push(result);
                     mtx.close();
                 })
             })
@@ -1405,6 +1667,7 @@ pub fn run_parallel_wal(
 
         {
             let exporter = &mut tel.exporter;
+            let mem_pulse = &mut tel.mem;
             let writer = &mut writer;
             let io_err = &mut io_err;
             let stop_ref = &stop;
@@ -1413,8 +1676,11 @@ pub fn run_parallel_wal(
                     return;
                 }
                 delivered += 1;
-                scratch.clear();
-                WalRecord::Packet(*pkt).encode_payload(&mut scratch);
+                {
+                    let _mem = MemScope::enter(Tag::Wal);
+                    scratch.clear();
+                    WalRecord::Packet(*pkt).encode_payload(&mut scratch);
+                }
                 packet_hash = fnv1a_fold(packet_hash, &scratch);
                 let journey = tracer.journey_id(pkt.src.to_u32());
                 let _route = (journey != 0)
@@ -1433,6 +1699,9 @@ pub fn run_parallel_wal(
                 if let Some(ex) = exporter.as_mut() {
                     ex.maybe_export(delivered);
                 }
+                if let Some(mp) = mem_pulse.as_mut() {
+                    mp.tick(delivered, &rec, &tracer);
+                }
                 if wal.crash_after == Some(delivered) {
                     writer.crash_with_torn_tail();
                 }
@@ -1440,7 +1709,10 @@ pub fn run_parallel_wal(
                     stop_ref.set(true);
                 }
             };
-            tracer.set_track("ah_pipeline_dispatch_main", 0);
+            {
+                let _mem = MemScope::enter(Tag::Trace);
+                tracer.set_track("ah_pipeline_dispatch_main", 0);
+            }
             let _drive = tracer.span("ah_pipeline_mux_drive");
             while !stop.get() {
                 let Some(pkt) = sc.mux.next_packet() else { break };
@@ -1676,7 +1948,10 @@ pub fn run_taps(cfg: ScenarioConfig, tap_router: RouterId, def: Definition) -> T
 
     // Pass 2: identical traffic, measured at the taps from day 1 on.
     let mut sc = Scenario::build(rebuild);
-    let world = sc.world.clone();
+    let world = {
+        let _mem = MemScope::enter(Tag::Mux);
+        sc.world.clone()
+    };
     let mut merit = merit_isp(&world, 1);
     let mut cu = cu_isp(&world, 1);
     let tap_start = Ts::from_days(1);

@@ -1,0 +1,199 @@
+//! Memory-accounting determinism and leak-gate checks.
+//!
+//! The contract under test (`ARCHITECTURE.md` §13): tagged-allocator
+//! accounting is observation-only. Flipping [`ah_mem::set_accounting`]
+//! on — every allocation charged to a per-subsystem account via the
+//! scope stack — must leave [`RunOutput::fingerprint`] bitwise
+//! identical on both engines, clean or faulted, and on the durable
+//! (WAL) run/suspend-resume/replay paths. On top of that, the
+//! run-scoped tags (mux, telescope, flow, wal, merge, detectors) must
+//! drain back to ~zero live bytes once the run's output is dropped —
+//! the leak gate `scripts/ci.sh` enforces on the release binary.
+//!
+//! Accounting state is process-global, so every test here serializes
+//! on one mutex; integration tests are their own binary, which makes
+//! that intra-file lock sufficient.
+
+use aggressive_scanners::pipeline::{self, RunOptions, RunOutput, Telemetry, WalOutcome, WalRun};
+use aggressive_scanners::simnet::faults::FaultPlan;
+use aggressive_scanners::simnet::scenario::ScenarioConfig;
+use ah_mem::Tag;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Slack for state that legitimately outlives a run while charged to a
+/// run tag (e.g. a span name interned before its owner re-tagged it).
+const EPSILON_BYTES: i64 = 16 * 1024;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A panicked test poisons the mutex but leaves accounting usable;
+    // keep serializing instead of cascading failures.
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::tiny(1, 33)
+}
+
+fn opts(faulted: bool) -> RunOptions {
+    let o = RunOptions::full();
+    if faulted {
+        o.with_faults(FaultPlan::uniform(0.01, 33))
+    } else {
+        o
+    }
+}
+
+fn run_with(tel: &mut Telemetry, threads: usize, faulted: bool) -> RunOutput {
+    if threads <= 1 {
+        pipeline::run_with_recorder(scenario(), opts(faulted), tel)
+    } else {
+        pipeline::run_parallel_with_recorder(scenario(), opts(faulted), threads, tel)
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ah-mem-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+// --- Determinism --------------------------------------------------------
+
+#[test]
+fn accounting_does_not_perturb_output() {
+    let _g = lock();
+    for (threads, faulted) in [(1, false), (1, true), (8, false), (8, true)] {
+        ah_mem::set_accounting(false);
+        let baseline = run_with(&mut Telemetry::disabled(), threads, faulted);
+        assert!(baseline.mem.is_none(), "accounting off must not attach a memory report");
+
+        ah_mem::set_accounting(true);
+        // A tight pulse interval so the periodic refresh path runs many
+        // times inside even this tiny scenario.
+        let mut tel = Telemetry::disabled().with_mem(64);
+        let accounted = run_with(&mut tel, threads, faulted);
+        ah_mem::set_accounting(false);
+
+        assert_eq!(
+            baseline.fingerprint(),
+            accounted.fingerprint(),
+            "accounting changed the output at threads={threads} faulted={faulted}"
+        );
+        let report = accounted.mem.as_ref().expect("accounted run attaches a memory report");
+        assert!(report.global.peak_bytes > 0, "global peak not tracked");
+        assert!(report.peak_rss_bytes() > 0, "peak RSS not resolved");
+        for tag in [Tag::Mux, Tag::Telescope, Tag::Flow, Tag::Detectors] {
+            let s = report.tags().find(|(t, _)| *t == tag).expect("tag in report").1;
+            assert!(
+                s.total_bytes > 0,
+                "tag {} never charged at threads={threads} faulted={faulted}",
+                tag.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn accounting_is_invariant_on_durable_paths() {
+    let _g = lock();
+    ah_mem::set_accounting(false);
+    let plain = pipeline::run(scenario(), opts(true)).fingerprint();
+
+    ah_mem::set_accounting(true);
+    for threads in [1, 8] {
+        // Live durable run == plain run, and its log replays identically.
+        let dir = temp_dir(&format!("wal-t{threads}"));
+        let mut tel = Telemetry::disabled().with_mem(64);
+        let live = pipeline::run_parallel_wal(
+            scenario(),
+            opts(true),
+            threads,
+            &WalRun::new(&dir),
+            &mut tel,
+        )
+        .expect("durable run")
+        .completed()
+        .expect("run completed");
+        assert_eq!(live.fingerprint(), plain, "accounted wal live diverged, {threads} threads");
+        let wal_report = live.mem.as_ref().expect("durable run attaches a memory report");
+        let wal_stats =
+            wal_report.tags().find(|(t, _)| *t == Tag::Wal).expect("wal tag in report").1;
+        assert!(wal_stats.total_bytes > 0, "wal tag never charged on the durable path");
+
+        let replayed =
+            pipeline::replay_wal(scenario(), opts(true), &dir, &mut tel).expect("replay");
+        assert_eq!(replayed.fingerprint(), plain, "accounted replay diverged");
+
+        // Suspend mid-stream, then resume to completion == uninterrupted.
+        let dir2 = temp_dir(&format!("wal-s{threads}"));
+        let cut = live.capture.total_packets.max(8) / 2;
+        let wal = WalRun::new(&dir2).suspend_after(cut);
+        match pipeline::run_parallel_wal(scenario(), opts(true), threads, &wal, &mut tel) {
+            Ok(WalOutcome::Suspended { delivered, .. }) => {
+                assert_eq!(delivered, cut, "suspension point honored")
+            }
+            Ok(WalOutcome::Completed(_)) => panic!("run finished before suspension point"),
+            Err(e) => panic!("suspend run failed: {e}"),
+        }
+        let resumed = pipeline::resume_wal(scenario(), opts(true), &WalRun::new(&dir2), &mut tel)
+            .expect("resume")
+            .completed()
+            .expect("resumed run completed");
+        assert_eq!(resumed.fingerprint(), plain, "accounted resumed run diverged");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+    ah_mem::set_accounting(false);
+}
+
+// --- Leak gate ----------------------------------------------------------
+
+#[test]
+fn run_scoped_tags_drain_when_output_drops() {
+    let _g = lock();
+    ah_mem::set_accounting(true);
+    // Delta-based: whatever earlier tests left charged (bounded by
+    // their own drains) is the baseline, not part of this run.
+    let base: Vec<i64> = Tag::RUN_SCOPED.iter().map(|&t| ah_mem::tag_stats(t).live_bytes).collect();
+
+    let out = run_with(&mut Telemetry::disabled().with_mem(64), 8, true);
+    let report = out.mem.clone().expect("memory report");
+    drop(out);
+
+    ah_mem::set_accounting(false);
+    for (i, &tag) in Tag::RUN_SCOPED.iter().enumerate() {
+        let now = ah_mem::tag_stats(tag).live_bytes;
+        assert!(
+            now - base[i] <= EPSILON_BYTES,
+            "tag {} leaked {} live bytes after the run's output dropped (was {}, now {now})",
+            tag.name(),
+            now - base[i],
+            base[i],
+        );
+    }
+    // The run itself was real: its peaks dwarf the leak epsilon.
+    assert!(
+        report.global.peak_bytes > EPSILON_BYTES,
+        "global peak {} suspiciously small",
+        report.global.peak_bytes
+    );
+}
+
+#[test]
+fn leak_check_helper_agrees_with_drained_state() {
+    let _g = lock();
+    ah_mem::set_accounting(true);
+    let out = run_with(&mut Telemetry::disabled(), 1, false);
+    drop(out);
+    ah_mem::set_accounting(false);
+    // Absolute check with a budget generous enough to cover residue
+    // from every earlier test in this binary — its purpose is to pin
+    // that leak_check reports per-tag live bytes, not cumulative ones.
+    let leaks = ah_mem::leak_check(1 << 20);
+    assert!(leaks.is_empty(), "unexpected live residue: {leaks:?}");
+}
