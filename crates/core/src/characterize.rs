@@ -490,6 +490,49 @@ mod tests {
     }
 
     #[test]
+    fn port_overlap_counts_only_same_day_hitter_scan_flows() {
+        use ah_flow::record::FlowKey;
+        use ah_flow::router::Direction;
+
+        let r = report_with(vec![event(1, 23, 0, 900, 200, zmap_tools(900))]);
+        let hitter = Ipv4Addr4::new(100, 64, 0, 1);
+        let stranger = Ipv4Addr4::new(100, 64, 0, 77);
+        let flow = |src: Ipv4Addr4, day: u64, tcp_flags: u8, packets: u64| FlowRecord {
+            key: FlowKey {
+                src,
+                dst: Ipv4Addr4::new(9, 9, 9, 9),
+                src_port: 40000,
+                dst_port: 23,
+                protocol: 6,
+            },
+            router: 0,
+            direction: Direction::Ingress,
+            first: Ts::from_days(day) + Dur::from_secs(10),
+            last: Ts::from_days(day) + Dur::from_secs(20),
+            packets,
+            bytes: packets * 40,
+            tcp_flags,
+        };
+        let flows = vec![
+            // Counts: day 0, known hitter, SYN-only (the TCP scan bucket).
+            flow(hitter, 0, 0x02, 5),
+            // Wrong day: same hitter, same bucket, day 1.
+            flow(hitter, 1, 0x02, 7),
+            // Not a hitter: day 0, same bucket.
+            flow(stranger, 0, 0x02, 11),
+            // Not a scan bucket: day 0 hitter, SYN+ACK flags.
+            flow(hitter, 0, 0x12, 13),
+        ];
+        let rows = port_overlap(&r, Definition::AddressDispersion, 0, &flows, 10);
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        let (label, dark, flow_pkts) = &rows[0];
+        assert_eq!(label, "tcp/23");
+        assert_eq!(*dark, 900);
+        // Only record one survives every filter: 5 packets * sampling rate 10.
+        assert_eq!(*flow_pkts, 50);
+    }
+
+    #[test]
     fn empty_report_characterizations() {
         let r = report_with(vec![]);
         assert!(top_ports(&r, Definition::AddressDispersion, 5).is_empty());

@@ -368,6 +368,21 @@ mod tests {
     }
 
     #[test]
+    fn header_length_boundary_is_exact() {
+        let mut dec = V9Decoder::new();
+        // 19 bytes is one short of the v9 export header.
+        let short = [0u8; 19];
+        match dec.decode(&short, 0) {
+            Err(NetError::Truncated { needed: 20, got: 19, .. }) => {}
+            other => panic!("19-byte packet must be Truncated, got {other:?}"),
+        }
+        // Exactly 20 bytes with a valid version is a legal, empty export.
+        let mut bare = [0u8; 20];
+        bare[1] = 9;
+        assert_eq!(dec.decode(&bare, 0).unwrap(), vec![]);
+    }
+
+    #[test]
     fn roundtrip_with_template() {
         let records: Vec<_> = (0..5).map(rec).collect();
         let wire = encode_v9(&records, Ts::from_secs(50), 1, 2, true);

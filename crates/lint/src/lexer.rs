@@ -32,13 +32,19 @@ pub enum Tok {
     DocComment(String),
 }
 
-/// A token plus the 1-based line it starts on.
+/// A token plus the 1-based line it starts on and its byte span.
 #[derive(Clone, Debug)]
 pub struct Token {
     /// Token kind and payload.
     pub kind: Tok,
     /// 1-based source line of the token's first character.
     pub line: u32,
+    /// Byte offset of the token's first character in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last character (so
+    /// `&src[start..end]` is the token's exact source text, including
+    /// any delimiters a payload-carrying kind strips).
+    pub end: usize,
 }
 
 fn is_ident_start(b: u8) -> bool {
@@ -68,6 +74,8 @@ impl Lexer<'_> {
     fn run(mut self) -> Vec<Token> {
         while self.i < self.b.len() {
             let line = self.line;
+            let start = self.i;
+            let before = self.out.len();
             let c = self.b[self.i];
             match c {
                 b'\n' => {
@@ -96,6 +104,15 @@ impl Lexer<'_> {
                     self.i += 1;
                 }
             }
+            // Each arm pushes at most one token; stamp its byte span
+            // here so the handlers stay span-agnostic.
+            if self.out.len() > before {
+                let end = self.i;
+                if let Some(tok) = self.out.last_mut() {
+                    tok.start = start;
+                    tok.end = end;
+                }
+            }
         }
         self.out
     }
@@ -105,7 +122,8 @@ impl Lexer<'_> {
     }
 
     fn push(&mut self, kind: Tok, line: u32) {
-        self.out.push(Token { kind, line });
+        // start/end are stamped by `run` once the handler returns.
+        self.out.push(Token { kind, line, start: 0, end: 0 });
     }
 
     fn bump_line_counter(&mut self, from: usize, to: usize) {
@@ -357,6 +375,74 @@ mod tests {
         let docs = toks.iter().filter(|t| matches!(t.kind, Tok::DocComment(_))).count();
         let plain = toks.iter().filter(|t| matches!(t.kind, Tok::Comment(_))).count();
         assert_eq!((docs, plain), (4, 2));
+    }
+
+    #[test]
+    fn byte_spans_cover_the_source_exactly() {
+        let src = "let x = r#\"raw\"# + 0x1f; // tail\n'a'";
+        for t in lex(src) {
+            assert!(t.start < t.end, "empty span for {:?}", t.kind);
+            assert!(t.end <= src.len());
+            let text = &src[t.start..t.end];
+            match &t.kind {
+                Tok::Ident(s) => assert_eq!(text, s),
+                Tok::Str(s) => assert!(text.contains(s.as_str()), "{text} vs {s}"),
+                Tok::Punct(c) => assert_eq!(text, c.to_string()),
+                Tok::Comment(_) => assert!(text.starts_with("//")),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_contiguous_outside_whitespace() {
+        // Re-splicing every token's span text plus the gaps between
+        // spans must reproduce the source byte-for-byte.
+        let src = "fn f(a: u8) -> bool { a <= 3 && a != 0 /* c */ }";
+        let toks = lex(src);
+        let mut rebuilt = String::new();
+        let mut cursor = 0;
+        for t in &toks {
+            rebuilt.push_str(&src[cursor..t.start]);
+            rebuilt.push_str(&src[t.start..t.end]);
+            cursor = t.end;
+        }
+        rebuilt.push_str(&src[cursor..]);
+        assert_eq!(rebuilt, src);
+        // And the gaps are pure whitespace: tokens never overlap or
+        // swallow neighbouring code.
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end, "overlapping spans");
+            assert!(src[prev_end..t.start].chars().all(char::is_whitespace));
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn spans_of_tricky_literals_are_exact() {
+        // Byte-accurate spans over the forms the mutation harness must
+        // never splice into: raw strings with `#` delimiters, byte
+        // strings, escaped byte chars, labelled-loop lifetimes.
+        let src = r###"let a = r##"x"## ; let b = b"y"; let c = b'\''; 'l: loop { break 'l; }"###;
+        let toks = lex(src);
+        let texts: Vec<&str> = toks.iter().map(|t| &src[t.start..t.end]).collect();
+        assert!(texts.contains(&r###"r##"x"##"###), "{texts:?}");
+        assert!(texts.contains(&r#"b"y""#), "{texts:?}");
+        assert!(texts.contains(&r"b'\''"), "{texts:?}");
+        assert_eq!(texts.iter().filter(|t| **t == "'l").count(), 2);
+        let strs = toks.iter().filter(|t| matches!(t.kind, Tok::Str(_))).count();
+        let lifetimes = toks.iter().filter(|t| matches!(t.kind, Tok::Lifetime)).count();
+        assert_eq!((strs, lifetimes), (2, 2));
+    }
+
+    #[test]
+    fn nested_block_comment_span_runs_to_outer_close() {
+        let src = "a /* o /* i */ still */ b";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(&src[toks[1].start..toks[1].end], "/* o /* i */ still */");
+        assert!(matches!(toks[1].kind, Tok::Comment(_)));
     }
 
     #[test]

@@ -30,7 +30,9 @@
 //! Suppressions are in-band and audited:
 //! `// ah-lint: allow(<id>, reason = "…")` for a line,
 //! `// ah-lint: allow-file(<id>, reason = "…")` for a file; a missing
-//! or empty reason is itself a finding (`bad-suppression`).
+//! or empty reason is itself a finding (`bad-suppression`), and a
+//! suppression whose lint would not have fired anyway is reported as
+//! `unused-suppression` so stale allows cannot accumulate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,7 +7,7 @@
 //! for the whole file, and a suppression without a non-empty reason is
 //! itself a diagnostic — the allowlist stays self-documenting.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::lexer::{Tok, Token};
 
@@ -66,6 +66,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ("doc-link", "markdown links must resolve: relative paths exist, #anchors match a heading"),
     ("unsafe-forbid", "crate roots must carry #![forbid(unsafe_code)] unless allow-file'd with a reason"),
     ("bad-suppression", "ah-lint suppression comments must name a known lint and carry a reason"),
+    ("unused-suppression", "an allow/allow-file whose lint would not have fired must be removed"),
 ];
 
 /// True when `id` names a known lint.
@@ -99,8 +100,9 @@ impl FileCtx<'_> {
 /// Parsed suppressions for one file.
 #[derive(Default)]
 pub struct Suppressions {
-    /// Lints silenced for the whole file.
-    pub file: HashSet<String>,
+    /// Lints silenced for the whole file, each with the line of the
+    /// `allow-file` comment that declared it (for unused reporting).
+    pub file: HashMap<String, u32>,
     /// (lint, line) pairs; a suppression on line L silences L and L+1.
     pub line: HashSet<(String, u32)>,
     /// Malformed suppression comments found while parsing.
@@ -110,7 +112,7 @@ pub struct Suppressions {
 impl Suppressions {
     /// Is `lint` silenced at `line`?
     pub fn allows(&self, lint: &str, line: u32) -> bool {
-        self.file.contains(lint)
+        self.file.contains_key(lint)
             || self.line.contains(&(lint.to_string(), line))
             || (line > 0 && self.line.contains(&(lint.to_string(), line - 1)))
     }
@@ -159,7 +161,7 @@ pub fn parse_suppressions(tokens: &[Token]) -> Suppressions {
             continue;
         }
         if file_scope {
-            sup.file.insert(id.to_string());
+            sup.file.entry(id.to_string()).or_insert(t.line);
         } else {
             sup.line.insert((id.to_string(), t.line));
         }
@@ -278,6 +280,37 @@ pub fn run_lints(ctx: &FileCtx<'_>, enabled: &dyn Fn(&str) -> bool) -> Vec<Diagn
     }
     if ctx.crate_root && enabled("unsafe-forbid") {
         unsafe_forbid(ctx, &mut out);
+    }
+    // An allow that silenced nothing is itself a finding: compute usage
+    // against the *pre-filter* diagnostics, so a suppression is "used"
+    // exactly when some finding it covers actually fired. Lints not
+    // enabled in this run are skipped — under `--lint` filtering we
+    // cannot know whether the suppressed lint would have fired.
+    if enabled("unused-suppression") {
+        let mut unused = Vec::new();
+        for (id, decl_line) in &sup.file {
+            if enabled(id) && !out.iter().any(|d| d.lint == id.as_str()) {
+                unused.push((*decl_line, id.clone(), true));
+            }
+        }
+        for (id, decl_line) in &sup.line {
+            let hit = out.iter().any(|d| {
+                d.lint == id.as_str() && (d.line == *decl_line || d.line == decl_line + 1)
+            });
+            if enabled(id) && !hit {
+                unused.push((*decl_line, id.clone(), false));
+            }
+        }
+        for (line, id, file_scope) in unused {
+            let form = if file_scope { "allow-file" } else { "allow" };
+            out.push(ctx.diag(
+                line,
+                "unused-suppression",
+                format!(
+                    "unused {form}({id}): the suppressed lint would not have fired — remove it"
+                ),
+            ));
+        }
     }
     out.retain(|d| d.lint == "bad-suppression" || !sup.allows(d.lint, d.line));
     out.sort_by_key(|d| d.line);

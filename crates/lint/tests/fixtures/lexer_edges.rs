@@ -1,0 +1,40 @@
+//! Fixture: lexer edge cases the mutation harness (`ah-mutate`) leans
+//! on. Panic-ish text inside raw strings (any `#` depth), nested block
+//! comments, byte strings and char literals is *not* code — a lexer
+//! that mis-scanned any of these would both lint phantom findings here
+//! and splice mutations into literals. Only the marked sites are real.
+
+pub fn raw_strings_with_hash_delimiters() -> (&'static str, &'static str) {
+    let a = r#"x.unwrap() and panic!("hi")"#;
+    let b = r##"nested r#"quote"# and .expect("still a string")"##;
+    (a, b)
+}
+
+/* outer /* inner .unwrap() */ still comment: panic!("no") */
+pub fn code_after_nested_block_comment(v: Option<u32>) -> u32 {
+    v.unwrap() //~ panic-path
+}
+
+pub fn byte_string_literals() -> u8 {
+    let s = b"panic!(\"bytes\")";
+    let r = br#"br".unwrap()""#;
+    let quote = b'\'';
+    if r.is_empty() {
+        quote
+    } else {
+        s[0]
+    }
+}
+
+pub fn char_vs_lifetime<'a>(x: &'a str) -> (char, &'a str) {
+    let plain = 'q';
+    let escaped = '\u{2603}';
+    'label: loop {
+        break 'label;
+    }
+    (if x.is_empty() { plain } else { escaped }, x)
+}
+
+pub fn real_finding_after_all_the_edges(v: Option<u32>) -> u32 {
+    v.expect("the lexer still sees real code") //~ panic-path
+}

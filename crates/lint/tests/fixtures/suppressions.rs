@@ -33,6 +33,7 @@ pub fn good_line_scope(v: Option<u32>) -> u32 {
 
 pub fn scope_is_two_lines_only(v: Option<u32>) -> u32 {
     // ah-lint: allow(panic-path, reason = "fixture: does not reach line +2")
+    //~^ unused-suppression
     let w = v;
     w.unwrap() //~ panic-path
 }

@@ -1,0 +1,29 @@
+//! Fixture: unused-suppression — an allow (line or file scope) whose
+//! lint would not have fired is itself a finding, so stale audit
+//! comments cannot accumulate after the code they excused is fixed.
+
+// ah-lint: allow-file(metric-name, reason = "fixture: nothing registers a metric here")
+//~^ unused-suppression
+
+pub fn covered(v: Option<u32>) -> u32 {
+    // ah-lint: allow(panic-path, reason = "fixture: silences the unwrap below")
+    v.unwrap()
+}
+
+pub fn stale(v: Option<u32>) -> u32 {
+    // ah-lint: allow(panic-path, reason = "fixture: the unwrap it excused is gone")
+    //~^ unused-suppression
+    v.unwrap_or(0)
+}
+
+/// A used file-scope suppression stays silent: the atomic-ordering
+/// finding below fires and is absorbed by this allow-file.
+// ah-lint: allow-file(atomic-ordering, reason = "fixture: absorbed by the load below")
+pub fn ordering_site() -> &'static str {
+    // The bare ident is enough for the token-level pass.
+    "Relaxed"
+}
+
+pub fn ordering_code(x: &std::sync::atomic::AtomicU32) -> u32 {
+    x.load(std::sync::atomic::Ordering::Relaxed)
+}

@@ -81,6 +81,32 @@ fn fixture_allow_file() {
 }
 
 #[test]
+fn fixture_unused_suppression() {
+    check_fixture("unused_suppression.rs", false);
+}
+
+#[test]
+fn fixture_lexer_edges() {
+    check_fixture("lexer_edges.rs", false);
+}
+
+#[test]
+fn unused_suppression_skips_lints_disabled_in_this_run() {
+    // Under `--lint panic-path` the metric-name allow-file below cannot
+    // be judged (the metric-name pass never ran), so it must not be
+    // reported as unused; the stale panic-path allow still is.
+    let src = "//! doc\n\
+               // ah-lint: allow-file(metric-name, reason = \"x\")\n\
+               // ah-lint: allow(panic-path, reason = \"stale\")\n\
+               pub fn f() {}\n";
+    let only = |id: &str| id == "panic-path" || id == "unused-suppression";
+    let got = ah_lint::lint_source("m.rs", src, false, &only);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!((got[0].lint, got[0].line), ("unused-suppression", 3));
+    assert!(got[0].message.contains("allow(panic-path)"), "{}", got[0].message);
+}
+
+#[test]
 fn fixture_crate_root_bad() {
     check_fixture("crate_root_bad.rs", true);
 }

@@ -1,0 +1,202 @@
+//! Result cache: `out/mutate-cache.json`, keyed by (mutant id, tree
+//! fingerprint).
+//!
+//! The contract is all-or-nothing: entries recorded under a different
+//! tree fingerprint are discarded wholesale on load, because a verdict
+//! ("the suite catches this mutant") depends on every source and test
+//! file in the tree, not just the mutated one. On an unchanged tree a
+//! re-run executes zero mutants; after any edit, everything re-runs.
+//! The file is hand-rolled JSON written one entry per line, so the
+//! first-party reader below stays a line scanner (the same idiom as
+//! `tests/telemetry.rs`).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::runner::{Outcome, RunResult};
+
+/// One cached verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Mutant id (16 hex chars).
+    pub id: String,
+    /// Classification of the run.
+    pub outcome: Outcome,
+    /// Short human detail (failing step, tail of output).
+    pub detail: String,
+    /// Wall-clock seconds the mutant took to classify.
+    pub secs: f64,
+}
+
+/// The cache: a tree fingerprint plus verdicts recorded under it.
+#[derive(Default)]
+pub struct Cache {
+    /// Fingerprint the entries are valid for.
+    pub tree_fp: String,
+    /// Verdicts by mutant id, sorted on save.
+    pub entries: std::collections::BTreeMap<String, Entry>,
+}
+
+impl Cache {
+    /// Load the cache at `path`, keeping entries only when the stored
+    /// fingerprint matches `tree_fp`.
+    pub fn load(path: &Path, tree_fp: &str) -> Cache {
+        let mut cache = Cache { tree_fp: tree_fp.to_string(), entries: Default::default() };
+        let Ok(body) = fs::read_to_string(path) else { return cache };
+        let stored_fp = body.lines().find_map(|l| field_str(l, "tree_fp"));
+        if stored_fp.as_deref() != Some(tree_fp) {
+            return cache; // invalidated: different tree (or unreadable)
+        }
+        for line in body.lines() {
+            let (Some(id), Some(outcome)) = (field_str(line, "id"), field_str(line, "outcome"))
+            else {
+                continue;
+            };
+            let Some(outcome) = Outcome::parse(&outcome) else { continue };
+            let entry = Entry {
+                id: id.clone(),
+                outcome,
+                detail: field_str(line, "detail").unwrap_or_default(),
+                secs: field_num(line, "secs").unwrap_or(0.0),
+            };
+            cache.entries.insert(id, entry);
+        }
+        cache
+    }
+
+    /// Record a verdict.
+    pub fn insert(&mut self, id: &str, result: &RunResult) {
+        self.entries.insert(
+            id.to_string(),
+            Entry {
+                id: id.to_string(),
+                outcome: result.outcome,
+                detail: result.detail.clone(),
+                secs: result.secs,
+            },
+        );
+    }
+
+    /// Persist to `path` (tmp + rename, one entry per line).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut body = String::new();
+        body.push_str(&format!(
+            "{{\"schema\":\"ah-mutate-cache/1\",\"tree_fp\":\"{}\",\n",
+            self.tree_fp
+        ));
+        body.push_str("\"results\":[\n");
+        let mut first = true;
+        for e in self.entries.values() {
+            if !first {
+                body.push_str(",\n");
+            }
+            first = false;
+            body.push_str(&format!(
+                "{{\"id\":\"{}\",\"outcome\":\"{}\",\"secs\":{:.3},\"detail\":\"{}\"}}",
+                e.id,
+                e.outcome.as_str(),
+                e.secs,
+                escape_json(&e.detail)
+            ));
+        }
+        body.push_str("\n]}\n");
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, path)
+    }
+}
+
+/// Escape a string for embedding in JSON.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extract `"key":"value"` from a single JSON line our writer emitted,
+/// unescaping the backslash forms [`escape_json`] produces.
+pub fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let v = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract `"key":123.4` from a single JSON line.
+pub fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    rest.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(outcome: Outcome, detail: &str) -> RunResult {
+        RunResult { outcome, detail: detail.to_string(), secs: 1.25 }
+    }
+
+    #[test]
+    fn round_trips_and_invalidates_on_fingerprint_change() {
+        let dir = std::env::temp_dir().join(format!("ah-mutate-cache-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let mut c = Cache { tree_fp: "aa".into(), entries: Default::default() };
+        c.insert("0011", &result(Outcome::Caught, "step `test -p x` failed"));
+        c.insert("0022", &result(Outcome::Survived, "all steps passed\n\"quoted\""));
+        c.save(&path).unwrap();
+
+        let back = Cache::load(&path, "aa");
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(back.entries["0011"].outcome, Outcome::Caught);
+        assert_eq!(back.entries["0022"].detail, "all steps passed\n\"quoted\"");
+        assert!((back.entries["0022"].secs - 1.25).abs() < 1e-9);
+
+        let invalidated = Cache::load(&path, "bb");
+        assert!(invalidated.entries.is_empty(), "fingerprint change must drop everything");
+        assert_eq!(invalidated.tree_fp, "bb");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let c = Cache::load(Path::new("/nonexistent/cache.json"), "zz");
+        assert!(c.entries.is_empty());
+        assert_eq!(c.tree_fp, "zz");
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end harness test: drive real mutants through a real `cargo`
+//! on a tiny standalone project, and observe all four classifications
+//! (caught / survived / build-broken / timeout) plus the
+//! restore-after-run invariant. The project is self-contained (own
+//! `[workspace]` table, zero deps), so the heavy workspace never
+//! rebuilds here.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ah_mutate::enumerate_source;
+use ah_mutate::runner::{Outcome, Scratch};
+
+const MINI_LIB: &str = r#"//! mini
+pub fn admits(x: u32) -> bool {
+    x >= 10
+}
+pub fn untested(x: u32) -> bool {
+    x > 100
+}
+pub fn joins(a: &str) -> String {
+    a.to_string() + "!"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn admits_boundary() {
+        assert!(super::admits(10));
+        assert!(super::admits(11));
+        assert!(!super::admits(9));
+    }
+    #[test]
+    fn joins_appends() {
+        assert_eq!(super::joins("a"), "a!");
+    }
+}
+"#;
+
+fn mini_project(tag: &str) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("ah-mutate-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let root = base.join("mini");
+    fs::create_dir_all(root.join("src")).unwrap();
+    fs::write(
+        root.join("Cargo.toml"),
+        "[package]\nname = \"mini\"\nversion = \"0.0.0\"\nedition = \"2021\"\n\n[workspace]\n",
+    )
+    .unwrap();
+    fs::write(root.join("src/lib.rs"), MINI_LIB).unwrap();
+    (base, root)
+}
+
+fn steps() -> Vec<Vec<String>> {
+    vec![vec!["build".into(), "-q".into()], vec!["test".into(), "-q".into()]]
+}
+
+#[test]
+fn classifies_caught_survived_broken_and_timeout() {
+    let (base, root) = mini_project("classify");
+    let mutants = enumerate_source("src/lib.rs", MINI_LIB);
+    let tested_cmp = mutants
+        .iter()
+        .find(|m| m.op == "cmp-swap" && m.context.contains(">= 10"))
+        .expect("enumerates the tested boundary");
+    let untested_cmp = mutants
+        .iter()
+        .find(|m| m.op == "cmp-swap" && m.context.contains("> 100"))
+        .expect("enumerates the untested comparison");
+    let string_plus = mutants
+        .iter()
+        .find(|m| m.op == "arith-swap" && m.context.contains("\"!\""))
+        .expect("enumerates the String + &str misfire");
+
+    let scratch = Scratch::prepare(&root, &base.join("scratch")).unwrap();
+    let long = Duration::from_secs(300);
+    let pristine = fs::read_to_string(scratch.dir.join("src/lib.rs")).unwrap();
+
+    let caught = scratch.run_mutant(tested_cmp, &steps(), long).unwrap();
+    assert_eq!(caught.outcome, Outcome::Caught, "boundary test must fail: {}", caught.detail);
+
+    let survived = scratch.run_mutant(untested_cmp, &steps(), long).unwrap();
+    assert_eq!(survived.outcome, Outcome::Survived, "nothing covers it: {}", survived.detail);
+
+    let broken = scratch.run_mutant(string_plus, &steps(), long).unwrap();
+    assert_eq!(
+        broken.outcome,
+        Outcome::BuildBroken,
+        "String - &str cannot compile: {}",
+        broken.detail
+    );
+
+    let timed = scratch.run_mutant(tested_cmp, &steps(), Duration::ZERO).unwrap();
+    assert_eq!(timed.outcome, Outcome::Timeout, "zero budget: {}", timed.detail);
+
+    // The scratch copy must be byte-identical after every verdict.
+    let after = fs::read_to_string(scratch.dir.join("src/lib.rs")).unwrap();
+    assert_eq!(pristine, after, "runner must restore the mutated file");
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn stale_scratch_is_rejected_not_corrupted() {
+    let (base, root) = mini_project("stale");
+    let mutants = enumerate_source("src/lib.rs", MINI_LIB);
+    let m = &mutants[0];
+    let scratch = Scratch::prepare(&root, &base.join("scratch")).unwrap();
+    // Divergent scratch content at the mutant's offset must error out
+    // rather than splice garbage.
+    fs::write(scratch.dir.join("src/lib.rs"), "//! drifted\n").unwrap();
+    let err = scratch.run_mutant(m, &steps(), Duration::from_secs(1)).unwrap_err();
+    assert!(err.to_string().contains("out of sync"), "{err}");
+    let _ = fs::remove_dir_all(&base);
+}

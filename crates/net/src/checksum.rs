@@ -94,6 +94,15 @@ mod tests {
     }
 
     #[test]
+    fn end_around_carry_folds_into_low_word() {
+        // 0xffff + 0x0001 overflows into bit 16; RFC 1071 folds the
+        // carry back around: acc 0x10000 -> 0x0001, complement 0xfffe.
+        assert_eq!(checksum(&[0xff, 0xff, 0x00, 0x01]), 0xfffe);
+        // Double all-ones word: acc 0x1fffe folds to 0xffff, complement 0.
+        assert_eq!(checksum(&[0xff, 0xff, 0xff, 0xff]), 0x0000);
+    }
+
+    #[test]
     fn odd_length_is_zero_padded() {
         // Checksum of [ab] equals checksum of [ab 00].
         assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));

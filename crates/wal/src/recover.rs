@@ -436,4 +436,33 @@ mod tests {
         assert!(crate::segment::index_path(&dir).exists());
         let _ = fs::remove_dir_all(&dir);
     }
+
+    #[test]
+    fn seal_counts_only_as_the_very_last_frame() {
+        let dir = tmp("seal-last");
+        let rec = Recorder::new();
+        let mut w = WalWriter::create(&dir, small_cfg(), &rec).unwrap();
+        for i in 0..3 {
+            w.append(&pkt(i)).unwrap();
+        }
+        w.seal(RunSeal { generated: 3, delivered: 3, packet_hash: 7, injector: None }).unwrap();
+        drop(w);
+
+        // A seal sitting at the tail must survive recovery…
+        let sealed = recover(&dir, &rec, |_, _, _| {}).unwrap();
+        assert!(sealed.is_sealed(), "tail seal must recover as sealed");
+        assert_eq!(sealed.next_seq, 4);
+
+        // …but the identical seal followed by one more valid frame is a
+        // lie (the run kept going), and recovery must refuse it.
+        let (_, last_seg) = segment_paths(&dir).unwrap().pop().unwrap();
+        let mut extra = Vec::new();
+        crate::frame::append_frame(&mut extra, sealed.next_seq, &pkt_payload(99));
+        use std::io::Write;
+        fs::OpenOptions::new().append(true).open(&last_seg).unwrap().write_all(&extra).unwrap();
+        let unsealed = recover(&dir, &rec, |_, _, _| {}).unwrap();
+        assert!(!unsealed.is_sealed(), "a mid-log seal is not a seal");
+        assert_eq!(unsealed.next_seq, 5, "the post-seal frame itself is valid");
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

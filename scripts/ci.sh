@@ -195,4 +195,16 @@ rss=$(awk '/^peak rss/{print $(NF-1); exit}' "$MEM_DIR/report.txt")
 case "$rss" in (''|0) echo "error: peak RSS missing or zero in memory report"; exit 1;; esac
 echo "    accounted and unaccounted runs both fingerprint $fp_unaccounted; peak rss $rss bytes"
 
+echo "==> mutation gate"
+# The curated sentinel set (ARCHITECTURE.md §14): ~17 token-level
+# mutants at the load-bearing decision points — ring memory orderings,
+# WAL CRC/truncation/seal handling, detector thresholds, aggregator
+# boundary comparisons — each applied to a scratch copy of the tree and
+# run against its explicit kill command. Every sentinel must come back
+# *caught*; a survivor (or a detached sentinel whose site moved) fails
+# the gate, under a hard wall-clock budget. Verdicts are cached by tree
+# fingerprint, so a re-run on an unchanged tree is seconds.
+cargo run -q -p ah-mutate -- --budget 2400 \
+  || { echo "error: mutation sentinel gate failed (see survivors above)"; exit 1; }
+
 echo "CI gate passed."
